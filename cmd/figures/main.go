@@ -1,0 +1,338 @@
+// Command figures regenerates every figure of the paper's evaluation
+// from scratch and prints the series (optionally also writing CSV files).
+//
+// Usage:
+//
+//	figures -fig all                 # every figure at the default scale
+//	figures -fig 10 -scale paper     # one figure at full paper scale
+//	figures -fig 9 -scale small      # quick smoke run
+//	figures -fig ablations           # the design-choice ablations
+//	figures -fig 12 -csv out/        # also write out/fig12.csv
+//
+// Figures 4 and 5 in the paper are schematic illustrations with no data
+// series; everything else (1, 2, 3, 6, 7, 8, 9, 10, 11, 12, 13) is
+// covered.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"viralcast/internal/experiments"
+	"viralcast/internal/gdelt"
+	"viralcast/internal/report"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 1,2,3,6,7,8,9,10,11,12,13,ablations,baselines,all")
+	scale := flag.String("scale", "default", "workload scale: small, default, paper")
+	csvDir := flag.String("csv", "", "directory to write CSV series into (optional)")
+	seed := flag.Uint64("seed", 1, "master random seed")
+	flag.Parse()
+
+	r := runner{scale: *scale, csvDir: *csvDir, seed: *seed}
+	targets := strings.Split(*fig, ",")
+	if *fig == "all" {
+		targets = []string{"1", "2", "3", "6", "9", "10", "11", "12", "13", "ablations", "baselines", "convergence", "sweeps"}
+	}
+	for _, tgt := range targets {
+		if err := r.run(strings.TrimSpace(tgt)); err != nil {
+			fmt.Fprintf(os.Stderr, "figures: figure %s failed: %v\n", tgt, err)
+			os.Exit(1)
+		}
+	}
+}
+
+type runner struct {
+	scale  string
+	csvDir string
+	seed   uint64
+
+	// caches so "all" reuses expensive artifacts
+	ds      *gdelt.Dataset
+	scatter *experiments.FeatureScatterResult
+	fig9    *experiments.Figure9Result
+	fig10   []*experiments.ScalingSeries
+}
+
+// sbmExp returns the SBM study configuration at the chosen scale.
+func (r *runner) sbmExp() experiments.SBMExperiment {
+	e := experiments.DefaultSBM()
+	e.Seed = r.seed
+	switch r.scale {
+	case "small":
+		e.N = 400
+		e.Cascades = 450
+		e.Train = 300
+		e.MaxIter = 8
+	case "paper":
+		// DefaultSBM already is the paper configuration.
+	}
+	return e
+}
+
+func (r *runner) gdeltCfg(events int) gdelt.Config {
+	cfg := gdelt.DefaultConfig()
+	cfg.Seed = r.seed
+	cfg.Events = events
+	switch r.scale {
+	case "small":
+		cfg.Sites = 600
+		cfg.Events = events / 4
+		if cfg.Events < 200 {
+			cfg.Events = 200
+		}
+		cfg.CrossLinks = 90
+	}
+	return cfg
+}
+
+func (r *runner) dataset(events int) (*gdelt.Dataset, error) {
+	if r.ds != nil && len(r.ds.Events) >= events/2 {
+		return r.ds, nil
+	}
+	ds, err := gdelt.Generate(r.gdeltCfg(events))
+	if err != nil {
+		return nil, err
+	}
+	r.ds = ds
+	return ds, nil
+}
+
+func (r *runner) scaling() experiments.ScalingExperiment {
+	sc := experiments.DefaultScaling()
+	sc.Seed = r.seed
+	if r.scale == "small" {
+		sc.MaxIter = 8
+	}
+	return sc
+}
+
+func (r *runner) writeCSV(name string, header []string, rows [][]float64) error {
+	if r.csvDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(r.csvDir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(r.csvDir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return report.WriteCSV(f, header, rows)
+}
+
+func (r *runner) needScatterFig9() error {
+	if r.scatter != nil {
+		return nil
+	}
+	scatter, fig9, err := experiments.Figures6to9(r.sbmExp())
+	if err != nil {
+		return err
+	}
+	r.scatter, r.fig9 = scatter, fig9
+	return nil
+}
+
+func (r *runner) needFig10() error {
+	if r.fig10 != nil {
+		return nil
+	}
+	n := 2000
+	counts := []int{1000, 2000, 3000}
+	if r.scale == "small" {
+		n = 400
+		counts = []int{200, 400, 600}
+	}
+	series, err := experiments.Figure10(r.scaling(), n, counts)
+	if err != nil {
+		return err
+	}
+	r.fig10 = series
+	return nil
+}
+
+func (r *runner) run(fig string) error {
+	switch fig {
+	case "1":
+		ds, err := r.dataset(5000)
+		if err != nil {
+			return err
+		}
+		sample := 5000
+		if r.scale == "small" {
+			sample = 800
+		}
+		res, err := experiments.Figure1(ds, sample, r.seed+1)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	case "2":
+		ds, err := r.dataset(5000)
+		if err != nil {
+			return err
+		}
+		minShared := 50
+		if r.scale != "paper" {
+			minShared = 10
+		}
+		res, err := experiments.Figure2(ds, minShared)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	case "3":
+		ds, err := r.dataset(5000)
+		if err != nil {
+			return err
+		}
+		res, err := experiments.Figure3(ds, 2, 12)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	case "6", "7", "8":
+		if err := r.needScatterFig9(); err != nil {
+			return err
+		}
+		fmt.Println(r.scatter.Render())
+		h, rows := r.scatter.CSV()
+		return r.writeCSV("fig6to8_scatter.csv", h, rows)
+	case "9":
+		if err := r.needScatterFig9(); err != nil {
+			return err
+		}
+		fmt.Println(r.fig9.Render())
+		h, rows := r.fig9.CSV()
+		return r.writeCSV("fig9_f1.csv", h, rows)
+	case "10":
+		if err := r.needFig10(); err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderScaling("Figure 10 — time vs cores, varying cascade count", r.fig10))
+		h, rows := experiments.CSVScaling(r.fig10)
+		return r.writeCSV("fig10_scaling.csv", h, rows)
+	case "11":
+		nodes := []int{1000, 2000, 4000}
+		cascades := 2000
+		if r.scale == "small" {
+			nodes = []int{200, 400, 800}
+			cascades = 300
+		}
+		series, err := experiments.Figure11(r.scaling(), nodes, cascades)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderScaling("Figure 11 — time vs cores, varying graph size", series))
+		h, rows := experiments.CSVScaling(series)
+		return r.writeCSV("fig11_scaling.csv", h, rows)
+	case "12":
+		e := experiments.DefaultGDELTPrediction()
+		e.Seed = r.seed
+		e.Dataset = r.gdeltCfg(2600)
+		if r.scale == "small" {
+			e.MaxIter = 8
+		}
+		res, err := experiments.Figure12(e)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+		h, rows := res.CSV()
+		return r.writeCSV("fig12_f1.csv", h, rows)
+	case "13":
+		if err := r.needFig10(); err != nil {
+			return err
+		}
+		res := &experiments.Figure13Result{Series: r.fig10}
+		fmt.Println(res.Render())
+		h, rows := experiments.CSVScaling(r.fig10)
+		return r.writeCSV("fig13_speedup.csv", h, rows)
+	case "ablations":
+		e := r.sbmExp()
+		if r.scale != "small" {
+			// Ablations run several full pipelines; cap the workload.
+			e.N = 1000
+			e.Cascades = 1200
+			e.Train = 800
+		}
+		merge, err := experiments.AblationMergePolicy(e, r.scaling(), 8)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderMergePolicy(merge, 8))
+		opt, err := experiments.AblationOptimizers(e)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderOptimizers(opt))
+		feat, err := experiments.AblationFeatures(e)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderFeatures(feat))
+		ks, err := experiments.AblationTopicK(e, []int{1, 2, 4, 8})
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderTopicSweep(ks))
+	case "sweeps":
+		e := r.sbmExp()
+		if r.scale != "small" {
+			e.N = 1000
+			e.Cascades = 1200
+			e.Train = 800
+		}
+		early, err := experiments.SweepEarlyWindow(e, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Println(early.Render())
+		sizes := []int{100, 200, 400, 800}
+		if r.scale == "small" {
+			sizes = []int{60, 150, 300}
+		}
+		sc, err := experiments.SweepTrainingSize(e, sizes)
+		if err != nil {
+			return err
+		}
+		fmt.Println(sc.Render())
+	case "convergence":
+		e := r.sbmExp()
+		if r.scale != "small" {
+			e.N = 1000
+			e.Cascades = 1200
+			e.Train = 800
+		}
+		res, err := experiments.ConvergenceStudy(e)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	case "baselines":
+		e := r.sbmExp()
+		if r.scale != "small" {
+			e.N = 1000
+			e.Cascades = 1200
+			e.Train = 800
+		}
+		models, err := experiments.CompareEdgeBaseline(e)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderModelComparison(models))
+		preds, err := experiments.ComparePredictors(e)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderPredictorComparison(preds))
+	default:
+		return fmt.Errorf("unknown figure %q (try 1,2,3,6,9,10,11,12,13,ablations,baselines,convergence,sweeps,all)", fig)
+	}
+	return nil
+}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunnerSmallScaleFigures(t *testing.T) {
+	csvDir := t.TempDir()
+	r := runner{scale: "small", csvDir: csvDir, seed: 1}
+	// The GDELT-backed figures share one cached corpus; run them together.
+	for _, fig := range []string{"2", "3"} {
+		if err := r.run(fig); err != nil {
+			t.Fatalf("figure %s: %v", fig, err)
+		}
+	}
+	// The scaling figures share the Figure-10 measurement.
+	for _, fig := range []string{"10", "13"} {
+		if err := r.run(fig); err != nil {
+			t.Fatalf("figure %s: %v", fig, err)
+		}
+	}
+	// CSV series written for the scaling figures.
+	for _, name := range []string{"fig10_scaling.csv", "fig13_speedup.csv"} {
+		info, err := os.Stat(filepath.Join(csvDir, name))
+		if err != nil || info.Size() == 0 {
+			t.Errorf("missing CSV %s: %v", name, err)
+		}
+	}
+}
+
+func TestRunnerUnknownFigure(t *testing.T) {
+	r := runner{scale: "small", seed: 1}
+	if err := r.run("99"); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}
+
+func TestRunnerScaleConfigs(t *testing.T) {
+	small := runner{scale: "small", seed: 1}
+	if e := small.sbmExp(); e.N != 400 {
+		t.Errorf("small SBM N = %d", e.N)
+	}
+	paper := runner{scale: "paper", seed: 1}
+	if e := paper.sbmExp(); e.N != 2000 || e.Cascades != 3000 {
+		t.Errorf("paper SBM config wrong: %+v", e)
+	}
+	if cfg := small.gdeltCfg(2000); cfg.Sites != 600 {
+		t.Errorf("small gdelt sites = %d", cfg.Sites)
+	}
+}

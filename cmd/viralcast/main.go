@@ -1,0 +1,458 @@
+// Command viralcast is the CLI for the library: simulate cascades,
+// infer embeddings, rank influencers, and predict viral cascades.
+//
+// Subcommands:
+//
+//	viralcast simulate -n 2000 -cascades 3000 -out cascades.txt
+//	    Generate an SBM network with a planted model and write the
+//	    simulated cascades in the text format of internal/cascade.
+//
+//	viralcast infer -n 2000 -in cascades.txt -topics 4 -out model.txt
+//	    Fit influence/selectivity embeddings from observed cascades with
+//	    the hierarchical community-parallel algorithm.
+//
+//	viralcast influencers -n 2000 -in cascades.txt -top 20
+//	    Train and print the highest-influence nodes per topic.
+//
+//	viralcast predict -n 2000 -in cascades.txt -early 2.86 -top 0.2
+//	    Train on the first 2/3 of the cascades, fit the virality
+//	    classifier at the top-`top` size threshold, and report held-out
+//	    precision/recall/F1.
+//
+//	viralcast analyze -in cascades.txt
+//	    Print summary statistics of a cascade file.
+//
+//	viralcast gdelt -sites 2000 -events 1500 -out-sites sites.csv -out-events events.csv
+//	    Generate a synthetic GDELT-like news corpus and export its two
+//	    tables (site metadata and event reporting cascades).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"viralcast/internal/cascade"
+	"viralcast/internal/cluster"
+	"viralcast/internal/core"
+	"viralcast/internal/eval"
+	"viralcast/internal/experiments"
+	"viralcast/internal/gdelt"
+	"viralcast/internal/report"
+	"viralcast/internal/stats"
+	"viralcast/internal/xrand"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "simulate":
+		err = cmdSimulate(os.Args[2:])
+	case "infer":
+		err = cmdInfer(os.Args[2:])
+	case "influencers":
+		err = cmdInfluencers(os.Args[2:])
+	case "predict":
+		err = cmdPredict(os.Args[2:])
+	case "analyze":
+		err = cmdAnalyze(os.Args[2:])
+	case "gdelt":
+		err = cmdGdelt(os.Args[2:])
+	case "cluster":
+		err = cmdCluster(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "viralcast: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: viralcast <simulate|infer|influencers|predict|analyze|gdelt|cluster> [flags]")
+	fmt.Fprintln(os.Stderr, "run 'viralcast <subcommand> -h' for subcommand flags")
+}
+
+func cmdSimulate(args []string) error {
+	fs := flag.NewFlagSet("simulate", flag.ExitOnError)
+	n := fs.Int("n", 2000, "number of nodes")
+	cascades := fs.Int("cascades", 3000, "number of cascades to simulate")
+	window := fs.Float64("window", 10, "observation window")
+	seed := fs.Uint64("seed", 1, "random seed")
+	out := fs.String("out", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	e := experiments.DefaultSBM()
+	e.N = *n
+	e.Cascades = *cascades + 1
+	e.Train = *cascades
+	e.Window = *window
+	e.Seed = *seed
+	w, err := experiments.BuildSBMWorkload(e)
+	if err != nil {
+		return err
+	}
+	dst := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		dst = f
+	}
+	if err := cascade.Write(dst, w.Train); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "simulated %d cascades over %d nodes (mean size %.1f)\n",
+		len(w.Train), *n, cascade.MeanSize(w.Train))
+	return nil
+}
+
+// loadCascades reads a cascade file and infers the node universe size.
+func loadCascades(path string, n int) ([]*cascade.Cascade, int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	cs, err := cascade.Read(f)
+	if err != nil {
+		return nil, 0, err
+	}
+	if n <= 0 {
+		for _, c := range cs {
+			for _, inf := range c.Infections {
+				if inf.Node >= n {
+					n = inf.Node + 1
+				}
+			}
+		}
+	}
+	if err := cascade.ValidateAll(cs, n); err != nil {
+		return nil, 0, err
+	}
+	return cs, n, nil
+}
+
+func cmdInfer(args []string) error {
+	fs := flag.NewFlagSet("infer", flag.ExitOnError)
+	in := fs.String("in", "", "cascade file (required)")
+	n := fs.Int("n", 0, "number of nodes (default: inferred from the file)")
+	topics := fs.Int("topics", 4, "latent topic dimension K")
+	iters := fs.Int("iters", 30, "max gradient-ascent epochs per level")
+	workers := fs.Int("workers", 4, "parallel community workers")
+	seed := fs.Uint64("seed", 1, "random seed")
+	out := fs.String("out", "", "write the fitted embeddings (CSV) to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("infer: -in is required")
+	}
+	cs, nn, err := loadCascades(*in, *n)
+	if err != nil {
+		return err
+	}
+	sys, err := core.Train(cs, nn, core.TrainConfig{
+		Topics: *topics, MaxIter: *iters, Workers: *workers, Seed: *seed,
+	})
+	if err != nil {
+		return err
+	}
+	last := sys.Trace.Levels[len(sys.Trace.Levels)-1]
+	fmt.Fprintf(os.Stderr, "fitted %d nodes x %d topics; %d hierarchy levels; final loglik %.1f; %v\n",
+		nn, *topics, len(sys.Trace.Levels), last.LogLik, sys.Trace.Elapsed)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return sys.Embeddings.Write(f)
+	}
+	return nil
+}
+
+func cmdInfluencers(args []string) error {
+	fs := flag.NewFlagSet("influencers", flag.ExitOnError)
+	in := fs.String("in", "", "cascade file (required)")
+	n := fs.Int("n", 0, "number of nodes (default: inferred)")
+	topics := fs.Int("topics", 4, "latent topic dimension K")
+	iters := fs.Int("iters", 30, "max epochs per level")
+	top := fs.Int("top", 20, "how many influencers to print")
+	seed := fs.Uint64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("influencers: -in is required")
+	}
+	cs, nn, err := loadCascades(*in, *n)
+	if err != nil {
+		return err
+	}
+	sys, err := core.Train(cs, nn, core.TrainConfig{Topics: *topics, MaxIter: *iters, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	rows := make([][]string, 0, *top)
+	for i, inf := range sys.TopInfluencers(*top) {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", i+1),
+			fmt.Sprintf("%d", inf.Node),
+			report.FormatFloat(inf.Score, 4),
+			fmt.Sprintf("%d", inf.TopTopic),
+			report.FormatFloat(inf.TopWeight, 4),
+		})
+	}
+	fmt.Print(report.Table([]string{"rank", "node", "influence", "top-topic", "weight"}, rows))
+	return nil
+}
+
+func cmdPredict(args []string) error {
+	fs := flag.NewFlagSet("predict", flag.ExitOnError)
+	in := fs.String("in", "", "cascade file (required)")
+	n := fs.Int("n", 0, "number of nodes (default: inferred)")
+	topics := fs.Int("topics", 4, "latent topic dimension K")
+	iters := fs.Int("iters", 30, "max epochs per level")
+	early := fs.Float64("early", 0, "early-adopter cutoff time (default: 2/7 of the max observed time)")
+	topFrac := fs.Float64("top", 0.2, "viral class = top fraction of cascade sizes")
+	seed := fs.Uint64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("predict: -in is required")
+	}
+	cs, nn, err := loadCascades(*in, *n)
+	if err != nil {
+		return err
+	}
+	if len(cs) < 30 {
+		return fmt.Errorf("predict: need at least 30 cascades, got %d", len(cs))
+	}
+	split := len(cs) * 2 / 3
+	train, test := cs[:split], cs[split:]
+	cutoff := *early
+	if cutoff <= 0 {
+		var maxT float64
+		for _, c := range cs {
+			if last := c.Infections[len(c.Infections)-1].Time; last > maxT {
+				maxT = last
+			}
+		}
+		cutoff = maxT * 2 / 7
+	}
+	sys, err := core.Train(train, nn, core.TrainConfig{Topics: *topics, MaxIter: *iters, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	thr := eval.TopFractionThreshold(cascade.Sizes(train), *topFrac)
+	pred, err := sys.TrainPredictor(train, cutoff, thr)
+	if err != nil {
+		return err
+	}
+	conf, err := pred.Evaluate(test)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("early cutoff %.3g, viral threshold >= %d reports (top %.0f%%)\n", cutoff, thr, *topFrac*100)
+	fmt.Printf("held-out: precision %.3f  recall %.3f  F1 %.3f  accuracy %.3f  (TP %d FP %d TN %d FN %d)\n",
+		conf.Precision(), conf.Recall(), conf.F1(), conf.Accuracy(),
+		conf.TP, conf.FP, conf.TN, conf.FN)
+	return nil
+}
+
+func cmdAnalyze(args []string) error {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	in := fs.String("in", "", "cascade file (required)")
+	n := fs.Int("n", 0, "number of nodes (default: inferred)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("analyze: -in is required")
+	}
+	cs, nn, err := loadCascades(*in, *n)
+	if err != nil {
+		return err
+	}
+	sizes := make([]float64, len(cs))
+	durations := make([]float64, 0, len(cs))
+	for i, c := range cs {
+		sizes[i] = float64(c.Size())
+		if c.Size() >= 2 {
+			durations = append(durations, c.Duration())
+		}
+	}
+	sizeSum, err := stats.Summarize(sizes)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("cascades: %d over %d nodes, %d total infections\n", len(cs), nn, cascade.TotalInfections(cs))
+	fmt.Printf("sizes: mean %.1f median %.0f p75 %.0f max %.0f\n",
+		sizeSum.Mean, sizeSum.Median, sizeSum.Q3, sizeSum.Max)
+	if len(durations) > 0 {
+		durSum, err := stats.Summarize(durations)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("durations (size>=2): mean %.2f median %.2f max %.2f\n",
+			durSum.Mean, durSum.Median, durSum.Max)
+	}
+	// Per-node participation: the Matthew-effect view.
+	counts := make([]int, nn)
+	for _, c := range cs {
+		for _, inf := range c.Infections {
+			counts[inf.Node]++
+		}
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(counts)))
+	active := 0
+	for _, c := range counts {
+		if c > 0 {
+			active++
+		}
+	}
+	fmt.Printf("active nodes: %d/%d; top node appears in %d cascades\n", active, nn, counts[0])
+	return nil
+}
+
+func cmdGdelt(args []string) error {
+	fs := flag.NewFlagSet("gdelt", flag.ExitOnError)
+	sites := fs.Int("sites", 6000, "number of news sites")
+	events := fs.Int("events", 2600, "number of news events")
+	seed := fs.Uint64("seed", 1, "random seed")
+	outSites := fs.String("out-sites", "", "sites CSV output path (required)")
+	outEvents := fs.String("out-events", "", "events output path (required)")
+	outDot := fs.String("out-dot", "", "optional GraphViz DOT of the co-reporting backbone (Figure 2)")
+	minShared := fs.Int("min-shared", 10, "backbone threshold: pairs sharing at least this many events")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *outSites == "" || *outEvents == "" {
+		return fmt.Errorf("gdelt: -out-sites and -out-events are required")
+	}
+	cfg := gdelt.DefaultConfig()
+	cfg.Sites = *sites
+	cfg.Events = *events
+	cfg.Seed = *seed
+	// Keep the wire-link density proportional when shrinking the corpus.
+	if *sites < 6000 {
+		cfg.CrossLinks = cfg.CrossLinks * *sites / 6000
+		if cfg.CrossLinks < 10 {
+			cfg.CrossLinks = 10
+		}
+	}
+	ds, err := gdelt.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	sf, err := os.Create(*outSites)
+	if err != nil {
+		return err
+	}
+	defer sf.Close()
+	ef, err := os.Create(*outEvents)
+	if err != nil {
+		return err
+	}
+	defer ef.Close()
+	if err := ds.Export(sf, ef); err != nil {
+		return err
+	}
+	if *outDot != "" {
+		bb, err := ds.Backbone(*minShared)
+		if err != nil {
+			return err
+		}
+		df, err := os.Create(*outDot)
+		if err != nil {
+			return err
+		}
+		defer df.Close()
+		// Color nodes by region so the Figure-2 block structure is visible.
+		colors := []string{"red", "blue", "green", "orange", "purple", "brown"}
+		err = bb.WriteDOT(df, "backbone", func(u int) string {
+			if bb.OutDegree(u) == 0 {
+				return "" // omit sites outside the backbone
+			}
+			c := colors[ds.RegionOf(u)%len(colors)]
+			return fmt.Sprintf("color=%q", c)
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote backbone DOT (%d edges) to %s\n", bb.M()/2, *outDot)
+	}
+	fmt.Fprintf(os.Stderr, "exported %d sites and %d events (mean reports/event %.1f)\n",
+		len(ds.Sites), len(ds.Events), cascade.MeanSize(ds.Events))
+	return nil
+}
+
+func cmdCluster(args []string) error {
+	fs := flag.NewFlagSet("cluster", flag.ExitOnError)
+	in := fs.String("in", "", "cascade file (required)")
+	n := fs.Int("n", 0, "number of nodes (default: inferred)")
+	k := fs.Int("k", 4, "flat clusters to cut the dendrogram into")
+	sample := fs.Int("sample", 2000, "max cascades to cluster (Ward is O(n^2))")
+	depth := fs.Int("depth", 4, "dendrogram render depth")
+	seed := fs.Uint64("seed", 1, "sampling seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("cluster: -in is required")
+	}
+	cs, _, err := loadCascades(*in, *n)
+	if err != nil {
+		return err
+	}
+	// Keep multi-node cascades; subsample if needed.
+	var usable []*cascade.Cascade
+	for _, c := range cs {
+		if c.Size() >= 2 {
+			usable = append(usable, c)
+		}
+	}
+	if len(usable) < 2 {
+		return fmt.Errorf("cluster: only %d multi-node cascades", len(usable))
+	}
+	if len(usable) > *sample {
+		rng := xrand.New(*seed)
+		perm := rng.Perm(len(usable))
+		picked := make([]*cascade.Cascade, *sample)
+		for i := 0; i < *sample; i++ {
+			picked[i] = usable[perm[i]]
+		}
+		usable = picked
+	}
+	d := cluster.Ward(cluster.CascadeDistances(usable))
+	fmt.Printf("clustered %d cascades (Ward over Jaccard distances)\n", len(usable))
+	fmt.Println("top merges (Ward distance , cascades):")
+	for _, m := range d.TopMerges(6) {
+		fmt.Printf("  %.2f , %d\n", m.Height, m.Size)
+	}
+	fmt.Println(d.RenderDendrogram(*depth))
+	labels, err := d.Cut(*k)
+	if err != nil {
+		return err
+	}
+	counts := make([]int, *k)
+	for _, l := range labels {
+		counts[l]++
+	}
+	fmt.Printf("flat cut at k=%d: cluster sizes %v\n", *k, counts)
+	return nil
+}

@@ -1,0 +1,173 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// simulateFixture writes a small cascade file and returns its path.
+func simulateFixture(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "cascades.txt")
+	err := cmdSimulate([]string{
+		"-n", "200", "-cascades", "150", "-window", "8", "-seed", "3", "-out", path,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(path)
+	if err != nil || info.Size() == 0 {
+		t.Fatalf("simulate produced no data: %v", err)
+	}
+	return path
+}
+
+func TestCmdSimulateAndAnalyze(t *testing.T) {
+	path := simulateFixture(t)
+	if err := cmdAnalyze([]string{"-in", path}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmdInferWritesModel(t *testing.T) {
+	path := simulateFixture(t)
+	out := filepath.Join(t.TempDir(), "model.csv")
+	err := cmdInfer([]string{"-in", path, "-topics", "2", "-iters", "5", "-out", out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "node,kind,topic0,topic1") {
+		t.Fatalf("model header wrong: %q", strings.SplitN(string(data), "\n", 2)[0])
+	}
+	// 200 nodes x 2 kinds + header.
+	lines := strings.Count(strings.TrimSpace(string(data)), "\n") + 1
+	if lines != 401 {
+		t.Fatalf("model file has %d lines, want 401", lines)
+	}
+}
+
+func TestCmdInfluencers(t *testing.T) {
+	path := simulateFixture(t)
+	if err := cmdInfluencers([]string{"-in", path, "-topics", "2", "-iters", "4", "-top", "5"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmdPredict(t *testing.T) {
+	path := simulateFixture(t)
+	if err := cmdPredict([]string{"-in", path, "-topics", "2", "-iters", "5", "-top", "0.3"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmdErrors(t *testing.T) {
+	if err := cmdInfer([]string{"-topics", "2"}); err == nil {
+		t.Error("infer without -in accepted")
+	}
+	if err := cmdAnalyze([]string{}); err == nil {
+		t.Error("analyze without -in accepted")
+	}
+	if err := cmdPredict([]string{"-in", filepath.Join(t.TempDir(), "missing.txt")}); err == nil {
+		t.Error("predict on missing file accepted")
+	}
+	if err := cmdInfluencers([]string{}); err == nil {
+		t.Error("influencers without -in accepted")
+	}
+}
+
+func TestLoadCascadesInfersN(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.txt")
+	if err := os.WriteFile(path, []byte("0,5,0\n0,9,1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cs, n, err := loadCascades(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 10 {
+		t.Fatalf("inferred n = %d, want 10", n)
+	}
+	if len(cs) != 1 || cs[0].Size() != 2 {
+		t.Fatalf("cascades = %+v", cs)
+	}
+	// Explicit n too small must fail validation.
+	if _, _, err := loadCascades(path, 5); err == nil {
+		t.Error("undersized n accepted")
+	}
+}
+
+func TestCmdGdelt(t *testing.T) {
+	dir := t.TempDir()
+	sitesPath := filepath.Join(dir, "sites.csv")
+	eventsPath := filepath.Join(dir, "events.txt")
+	err := cmdGdelt([]string{
+		"-sites", "300", "-events", "200", "-seed", "2",
+		"-out-sites", sitesPath, "-out-events", eventsPath,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sites, err := os.ReadFile(sitesPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(sites), "id,name,region,popularity") {
+		t.Fatalf("sites header wrong")
+	}
+	if lines := strings.Count(string(sites), "\n"); lines != 301 {
+		t.Fatalf("sites file has %d lines, want 301", lines)
+	}
+	if _, err := os.Stat(eventsPath); err != nil {
+		t.Fatal(err)
+	}
+	// The exported events must be loadable by the analyze path.
+	if err := cmdAnalyze([]string{"-in", eventsPath, "-n", "300"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdGdelt([]string{"-sites", "10"}); err == nil {
+		t.Error("missing outputs accepted")
+	}
+}
+
+func TestCmdCluster(t *testing.T) {
+	path := simulateFixture(t)
+	if err := cmdCluster([]string{"-in", path, "-k", "3", "-sample", "80"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdCluster([]string{}); err == nil {
+		t.Error("cluster without -in accepted")
+	}
+}
+
+func TestCmdGdeltDotExport(t *testing.T) {
+	dir := t.TempDir()
+	dot := filepath.Join(dir, "backbone.dot")
+	err := cmdGdelt([]string{
+		"-sites", "200", "-events", "150", "-seed", "4",
+		"-out-sites", filepath.Join(dir, "s.csv"),
+		"-out-events", filepath.Join(dir, "e.txt"),
+		"-out-dot", dot, "-min-shared", "3",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(dot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), `graph "backbone" {`) {
+		t.Fatalf("DOT header wrong: %q", strings.SplitN(string(data), "\n", 2)[0])
+	}
+	if !strings.Contains(string(data), "--") {
+		t.Fatal("DOT has no edges")
+	}
+	if !strings.Contains(string(data), "color=") {
+		t.Fatal("DOT has no region colors")
+	}
+}

@@ -1,0 +1,70 @@
+// Persistence shows the operational lifecycle of a deployed system:
+// train once, save the embeddings, reload them in a fresh process, and
+// keep them current with online updates as new cascades arrive — without
+// ever re-running the full training pipeline.
+//
+// Run with: go run ./examples/persistence
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"viralcast"
+)
+
+func main() {
+	const (
+		nodes  = 300
+		window = 10.0
+	)
+	cs, err := viralcast.SimulateSBM(nodes, 600, window, 21)
+	if err != nil {
+		log.Fatal(err)
+	}
+	historical, fresh := cs[:400], cs[400:]
+
+	// Day 0: train and persist.
+	sys, err := viralcast.Train(historical, nodes, viralcast.TrainConfig{
+		Topics: 4, MaxIter: 15, Workers: 4, Seed: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var store bytes.Buffer // stands in for a file or object store
+	if err := sys.SaveEmbeddings(&store); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("saved embeddings: %d bytes\n", store.Len())
+
+	// Day 1: a fresh process reloads the model.
+	loaded, err := viralcast.LoadSystem(&store, viralcast.TrainConfig{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	beforeFit := loaded.Embeddings.LogLikAll(fresh)
+	fmt.Printf("reloaded system for %d nodes; fit to new cascades: %.1f\n",
+		loaded.N, beforeFit)
+
+	// New cascades arrive: refine online instead of refitting.
+	if err := loaded.Update(fresh); err != nil {
+		log.Fatal(err)
+	}
+	afterFit := loaded.Embeddings.LogLikAll(fresh)
+	fmt.Printf("after online update:                 %.1f (improved by %.1f)\n",
+		afterFit, afterFit-beforeFit)
+
+	// The updated system serves predictions as usual.
+	threshold := viralcast.TopSizeThreshold(cs, 0.25)
+	pred, err := loaded.TrainPredictor(cs, window*2/7, threshold)
+	if err != nil {
+		log.Fatal(err)
+	}
+	viral, margin, err := pred.PredictViral(fresh[len(fresh)-1])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("latest cascade: predicted viral=%v (margin %+.2f), actual size %d\n",
+		viral, margin, fresh[len(fresh)-1].Size())
+}

@@ -1,0 +1,72 @@
+// Quickstart: the smallest end-to-end use of the viralcast library.
+//
+//  1. Simulate cascades on a synthetic network (stands in for your own
+//     observation data — any []*viralcast.Cascade works).
+//  2. Fit the influence/selectivity embeddings.
+//  3. Train the early-stage virality predictor.
+//  4. Classify held-out cascades from their early adopters only.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"viralcast"
+)
+
+func main() {
+	const (
+		nodes    = 400
+		cascades = 500
+		window   = 10.0
+	)
+	// 1. Observation data: here simulated; normally loaded with
+	// viralcast.ReadCascades.
+	cs, err := viralcast.SimulateSBM(nodes, cascades, window, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	train, test := cs[:400], cs[400:]
+	fmt.Printf("simulated %d cascades over %d nodes\n", len(cs), nodes)
+
+	// 2. Fit the node embeddings with the community-parallel algorithm.
+	sys, err := viralcast.Train(train, nodes, viralcast.TrainConfig{
+		Topics:  4,
+		MaxIter: 20,
+		Workers: 4,
+		Seed:    1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained embeddings: %d communities at the base level\n",
+		sys.Partition.NumCommunities())
+
+	// 3. Virality = final size in the top 20% of training cascades;
+	// early adopters = reports in the first 2/7 of the window.
+	threshold := viralcast.TopSizeThreshold(train, 0.2)
+	early := window * 2 / 7
+	pred, err := sys.TrainPredictor(train, early, threshold)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("predictor trained: viral means >= %d reports\n", threshold)
+
+	// 4. Score the held-out cascades.
+	conf, err := pred.Evaluate(test)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("held-out accuracy %.3f, precision %.3f, recall %.3f, F1 %.3f\n",
+		conf.Accuracy(), conf.Precision(), conf.Recall(), conf.F1())
+
+	// Bonus: one single prediction, the way a live system would use it.
+	viral, margin, err := pred.PredictViral(test[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cascade %d: early adopters signal viral=%v (margin %.2f); actual size %d\n",
+		test[0].ID, viral, margin, test[0].Size())
+}

@@ -1,0 +1,63 @@
+// Scaling measures the wall-clock of the community-parallel inference at
+// several worker counts on this machine, plus the modeled runtime on the
+// paper's 1-64 core grid (per-community task times replayed through an
+// LPT scheduler — see DESIGN.md, "Speedup methodology").
+//
+// On a multi-core host the wall-clock numbers show real speedup; on a
+// single-core host only the modeled series is meaningful.
+//
+// Run with: go run ./examples/scaling
+package main
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+	"time"
+
+	"viralcast"
+)
+
+func main() {
+	const (
+		nodes    = 800
+		cascades = 800
+		window   = 10.0
+	)
+	cs, err := viralcast.SimulateSBM(nodes, cascades, window, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload: %d cascades over %d nodes; GOMAXPROCS=%d\n",
+		len(cs), nodes, runtime.GOMAXPROCS(0))
+
+	fmt.Println("\nwall-clock of the full pipeline at several worker caps:")
+	fmt.Println("workers  seconds  final-loglik")
+	var t1 time.Duration
+	for _, workers := range []int{1, 2, 4, 8} {
+		start := time.Now()
+		sys, err := viralcast.Train(cs, nodes, viralcast.TrainConfig{
+			Topics:  4,
+			MaxIter: 15,
+			Workers: workers,
+			Seed:    1,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		elapsed := time.Since(start)
+		if workers == 1 {
+			t1 = elapsed
+		}
+		last := sys.Trace.Levels[len(sys.Trace.Levels)-1]
+		fmt.Printf("%7d  %7.2f  %12.1f\n", workers, elapsed.Seconds(), last.LogLik)
+	}
+	if runtime.GOMAXPROCS(0) == 1 {
+		fmt.Println("\nnote: this host exposes a single core, so identical wall-clock")
+		fmt.Println("times across worker counts are expected; run")
+		fmt.Println("  go run ./cmd/figures -fig 13")
+		fmt.Println("for the scheduler-modeled speedup on the paper's 1-64 core grid.")
+	} else if t1 > 0 {
+		fmt.Println("\nspeedup vs 1 worker shown above; see cmd/figures -fig 13 for the full grid.")
+	}
+}

@@ -1,0 +1,3 @@
+module viralcast
+
+go 1.22

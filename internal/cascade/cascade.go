@@ -1,0 +1,223 @@
+// Package cascade defines information cascades — timestamped sequences of
+// node infections (paper Definition 1) — plus validation, statistics, and
+// a text serialization. The continuous-time simulator that generates
+// cascades from a graph and ground-truth embeddings lives in simulate.go.
+package cascade
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Infection records that Node became infected (reported the event, adopted
+// the message) at Time. Each node appears at most once per cascade: the
+// underlying process is SI — no recovery, no re-adoption.
+type Infection struct {
+	Node int
+	Time float64
+}
+
+// Cascade is a realization of the stochastic propagation process: a
+// time-ordered sequence of distinct infections.
+type Cascade struct {
+	ID         int
+	Infections []Infection
+}
+
+// Size returns the number of infected nodes.
+func (c *Cascade) Size() int { return len(c.Infections) }
+
+// Duration returns the time between the first and last infection, or 0
+// for cascades with fewer than two infections.
+func (c *Cascade) Duration() float64 {
+	if len(c.Infections) < 2 {
+		return 0
+	}
+	return c.Infections[len(c.Infections)-1].Time - c.Infections[0].Time
+}
+
+// Nodes returns the infected node ids in infection order.
+func (c *Cascade) Nodes() []int {
+	out := make([]int, len(c.Infections))
+	for i, inf := range c.Infections {
+		out[i] = inf.Node
+	}
+	return out
+}
+
+// NodeSet returns the set of infected nodes.
+func (c *Cascade) NodeSet() map[int]bool {
+	s := make(map[int]bool, len(c.Infections))
+	for _, inf := range c.Infections {
+		s[inf.Node] = true
+	}
+	return s
+}
+
+// Prefix returns the sub-cascade of infections with Time <= cutoff —
+// the "early adopters" used by the prediction pipeline (paper §V).
+// The returned cascade shares no storage with c.
+func (c *Cascade) Prefix(cutoff float64) *Cascade {
+	out := &Cascade{ID: c.ID}
+	for _, inf := range c.Infections {
+		if inf.Time <= cutoff {
+			out.Infections = append(out.Infections, inf)
+		}
+	}
+	return out
+}
+
+// Validate checks the structural invariants a well-formed cascade must
+// satisfy: at least one infection, distinct non-negative node ids (< n if
+// n > 0), non-negative times, and non-decreasing time order.
+func (c *Cascade) Validate(n int) error {
+	if len(c.Infections) == 0 {
+		return fmt.Errorf("cascade %d: empty", c.ID)
+	}
+	seen := make(map[int]bool, len(c.Infections))
+	prev := -1.0
+	for i, inf := range c.Infections {
+		if inf.Node < 0 {
+			return fmt.Errorf("cascade %d: negative node id %d at index %d", c.ID, inf.Node, i)
+		}
+		if n > 0 && inf.Node >= n {
+			return fmt.Errorf("cascade %d: node id %d out of range [0,%d)", c.ID, inf.Node, n)
+		}
+		if seen[inf.Node] {
+			return fmt.Errorf("cascade %d: node %d infected twice (SI process forbids re-infection)", c.ID, inf.Node)
+		}
+		seen[inf.Node] = true
+		if math.IsNaN(inf.Time) || math.IsInf(inf.Time, 0) {
+			return fmt.Errorf("cascade %d: non-finite time %v at index %d", c.ID, inf.Time, i)
+		}
+		if inf.Time < 0 {
+			return fmt.Errorf("cascade %d: negative time %v at index %d", c.ID, inf.Time, i)
+		}
+		if inf.Time < prev {
+			return fmt.Errorf("cascade %d: infections out of time order at index %d (%v < %v)", c.ID, i, inf.Time, prev)
+		}
+		prev = inf.Time
+	}
+	return nil
+}
+
+// SortByTime sorts the infections in place by (Time, Node); ties on time
+// are broken by node id for determinism.
+func (c *Cascade) SortByTime() {
+	sort.Slice(c.Infections, func(i, j int) bool {
+		a, b := c.Infections[i], c.Infections[j]
+		if a.Time != b.Time {
+			return a.Time < b.Time
+		}
+		return a.Node < b.Node
+	})
+}
+
+// ValidateAll validates every cascade against node universe size n.
+func ValidateAll(cs []*Cascade, n int) error {
+	for _, c := range cs {
+		if err := c.Validate(n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Sizes returns the size of every cascade.
+func Sizes(cs []*Cascade) []int {
+	out := make([]int, len(cs))
+	for i, c := range cs {
+		out[i] = c.Size()
+	}
+	return out
+}
+
+// MeanSize returns the average cascade size, or 0 for no cascades.
+func MeanSize(cs []*Cascade) float64 {
+	if len(cs) == 0 {
+		return 0
+	}
+	var s int
+	for _, c := range cs {
+		s += c.Size()
+	}
+	return float64(s) / float64(len(cs))
+}
+
+// TotalInfections returns the summed size of all cascades.
+func TotalInfections(cs []*Cascade) int {
+	var s int
+	for _, c := range cs {
+		s += c.Size()
+	}
+	return s
+}
+
+// Write encodes cascades as text, one infection per line:
+//
+//	cascadeID,node,time
+//
+// in cascade order. Decode with Read.
+func Write(w io.Writer, cs []*Cascade) error {
+	bw := bufio.NewWriter(w)
+	for _, c := range cs {
+		for _, inf := range c.Infections {
+			// FormatFloat with precision -1 emits the shortest string that
+			// parses back to exactly the same float64.
+			if _, err := fmt.Fprintf(bw, "%d,%d,%s\n", c.ID, inf.Node,
+				strconv.FormatFloat(inf.Time, 'g', -1, 64)); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Read decodes the format produced by Write. Cascades are returned in
+// first-appearance order; infections keep file order.
+func Read(r io.Reader) ([]*Cascade, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	byID := map[int]*Cascade{}
+	var order []*Cascade
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.Split(line, ",")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("cascade: line %d: want 3 fields, got %d", lineNo, len(parts))
+		}
+		id, err := strconv.Atoi(parts[0])
+		if err != nil {
+			return nil, fmt.Errorf("cascade: line %d: bad cascade id %q", lineNo, parts[0])
+		}
+		node, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return nil, fmt.Errorf("cascade: line %d: bad node id %q", lineNo, parts[1])
+		}
+		tm, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("cascade: line %d: bad time %q", lineNo, parts[2])
+		}
+		c, ok := byID[id]
+		if !ok {
+			c = &Cascade{ID: id}
+			byID[id] = c
+			order = append(order, c)
+		}
+		c.Infections = append(c.Infections, Infection{Node: node, Time: tm})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return order, nil
+}

@@ -1,0 +1,42 @@
+package cascade
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead ensures the cascade parser never panics and that everything
+// it accepts survives a write/read roundtrip structurally.
+func FuzzRead(f *testing.F) {
+	f.Add("1,0,0\n1,2,1.5\n")
+	f.Add("# comment\n\n3,7,0.25\n")
+	f.Add("x,y,z\n")
+	f.Add("1,0\n")
+	f.Add("9999999999999999999999,0,0\n")
+	f.Add("1,0,NaN\n")
+	f.Add("1,0,1e308\n1,1,1e309\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		cs, err := Read(strings.NewReader(input))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		// Whatever parsed must re-encode and re-parse to the same shape.
+		var buf bytes.Buffer
+		if err := Write(&buf, cs); err != nil {
+			t.Fatalf("Write failed on parsed data: %v", err)
+		}
+		again, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("reparse failed: %v", err)
+		}
+		if len(again) != len(cs) {
+			t.Fatalf("roundtrip changed cascade count: %d -> %d", len(cs), len(again))
+		}
+		for i := range cs {
+			if cs[i].ID != again[i].ID || cs[i].Size() != again[i].Size() {
+				t.Fatalf("roundtrip changed cascade %d", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,122 @@
+package cascade
+
+import (
+	"container/heap"
+	"fmt"
+
+	"viralcast/internal/graph"
+	"viralcast/internal/vecmath"
+	"viralcast/internal/xrand"
+)
+
+// Simulator runs the continuous-time stochastic propagation model of
+// Kempe et al. adapted by the paper (§III): when node u becomes infected
+// at time t_u it attempts to infect each susceptible out-neighbor v after
+// an exponential delay with rate A[u]·B[v] (the minimum over K
+// topic-specific exponential delays with rates A[u,k]·B[v,k]). A node
+// keeps the earliest tentative infection it receives — the single-source
+// property of the model. The spread is truncated at the observation
+// window (paper §VI-A).
+type Simulator struct {
+	G      *graph.Graph
+	A, B   *vecmath.Matrix // ground-truth influence and selectivity
+	Window float64         // observation window; infections after it are discarded
+}
+
+// NewSimulator validates the inputs and returns a simulator.
+func NewSimulator(g *graph.Graph, a, b *vecmath.Matrix, window float64) (*Simulator, error) {
+	if g == nil || a == nil || b == nil {
+		return nil, fmt.Errorf("cascade: nil simulator input")
+	}
+	if a.RowsN != g.N() || b.RowsN != g.N() {
+		return nil, fmt.Errorf("cascade: embedding rows (%d, %d) != graph nodes %d", a.RowsN, b.RowsN, g.N())
+	}
+	if a.ColsN != b.ColsN {
+		return nil, fmt.Errorf("cascade: A has %d topics but B has %d", a.ColsN, b.ColsN)
+	}
+	if window <= 0 {
+		return nil, fmt.Errorf("cascade: observation window must be positive, got %v", window)
+	}
+	if !vecmath.AllNonneg(a.Data) || !vecmath.AllNonneg(b.Data) {
+		return nil, fmt.Errorf("cascade: embeddings must be non-negative (they parameterize hazard rates)")
+	}
+	return &Simulator{G: g, A: a, B: b, Window: window}, nil
+}
+
+// event is a tentative infection in the simulation's priority queue.
+type event struct {
+	time float64
+	node int
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int      { return len(h) }
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].node < h[j].node
+}
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Run simulates a single cascade with the given id, starting from seed at
+// time 0. The cascade always contains at least the seed.
+func (s *Simulator) Run(id, seed int, rng *xrand.RNG) (*Cascade, error) {
+	if seed < 0 || seed >= s.G.N() {
+		return nil, fmt.Errorf("cascade: seed %d out of range [0,%d)", seed, s.G.N())
+	}
+	infected := make(map[int]float64, 16)
+	h := &eventHeap{{time: 0, node: seed}}
+	c := &Cascade{ID: id}
+	for h.Len() > 0 {
+		e := heap.Pop(h).(event)
+		if e.time > s.Window {
+			break // the observation window terminates the process instantly
+		}
+		if _, done := infected[e.node]; done {
+			continue // a faster source already infected this node
+		}
+		infected[e.node] = e.time
+		c.Infections = append(c.Infections, Infection{Node: e.node, Time: e.time})
+		ts, _ := s.G.Neighbors(e.node)
+		au := s.A.Row(e.node)
+		for _, v := range ts {
+			if _, done := infected[v]; done {
+				continue
+			}
+			rate := vecmath.Dot(au, s.B.Row(v))
+			if rate <= 0 {
+				continue // zero hazard: u can never infect v
+			}
+			heap.Push(h, event{time: e.time + rng.Exp(rate), node: v})
+		}
+	}
+	return c, nil
+}
+
+// RunMany simulates count cascades with uniformly random seeds, ids
+// firstID..firstID+count-1 (paper §VI-A: "a random node is chosen as the
+// initiator").
+func (s *Simulator) RunMany(firstID, count int, rng *xrand.RNG) ([]*Cascade, error) {
+	if count < 0 {
+		return nil, fmt.Errorf("cascade: negative count %d", count)
+	}
+	out := make([]*Cascade, 0, count)
+	for i := 0; i < count; i++ {
+		c, err := s.Run(firstID+i, rng.Intn(s.G.N()), rng)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}

@@ -1,0 +1,297 @@
+// Package cluster implements agglomerative hierarchical clustering with
+// Ward linkage over arbitrary precomputed dissimilarities — the method
+// behind the paper's Figure 1, which clusters 5,000 news-event cascades
+// by the Jaccard index of their reporting-site sets and displays the
+// resulting dendrogram with Ward distances at the inner nodes.
+//
+// The implementation uses the nearest-neighbor-chain algorithm, which is
+// O(n^2) time and memory for reducible linkages such as Ward, so
+// paper-scale inputs (thousands of cascades) cluster in seconds.
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"viralcast/internal/cascade"
+)
+
+// rawMerge is an agglomeration in NN-chain discovery order, before
+// height-sorting and relabeling.
+type rawMerge struct {
+	a, b   int // representative slots at merge time
+	height float64
+}
+
+// Merge records one agglomeration step: clusters A and B (ids, see
+// Dendrogram) merge at the given Ward Height into a cluster of Size
+// original observations.
+type Merge struct {
+	A, B   int
+	Height float64
+	Size   int
+}
+
+// Dendrogram is the full merge tree of n observations. Leaves have ids
+// 0..n-1; the cluster created by Merges[i] has id n+i (the scipy linkage
+// convention). Merges are sorted by non-decreasing height.
+type Dendrogram struct {
+	N      int
+	Merges []Merge
+}
+
+// Jaccard returns the Jaccard similarity |a∩b| / |a∪b| of two node sets
+// (paper Eq. 1); empty∪empty is defined as similarity 1.
+func Jaccard(a, b map[int]bool) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	small, large := a, b
+	if len(small) > len(large) {
+		small, large = large, small
+	}
+	inter := 0
+	for k := range small {
+		if large[k] {
+			inter++
+		}
+	}
+	union := len(a) + len(b) - inter
+	return float64(inter) / float64(union)
+}
+
+// CascadeDistances builds the condensed pairwise distance matrix between
+// cascades, using 1 - Jaccard(reporting sets) — cascades reported by the
+// same sites are close.
+func CascadeDistances(cs []*cascade.Cascade) *DistanceMatrix {
+	sets := make([]map[int]bool, len(cs))
+	for i, c := range cs {
+		sets[i] = c.NodeSet()
+	}
+	dm := NewDistanceMatrix(len(cs))
+	for i := 0; i < len(cs); i++ {
+		for j := i + 1; j < len(cs); j++ {
+			dm.Set(i, j, 1-Jaccard(sets[i], sets[j]))
+		}
+	}
+	return dm
+}
+
+// DistanceMatrix stores the condensed upper triangle of an n x n
+// symmetric dissimilarity matrix.
+type DistanceMatrix struct {
+	n    int
+	data []float64
+}
+
+// NewDistanceMatrix allocates a zeroed matrix over n observations.
+func NewDistanceMatrix(n int) *DistanceMatrix {
+	if n < 1 {
+		panic(fmt.Sprintf("cluster: NewDistanceMatrix needs n >= 1, got %d", n))
+	}
+	return &DistanceMatrix{n: n, data: make([]float64, n*(n-1)/2)}
+}
+
+// N returns the number of observations.
+func (d *DistanceMatrix) N() int { return d.n }
+
+func (d *DistanceMatrix) idx(i, j int) int {
+	if i == j {
+		panic("cluster: diagonal access")
+	}
+	if i > j {
+		i, j = j, i
+	}
+	// Condensed index for the upper triangle, row-major.
+	return i*d.n - i*(i+1)/2 + (j - i - 1)
+}
+
+// At returns the dissimilarity between observations i and j.
+func (d *DistanceMatrix) At(i, j int) float64 { return d.data[d.idx(i, j)] }
+
+// Set assigns the dissimilarity between observations i and j.
+func (d *DistanceMatrix) Set(i, j int, v float64) { d.data[d.idx(i, j)] = v }
+
+// Ward clusters the observations of dm bottom-up with Ward linkage,
+// returning the dendrogram. dm is consumed: its entries are overwritten
+// during the run.
+func Ward(dm *DistanceMatrix) *Dendrogram {
+	n := dm.N()
+	// Work on squared dissimilarities; the Lance-Williams recurrence for
+	// Ward is exact on squares, and heights are reported back as roots.
+	for i := range dm.data {
+		dm.data[i] *= dm.data[i]
+	}
+	size := make([]int, n)
+	for i := range size {
+		size[i] = 1
+	}
+	active := make([]bool, n)
+	for i := range active {
+		active[i] = true
+	}
+	var raw []rawMerge
+	// members[slot] tracks which original leaf slots belong to the
+	// cluster currently represented by slot, for dendrogram relabeling.
+	chain := make([]int, 0, n)
+	remaining := n
+	for remaining > 1 {
+		if len(chain) == 0 {
+			for i := 0; i < n; i++ {
+				if active[i] {
+					chain = append(chain, i)
+					break
+				}
+			}
+		}
+		for {
+			tip := chain[len(chain)-1]
+			// Nearest active neighbor of tip.
+			best, bestD := -1, 0.0
+			for j := 0; j < n; j++ {
+				if !active[j] || j == tip {
+					continue
+				}
+				d := dm.At(tip, j)
+				if best == -1 || d < bestD || (d == bestD && j < best) {
+					best, bestD = j, d
+				}
+			}
+			if len(chain) >= 2 && best == chain[len(chain)-2] {
+				// Reciprocal nearest neighbors: merge tip and best.
+				a, b := tip, best
+				chain = chain[:len(chain)-2]
+				raw = append(raw, rawMerge{a: a, b: b, height: bestD})
+				// Lance-Williams Ward update into slot a.
+				na, nb := float64(size[a]), float64(size[b])
+				for k := 0; k < n; k++ {
+					if !active[k] || k == a || k == b {
+						continue
+					}
+					nk := float64(size[k])
+					dak, dbk, dab := dm.At(a, k), dm.At(b, k), dm.At(a, b)
+					newD := ((na+nk)*dak + (nb+nk)*dbk - nk*dab) / (na + nb + nk)
+					dm.Set(a, k, newD)
+				}
+				size[a] += size[b]
+				active[b] = false
+				remaining--
+				break
+			}
+			chain = append(chain, best)
+		}
+	}
+	return assemble(n, raw)
+}
+
+// assemble sorts raw merges by height and relabels them into the
+// standard dendrogram id scheme (Ward is reducible, so sorted heights
+// yield a valid monotone dendrogram).
+func assemble(n int, raw []rawMerge) *Dendrogram {
+	sort.SliceStable(raw, func(i, j int) bool { return raw[i].height < raw[j].height })
+	// Union-find over slots: find the current cluster id of a slot.
+	clusterOf := make([]int, n) // slot -> current dendrogram id
+	sizeOf := map[int]int{}
+	for i := 0; i < n; i++ {
+		clusterOf[i] = i
+		sizeOf[i] = 1
+	}
+	// parent of slot for find: we track per-slot current cluster directly;
+	// when clusters merge we must update all slots, so use union-find.
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	d := &Dendrogram{N: n}
+	for i, m := range raw {
+		ra, rb := find(m.a), find(m.b)
+		ca, cb := clusterOf[ra], clusterOf[rb]
+		newID := n + i
+		sz := sizeOf[ca] + sizeOf[cb]
+		d.Merges = append(d.Merges, Merge{A: ca, B: cb, Height: sqrtNonneg(m.height), Size: sz})
+		parent[rb] = ra
+		clusterOf[ra] = newID
+		sizeOf[newID] = sz
+	}
+	return d
+}
+
+func sqrtNonneg(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Sqrt(x)
+}
+
+// Cut returns the flat clustering with exactly k clusters: the k-1
+// highest merges are undone. The result maps each observation to a
+// cluster id in [0, k).
+func (d *Dendrogram) Cut(k int) ([]int, error) {
+	if k < 1 || k > d.N {
+		return nil, fmt.Errorf("cluster: cannot cut %d observations into %d clusters", d.N, k)
+	}
+	parent := make([]int, d.N)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	// Apply merges in height order until only k clusters remain. Merge
+	// ids >= N refer to prior merges; track a representative leaf for
+	// each cluster id.
+	rep := make(map[int]int, d.N)
+	for i := 0; i < d.N; i++ {
+		rep[i] = i
+	}
+	applied := d.N - k
+	for i := 0; i < applied; i++ {
+		m := d.Merges[i]
+		ra, rb := find(rep[m.A]), find(rep[m.B])
+		parent[rb] = ra
+		rep[d.N+i] = ra
+	}
+	// Densely renumber roots.
+	ids := map[int]int{}
+	out := make([]int, d.N)
+	for i := 0; i < d.N; i++ {
+		r := find(i)
+		id, ok := ids[r]
+		if !ok {
+			id = len(ids)
+			ids[r] = id
+		}
+		out[i] = id
+	}
+	if len(ids) != k {
+		return nil, fmt.Errorf("cluster: cut produced %d clusters, want %d", len(ids), k)
+	}
+	return out, nil
+}
+
+// TopMerges returns the m highest merges (the inner nodes Figure 1
+// annotates with Ward distance and cluster size), highest first.
+func (d *Dendrogram) TopMerges(m int) []Merge {
+	if m > len(d.Merges) {
+		m = len(d.Merges)
+	}
+	out := make([]Merge, m)
+	for i := 0; i < m; i++ {
+		out[i] = d.Merges[len(d.Merges)-1-i]
+	}
+	return out
+}

@@ -1,0 +1,81 @@
+// Package cooccur builds the frequent co-occurrence graph that drives the
+// paper's community-based parallelization (§IV-B): for nodes u and v, the
+// directed edge weight is
+//
+//	w(u,v) = 2*c(u,v) / (c(u) + c(v))
+//
+// where c(u) is the number of cascades containing u and c(u,v) the number
+// of cascades in which u is infected before v. Weights lie in [0,1].
+package cooccur
+
+import (
+	"fmt"
+
+	"viralcast/internal/cascade"
+	"viralcast/internal/graph"
+)
+
+// Options tunes graph construction.
+type Options struct {
+	// MinPairCount drops edges whose raw co-occurrence count c(u,v) is
+	// below this value; 0 or 1 keeps everything. Large cascade sets
+	// benefit from pruning rare co-occurrences before community detection.
+	MinPairCount int
+	// MaxCascadeSize skips counting pairs within cascades longer than
+	// this, protecting against the O(s^2) pair blow-up of a handful of
+	// giant cascades. 0 means no limit.
+	MaxCascadeSize int
+}
+
+// Build constructs the co-occurrence graph over n nodes from the given
+// cascades.
+func Build(cs []*cascade.Cascade, n int, opt Options) (*graph.Graph, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("cooccur: n must be positive, got %d", n)
+	}
+	nodeCount := make([]int, n)   // c(u)
+	pairCount := map[[2]int]int{} // c(u,v), u infected before v
+	for _, c := range cs {
+		if err := c.Validate(n); err != nil {
+			return nil, fmt.Errorf("cooccur: %w", err)
+		}
+		for _, inf := range c.Infections {
+			nodeCount[inf.Node]++
+		}
+		if opt.MaxCascadeSize > 0 && c.Size() > opt.MaxCascadeSize {
+			continue
+		}
+		infs := c.Infections
+		for i := 0; i < len(infs); i++ {
+			for j := i + 1; j < len(infs); j++ {
+				pairCount[[2]int{infs[i].Node, infs[j].Node}]++
+			}
+		}
+	}
+	b := graph.NewBuilder(n)
+	for pair, cnt := range pairCount {
+		if opt.MinPairCount > 1 && cnt < opt.MinPairCount {
+			continue
+		}
+		u, v := pair[0], pair[1]
+		w := 2 * float64(cnt) / float64(nodeCount[u]+nodeCount[v])
+		if err := b.AddEdge(u, v, w); err != nil {
+			return nil, fmt.Errorf("cooccur: %w", err)
+		}
+	}
+	return b.Build(), nil
+}
+
+// NodeCounts returns c(u) for every node: the number of cascades that
+// contain it.
+func NodeCounts(cs []*cascade.Cascade, n int) []int {
+	counts := make([]int, n)
+	for _, c := range cs {
+		for _, inf := range c.Infections {
+			if inf.Node >= 0 && inf.Node < n {
+				counts[inf.Node]++
+			}
+		}
+	}
+	return counts
+}

@@ -1,0 +1,300 @@
+// Package core ties the paper's pieces into one end-to-end system: fit
+// topic-specific influence/selectivity embeddings from observed cascades
+// with the community-parallel hierarchical algorithm, then predict the
+// virality of new cascades from their early adopters. The root-level
+// viralcast package re-exports this API for library consumers; the
+// pieces (simulator, inference, clustering, metrics) remain individually
+// usable through their own packages.
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"viralcast/internal/cascade"
+	"viralcast/internal/embed"
+	"viralcast/internal/eval"
+	"viralcast/internal/features"
+	"viralcast/internal/infer"
+	"viralcast/internal/inflmax"
+	"viralcast/internal/slpa"
+	"viralcast/internal/svm"
+	"viralcast/internal/xrand"
+)
+
+// TrainConfig bundles every knob of the end-to-end training pipeline.
+// The zero value is completed by sensible defaults.
+type TrainConfig struct {
+	// Topics is the latent dimension K of the embeddings.
+	Topics int
+	// MaxIter bounds gradient-ascent epochs per hierarchy level.
+	MaxIter int
+	// Workers bounds how many communities are optimized concurrently.
+	Workers int
+	// Q stops the community hierarchy when at most Q communities remain;
+	// Q <= 1 ends with a full sequential polish.
+	Q int
+	// Seed makes the whole pipeline deterministic.
+	Seed uint64
+}
+
+func (c TrainConfig) withDefaults() TrainConfig {
+	if c.Topics <= 0 {
+		c.Topics = 4
+	}
+	if c.MaxIter <= 0 {
+		c.MaxIter = 30
+	}
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.Q < 1 {
+		c.Q = 1
+	}
+	return c
+}
+
+// System is a fitted instance of the paper's framework.
+type System struct {
+	N          int
+	Embeddings *embed.Model
+	Partition  *slpa.Partition
+	Trace      *infer.Trace
+	cfg        TrainConfig
+}
+
+// Train fits the system on observed cascades over n nodes.
+func Train(cs []*cascade.Cascade, n int, cfg TrainConfig) (*System, error) {
+	cfg = cfg.withDefaults()
+	if n <= 0 {
+		return nil, fmt.Errorf("core: n must be positive, got %d", n)
+	}
+	if len(cs) == 0 {
+		return nil, fmt.Errorf("core: no training cascades")
+	}
+	inferCfg := infer.Config{K: cfg.Topics, MaxIter: cfg.MaxIter, Seed: cfg.Seed}
+	m, part, tr, err := infer.Pipeline(cs, n, inferCfg, infer.PipelineOptions{
+		Parallel: infer.ParallelOptions{Workers: cfg.Workers, Q: cfg.Q},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &System{N: n, Embeddings: m, Partition: part, Trace: tr, cfg: cfg}, nil
+}
+
+// Update refines the fitted embeddings on newly observed cascades
+// without a full refit — the online regime for tracking breaking news.
+// Predictors trained before an Update keep their old embeddings' view;
+// retrain them to pick up the refinement.
+func (s *System) Update(newCascades []*cascade.Cascade) error {
+	if len(newCascades) == 0 {
+		return fmt.Errorf("core: no cascades to update with")
+	}
+	_, err := infer.Refine(s.Embeddings, newCascades, infer.Config{
+		K: s.cfg.Topics, MaxIter: s.cfg.MaxIter, Seed: s.cfg.Seed,
+	})
+	return err
+}
+
+// SaveEmbeddings writes the fitted model in the library's CSV format.
+func (s *System) SaveEmbeddings(w io.Writer) error {
+	return s.Embeddings.Write(w)
+}
+
+// LoadSystem rebuilds a System from saved embeddings. The community
+// partition is not persisted (it is a training-time artifact); the
+// loaded system supports every inference-time operation — influencers,
+// features, predictors, updates.
+func LoadSystem(r io.Reader, cfg TrainConfig) (*System, error) {
+	cfg = cfg.withDefaults()
+	m, err := embed.Read(r)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Topics != m.K() {
+		cfg.Topics = m.K()
+	}
+	return &System{N: m.N(), Embeddings: m, cfg: cfg}, nil
+}
+
+// Influence returns node u's influence vector (a copy).
+func (s *System) Influence(u int) []float64 {
+	return append([]float64(nil), s.Embeddings.A.Row(u)...)
+}
+
+// Selectivity returns node u's selectivity vector (a copy).
+func (s *System) Selectivity(u int) []float64 {
+	return append([]float64(nil), s.Embeddings.B.Row(u)...)
+}
+
+// Rate returns the inferred hazard rate of u infecting v.
+func (s *System) Rate(u, v int) float64 { return s.Embeddings.Rate(u, v) }
+
+// Influencer is one node ranked by total influence mass.
+type Influencer struct {
+	Node      int
+	Score     float64 // sum of the influence vector
+	TopTopic  int     // topic with the largest influence component
+	TopWeight float64 // that component's value
+}
+
+// TopInfluencers ranks nodes by total inferred influence — the paper's
+// "identification of the significant influencers" application.
+func (s *System) TopInfluencers(k int) []Influencer {
+	out := make([]Influencer, 0, s.N)
+	for u := 0; u < s.N; u++ {
+		row := s.Embeddings.A.Row(u)
+		var sum, best float64
+		bestK := 0
+		for ki, v := range row {
+			sum += v
+			if v > best {
+				best, bestK = v, ki
+			}
+		}
+		out = append(out, Influencer{Node: u, Score: sum, TopTopic: bestK, TopWeight: best})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Node < out[j].Node
+	})
+	if k < len(out) {
+		out = out[:k]
+	}
+	return out
+}
+
+// Seed describes one node chosen by SelectSeeds with its marginal and
+// cumulative expected coverage.
+type Seed = inflmax.Result
+
+// SelectSeeds chooses up to k nodes that maximize the expected number of
+// nodes reached within the horizon under the fitted embeddings (lazy
+// greedy with the (1-1/e) guarantee) — the influence-maximization
+// application of Kempe et al., run on inferred rather than known
+// parameters.
+func (s *System) SelectSeeds(k int, horizon float64) ([]Seed, error) {
+	return inflmax.Greedy(s.Embeddings, horizon, k, nil)
+}
+
+// ExpectedCoverage evaluates the same objective for an explicit seed set.
+func (s *System) ExpectedCoverage(seeds []int, horizon float64) (float64, error) {
+	return inflmax.Coverage(s.Embeddings, horizon, seeds)
+}
+
+// Features extracts the early-adopter features of a (possibly partial)
+// cascade under the fitted embeddings.
+func (s *System) Features(early *cascade.Cascade) (features.Set, error) {
+	return features.Extract(s.Embeddings, early)
+}
+
+// Predictor is a trained virality classifier on top of a fitted System.
+type Predictor struct {
+	system    *System
+	std       *svm.Standardizer
+	model     *svm.Model
+	threshold int
+	early     float64
+	names     []string
+}
+
+// TrainPredictor fits the paper's linear-SVM virality classifier:
+// cascades whose final size reaches sizeThreshold are the positive
+// class; earlyCutoff bounds the visible early-adopter prefix.
+func (s *System) TrainPredictor(cs []*cascade.Cascade, earlyCutoff float64, sizeThreshold int) (*Predictor, error) {
+	if earlyCutoff <= 0 {
+		return nil, fmt.Errorf("core: earlyCutoff must be positive, got %v", earlyCutoff)
+	}
+	sets, sizes, err := features.ExtractAll(s.Embeddings, cs, earlyCutoff)
+	if err != nil {
+		return nil, err
+	}
+	if len(sets) < 10 {
+		return nil, fmt.Errorf("core: only %d usable cascades for predictor training", len(sets))
+	}
+	names := []string{"diverA", "normA", "maxA"}
+	x := make([][]float64, len(sets))
+	for i, fs := range sets {
+		row, err := fs.Select(names)
+		if err != nil {
+			return nil, err
+		}
+		x[i] = row
+	}
+	y := eval.LabelsBySizeThreshold(sizes, sizeThreshold)
+	pos := 0
+	for _, l := range y {
+		if l == 1 {
+			pos++
+		}
+	}
+	if pos == 0 || pos == len(y) {
+		return nil, fmt.Errorf("core: threshold %d yields a single-class training set", sizeThreshold)
+	}
+	std, err := svm.FitStandardizer(x)
+	if err != nil {
+		return nil, err
+	}
+	model, err := svm.TrainBestF1(std.Apply(x), y, svm.Options{
+		Seed: s.cfg.Seed + 1, Epochs: 60,
+	}, nil, xrand.New(s.cfg.Seed+2))
+	if err != nil {
+		return nil, err
+	}
+	return &Predictor{
+		system: s, std: std, model: model,
+		threshold: sizeThreshold, early: earlyCutoff, names: names,
+	}, nil
+}
+
+// Threshold returns the size threshold the predictor was trained for.
+func (p *Predictor) Threshold() int { return p.threshold }
+
+// PredictViral reports whether the cascade's early prefix (everything up
+// to the predictor's early cutoff) signals a final size at or above the
+// training threshold, along with the classifier margin.
+func (p *Predictor) PredictViral(c *cascade.Cascade) (bool, float64, error) {
+	early := c.Prefix(p.early)
+	if early.Size() == 0 {
+		return false, 0, fmt.Errorf("core: cascade %d has no infections before the early cutoff %v", c.ID, p.early)
+	}
+	fs, err := p.system.Features(early)
+	if err != nil {
+		return false, 0, err
+	}
+	row, err := fs.Select(p.names)
+	if err != nil {
+		return false, 0, err
+	}
+	margin := p.model.Decision(p.std.Apply([][]float64{row})[0])
+	return margin >= 0, margin, nil
+}
+
+// Evaluate scores the predictor on labeled cascades and returns the
+// confusion matrix.
+func (p *Predictor) Evaluate(cs []*cascade.Cascade) (eval.Confusion, error) {
+	var truth, pred []int
+	for _, c := range cs {
+		viral, _, err := p.PredictViral(c)
+		if err != nil {
+			continue // cascades starting after the cutoff are unusable
+		}
+		if c.Size() >= p.threshold {
+			truth = append(truth, 1)
+		} else {
+			truth = append(truth, -1)
+		}
+		if viral {
+			pred = append(pred, 1)
+		} else {
+			pred = append(pred, -1)
+		}
+	}
+	if len(truth) == 0 {
+		return eval.Confusion{}, fmt.Errorf("core: no evaluable cascades")
+	}
+	return eval.Confuse(truth, pred)
+}

@@ -1,0 +1,325 @@
+package embed
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"viralcast/internal/cascade"
+	"viralcast/internal/vecmath"
+	"viralcast/internal/xrand"
+)
+
+func randModel(n, k int, seed uint64) *Model {
+	m := NewModel(n, k)
+	m.InitUniform(xrand.New(seed), 0.2, 1.0)
+	return m
+}
+
+func randCascade(id, n, size int, rng *xrand.RNG) *cascade.Cascade {
+	perm := rng.Perm(n)
+	c := &cascade.Cascade{ID: id}
+	tm := 0.0
+	for i := 0; i < size && i < n; i++ {
+		tm += 0.1 + rng.Float64()
+		c.Infections = append(c.Infections, cascade.Infection{Node: perm[i], Time: tm})
+	}
+	return c
+}
+
+func TestNewModelPanics(t *testing.T) {
+	for _, dims := range [][2]int{{0, 1}, {1, 0}, {-1, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewModel(%v) did not panic", dims)
+				}
+			}()
+			NewModel(dims[0], dims[1])
+		}()
+	}
+}
+
+func TestInitUniformRange(t *testing.T) {
+	m := NewModel(10, 3)
+	m.InitUniform(xrand.New(1), 0.5, 2.0)
+	for _, v := range append(append([]float64(nil), m.A.Data...), m.B.Data...) {
+		if v < 0.5 || v >= 2.0 {
+			t.Fatalf("InitUniform out of range: %v", v)
+		}
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateDetectsBadModels(t *testing.T) {
+	m := randModel(4, 2, 1)
+	m.A.Set(0, 0, -1)
+	if err := m.Validate(); err == nil {
+		t.Error("negative entry accepted")
+	}
+	m = randModel(4, 2, 1)
+	m.B.Set(0, 0, math.NaN())
+	if err := m.Validate(); err == nil {
+		t.Error("NaN entry accepted")
+	}
+	m = randModel(4, 2, 1)
+	m.B = vecmath.NewMatrix(4, 3)
+	if err := m.Validate(); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+}
+
+func TestRate(t *testing.T) {
+	m := NewModel(2, 2)
+	m.A.Set(0, 0, 2)
+	m.A.Set(0, 1, 3)
+	m.B.Set(1, 0, 5)
+	m.B.Set(1, 1, 7)
+	if got := m.Rate(0, 1); got != 2*5+3*7 {
+		t.Fatalf("Rate = %v", got)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	m := randModel(3, 2, 2)
+	c := m.Clone()
+	c.A.Set(0, 0, 99)
+	if m.A.At(0, 0) == 99 {
+		t.Fatal("Clone aliases storage")
+	}
+}
+
+// Brute-force likelihood straight from Eq. 8 for cross-checking the
+// linear-time implementation.
+func bruteLogLik(m *Model, c *cascade.Cascade) float64 {
+	var ll float64
+	for i, v := range c.Infections {
+		if i == 0 {
+			continue
+		}
+		var sumRate, sumSurv float64
+		for j := 0; j < i; j++ {
+			l := c.Infections[j]
+			r := m.Rate(l.Node, v.Node)
+			sumSurv += (l.Time - v.Time) * r
+			sumRate += r
+		}
+		if sumRate < EpsRate {
+			sumRate = EpsRate
+		}
+		ll += sumSurv + math.Log(sumRate)
+	}
+	return ll
+}
+
+func TestLogLikMatchesBruteForce(t *testing.T) {
+	rng := xrand.New(3)
+	m := randModel(20, 4, 4)
+	for trial := 0; trial < 50; trial++ {
+		c := randCascade(trial, 20, 2+rng.Intn(15), rng)
+		fast := m.LogLik(c)
+		slow := bruteLogLik(m, c)
+		if math.Abs(fast-slow) > 1e-9*(1+math.Abs(slow)) {
+			t.Fatalf("trial %d: fast %v != brute %v", trial, fast, slow)
+		}
+	}
+}
+
+func TestLogLikTrivialCascades(t *testing.T) {
+	m := randModel(5, 2, 5)
+	if m.LogLik(&cascade.Cascade{}) != 0 {
+		t.Error("empty cascade loglik != 0")
+	}
+	single := &cascade.Cascade{Infections: []cascade.Infection{{Node: 2, Time: 0}}}
+	if m.LogLik(single) != 0 {
+		t.Error("singleton cascade loglik != 0")
+	}
+}
+
+func TestLogLikAll(t *testing.T) {
+	m := randModel(10, 2, 6)
+	rng := xrand.New(7)
+	cs := []*cascade.Cascade{randCascade(0, 10, 4, rng), randCascade(1, 10, 6, rng)}
+	want := m.LogLik(cs[0]) + m.LogLik(cs[1])
+	if got := m.LogLikAll(cs); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("LogLikAll = %v, want %v", got, want)
+	}
+}
+
+// The decisive test: analytic gradient vs central finite differences, for
+// both A and B, on random models and cascades.
+func TestGradientMatchesFiniteDifferences(t *testing.T) {
+	rng := xrand.New(8)
+	const n, k = 12, 3
+	for trial := 0; trial < 10; trial++ {
+		m := randModel(n, k, uint64(100+trial))
+		c := randCascade(trial, n, 3+rng.Intn(8), rng)
+		dA := vecmath.NewMatrix(n, k)
+		dB := vecmath.NewMatrix(n, k)
+		ws := NewGradWorkspace(k)
+		m.AccumGrad(c, dA, dB, ws)
+		const eps = 1e-6
+		check := func(mat *vecmath.Matrix, grad *vecmath.Matrix, name string) {
+			for i := 0; i < n; i++ {
+				for j := 0; j < k; j++ {
+					orig := mat.At(i, j)
+					mat.Set(i, j, orig+eps)
+					up := m.LogLik(c)
+					mat.Set(i, j, orig-eps)
+					down := m.LogLik(c)
+					mat.Set(i, j, orig)
+					fd := (up - down) / (2 * eps)
+					an := grad.At(i, j)
+					if math.Abs(fd-an) > 1e-4*(1+math.Abs(fd)) {
+						t.Fatalf("trial %d %s[%d,%d]: analytic %v, finite-diff %v",
+							trial, name, i, j, an, fd)
+					}
+				}
+			}
+		}
+		check(m.A, dA, "A")
+		check(m.B, dB, "B")
+	}
+}
+
+func TestAccumGradAccumulates(t *testing.T) {
+	// Calling AccumGrad twice must add the gradient twice.
+	m := randModel(8, 2, 9)
+	c := randCascade(0, 8, 5, xrand.New(10))
+	d1A, d1B := vecmath.NewMatrix(8, 2), vecmath.NewMatrix(8, 2)
+	ws := NewGradWorkspace(2)
+	m.AccumGrad(c, d1A, d1B, ws)
+	d2A, d2B := vecmath.NewMatrix(8, 2), vecmath.NewMatrix(8, 2)
+	m.AccumGrad(c, d2A, d2B, ws)
+	m.AccumGrad(c, d2A, d2B, ws)
+	for i := range d1A.Data {
+		if math.Abs(d2A.Data[i]-2*d1A.Data[i]) > 1e-12 {
+			t.Fatal("AccumGrad does not accumulate dA")
+		}
+		if math.Abs(d2B.Data[i]-2*d1B.Data[i]) > 1e-12 {
+			t.Fatal("AccumGrad does not accumulate dB")
+		}
+	}
+}
+
+func TestAccumGradShortCascades(t *testing.T) {
+	m := randModel(4, 2, 11)
+	dA, dB := vecmath.NewMatrix(4, 2), vecmath.NewMatrix(4, 2)
+	ws := NewGradWorkspace(2)
+	m.AccumGrad(&cascade.Cascade{}, dA, dB, ws)
+	m.AccumGrad(&cascade.Cascade{Infections: []cascade.Infection{{Node: 1, Time: 0}}}, dA, dB, ws)
+	for _, v := range append(append([]float64(nil), dA.Data...), dB.Data...) {
+		if v != 0 {
+			t.Fatal("short cascades must contribute zero gradient")
+		}
+	}
+}
+
+// Property: the likelihood is invariant under relabeling node ids, because
+// it depends only on the embedding rows in infection order.
+func TestLogLikRelabelInvariance(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		const n, k = 10, 2
+		m := randModel(n, k, seed^0xabc)
+		c := randCascade(0, n, 2+rng.Intn(8), rng)
+		base := m.LogLik(c)
+		// Relabel: permute node ids and permute model rows accordingly.
+		perm := rng.Perm(n)
+		m2 := NewModel(n, k)
+		for u := 0; u < n; u++ {
+			copy(m2.A.Row(perm[u]), m.A.Row(u))
+			copy(m2.B.Row(perm[u]), m.B.Row(u))
+		}
+		c2 := &cascade.Cascade{ID: c.ID}
+		for _, inf := range c.Infections {
+			c2.Infections = append(c2.Infections, cascade.Infection{Node: perm[inf.Node], Time: inf.Time})
+		}
+		rel := m2.LogLik(c2)
+		return math.Abs(base-rel) <= 1e-9*(1+math.Abs(base))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: scaling all A rows by s and all B rows by 1/s leaves every
+// hazard rate, and hence the likelihood, unchanged (the model's gauge
+// freedom).
+func TestLogLikGaugeInvariance(t *testing.T) {
+	rng := xrand.New(12)
+	m := randModel(8, 3, 13)
+	c := randCascade(0, 8, 6, rng)
+	base := m.LogLik(c)
+	s := 2.5
+	m2 := m.Clone()
+	vecmath.Scale(s, m2.A.Data)
+	vecmath.Scale(1/s, m2.B.Data)
+	if got := m2.LogLik(c); math.Abs(got-base) > 1e-9*(1+math.Abs(base)) {
+		t.Fatalf("gauge transform changed loglik: %v vs %v", got, base)
+	}
+}
+
+func TestGradientAscentImprovesLikelihood(t *testing.T) {
+	// A few small projected-gradient steps must increase the likelihood.
+	rng := xrand.New(14)
+	m := randModel(10, 2, 15)
+	var cs []*cascade.Cascade
+	for i := 0; i < 5; i++ {
+		cs = append(cs, randCascade(i, 10, 6, rng))
+	}
+	before := m.LogLikAll(cs)
+	ws := NewGradWorkspace(2)
+	for step := 0; step < 20; step++ {
+		dA, dB := vecmath.NewMatrix(10, 2), vecmath.NewMatrix(10, 2)
+		for _, c := range cs {
+			m.AccumGrad(c, dA, dB, ws)
+		}
+		vecmath.Axpy(1e-3, dA.Data, m.A.Data)
+		vecmath.Axpy(1e-3, dB.Data, m.B.Data)
+		m.A.ProjectNonneg()
+		m.B.ProjectNonneg()
+	}
+	after := m.LogLikAll(cs)
+	if after <= before {
+		t.Fatalf("gradient ascent did not improve loglik: %v -> %v", before, after)
+	}
+}
+
+func TestRecoveryError(t *testing.T) {
+	m := randModel(5, 2, 16)
+	if m.RecoveryError(m, [][2]int{{0, 1}, {2, 3}}) != 0 {
+		t.Fatal("self recovery error must be 0")
+	}
+	if m.RecoveryError(m, nil) != 0 {
+		t.Fatal("empty pairs must give 0")
+	}
+	o := randModel(5, 2, 17)
+	if m.RecoveryError(o, [][2]int{{0, 1}}) <= 0 {
+		t.Fatal("different models must have positive recovery error")
+	}
+}
+
+func BenchmarkLogLik(b *testing.B) {
+	m := randModel(1000, 8, 1)
+	c := randCascade(0, 1000, 200, xrand.New(2))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.LogLik(c)
+	}
+}
+
+func BenchmarkAccumGrad(b *testing.B) {
+	m := randModel(1000, 8, 1)
+	c := randCascade(0, 1000, 200, xrand.New(2))
+	dA, dB := vecmath.NewMatrix(1000, 8), vecmath.NewMatrix(1000, 8)
+	ws := NewGradWorkspace(8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.AccumGrad(c, dA, dB, ws)
+	}
+}

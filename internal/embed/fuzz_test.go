@@ -1,0 +1,38 @@
+package embed
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead ensures the model parser never panics and that accepted
+// models are valid and roundtrip exactly.
+func FuzzRead(f *testing.F) {
+	f.Add("node,kind,topic0\n0,0,1\n0,1,0.5\n")
+	f.Add("node,kind,topic0,topic1\n0,0,1,2\n0,1,3,4\n1,0,0,0\n1,1,0,0\n")
+	f.Add("node,kind,topic0\n0,0,-1\n0,1,1\n")
+	f.Add("garbage\n")
+	f.Add("node,kind,topic0\n0,0,1\n")
+	f.Add("node,kind,topic0\n0,0,NaN\n0,1,1\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		m, err := Read(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("Read accepted an invalid model: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := m.Write(&buf); err != nil {
+			t.Fatalf("Write failed: %v", err)
+		}
+		again, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("reparse failed: %v", err)
+		}
+		if m.A.FrobeniusDist(again.A) != 0 || m.B.FrobeniusDist(again.B) != 0 {
+			t.Fatal("roundtrip not exact")
+		}
+	})
+}

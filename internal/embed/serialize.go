@@ -1,0 +1,137 @@
+package embed
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Write encodes the model as CSV with a header row:
+//
+//	node,kind,topic0,topic1,...
+//
+// where kind 0 rows carry the influence vector A[node] and kind 1 rows
+// the selectivity vector B[node]. Read decodes it.
+func (m *Model) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "node,kind"); err != nil {
+		return err
+	}
+	for k := 0; k < m.K(); k++ {
+		if _, err := fmt.Fprintf(bw, ",topic%d", k); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(bw); err != nil {
+		return err
+	}
+	writeRow := func(node, kind int, row []float64) error {
+		if _, err := fmt.Fprintf(bw, "%d,%d", node, kind); err != nil {
+			return err
+		}
+		for _, v := range row {
+			if _, err := fmt.Fprintf(bw, ",%s", strconv.FormatFloat(v, 'g', -1, 64)); err != nil {
+				return err
+			}
+		}
+		_, err := fmt.Fprintln(bw)
+		return err
+	}
+	for u := 0; u < m.N(); u++ {
+		if err := writeRow(u, 0, m.A.Row(u)); err != nil {
+			return err
+		}
+		if err := writeRow(u, 1, m.B.Row(u)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read decodes a model written by Write. It validates completeness:
+// every node in [0, n) must appear with both an A row and a B row, where
+// n is one plus the largest node id seen.
+func Read(r io.Reader) (*Model, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("embed: empty model file")
+	}
+	header := strings.Split(strings.TrimSpace(sc.Text()), ",")
+	if len(header) < 3 || header[0] != "node" || header[1] != "kind" {
+		return nil, fmt.Errorf("embed: bad header %q", sc.Text())
+	}
+	k := len(header) - 2
+	type rowKey struct{ node, kind int }
+	rows := map[rowKey][]float64{}
+	maxNode := -1
+	lineNo := 1
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		parts := strings.Split(line, ",")
+		if len(parts) != k+2 {
+			return nil, fmt.Errorf("embed: line %d has %d fields, want %d", lineNo, len(parts), k+2)
+		}
+		node, err := strconv.Atoi(parts[0])
+		if err != nil || node < 0 {
+			return nil, fmt.Errorf("embed: line %d bad node %q", lineNo, parts[0])
+		}
+		kind, err := strconv.Atoi(parts[1])
+		if err != nil || (kind != 0 && kind != 1) {
+			return nil, fmt.Errorf("embed: line %d bad kind %q", lineNo, parts[1])
+		}
+		vec := make([]float64, k)
+		for i, p := range parts[2:] {
+			v, err := strconv.ParseFloat(p, 64)
+			if err != nil {
+				return nil, fmt.Errorf("embed: line %d bad value %q", lineNo, p)
+			}
+			vec[i] = v
+		}
+		key := rowKey{node, kind}
+		if _, dup := rows[key]; dup {
+			return nil, fmt.Errorf("embed: line %d duplicates node %d kind %d", lineNo, node, kind)
+		}
+		rows[key] = vec
+		if node > maxNode {
+			maxNode = node
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if maxNode < 0 {
+		return nil, fmt.Errorf("embed: model file has no rows")
+	}
+	n := maxNode + 1
+	m := NewModel(n, k)
+	for u := 0; u < n; u++ {
+		a, okA := rows[rowKey{u, 0}]
+		b, okB := rows[rowKey{u, 1}]
+		if !okA || !okB {
+			return nil, fmt.Errorf("embed: node %d missing %s row", u, missing(okA))
+		}
+		copy(m.A.Row(u), a)
+		copy(m.B.Row(u), b)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("embed: loaded model invalid: %w", err)
+	}
+	return m, nil
+}
+
+func missing(okA bool) string {
+	if okA {
+		return "selectivity (kind 1)"
+	}
+	return "influence (kind 0)"
+}

@@ -1,0 +1,91 @@
+package embed
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"viralcast/internal/xrand"
+)
+
+func TestWriteReadRoundtrip(t *testing.T) {
+	m := NewModel(7, 3)
+	m.InitUniform(xrand.New(1), 0.1, 2.0)
+	var buf bytes.Buffer
+	if err := m.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != 7 || got.K() != 3 {
+		t.Fatalf("shape %dx%d", got.N(), got.K())
+	}
+	if m.A.FrobeniusDist(got.A) != 0 || m.B.FrobeniusDist(got.B) != 0 {
+		t.Fatal("roundtrip not exact")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":          "",
+		"bad header":     "x,y,topic0\n",
+		"no rows":        "node,kind,topic0\n",
+		"field count":    "node,kind,topic0\n0,0,1,2\n",
+		"bad node":       "node,kind,topic0\nx,0,1\n",
+		"negative node":  "node,kind,topic0\n-1,0,1\n",
+		"bad kind":       "node,kind,topic0\n0,7,1\n",
+		"bad value":      "node,kind,topic0\n0,0,zzz\n",
+		"duplicate":      "node,kind,topic0\n0,0,1\n0,0,2\n0,1,1\n",
+		"missing B row":  "node,kind,topic0\n0,0,1\n",
+		"missing A row":  "node,kind,topic0\n0,1,1\n",
+		"gap in ids":     "node,kind,topic0\n0,0,1\n0,1,1\n2,0,1\n2,1,1\n",
+		"negative entry": "node,kind,topic0\n0,0,-5\n0,1,1\n",
+	}
+	for name, in := range cases {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestReadSkipsBlankLines(t *testing.T) {
+	in := "node,kind,topic0\n\n0,0,1.5\n\n0,1,0.25\n"
+	m, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.A.At(0, 0) != 1.5 || m.B.At(0, 0) != 0.25 {
+		t.Fatalf("values wrong: %v %v", m.A.At(0, 0), m.B.At(0, 0))
+	}
+}
+
+// Property: roundtrip is exact for any valid model.
+func TestRoundtripProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		n := 1 + rng.Intn(10)
+		k := 1 + rng.Intn(5)
+		m := NewModel(n, k)
+		for i := range m.A.Data {
+			m.A.Data[i] = rng.Float64() * 10
+		}
+		for i := range m.B.Data {
+			m.B.Data[i] = rng.Float64() * 10
+		}
+		var buf bytes.Buffer
+		if m.Write(&buf) != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		return m.A.FrobeniusDist(got.A) == 0 && m.B.FrobeniusDist(got.B) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

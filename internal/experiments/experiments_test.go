@@ -1,0 +1,513 @@
+package experiments
+
+import (
+	"testing"
+
+	"viralcast/internal/gdelt"
+)
+
+// testSBM is a small but structurally faithful workload.
+func testSBM() SBMExperiment {
+	e := DefaultSBM()
+	e = e.scaled(400, 450)
+	e.MaxIter = 8
+	return e
+}
+
+func testGDELT() gdelt.Config {
+	cfg := gdelt.DefaultConfig()
+	cfg.Sites = 300
+	cfg.Events = 400
+	cfg.MeanDegree = 12
+	cfg.CrossLinks = 50
+	cfg.Seed = 2
+	return cfg
+}
+
+func TestSBMExperimentValidate(t *testing.T) {
+	if err := DefaultSBM().Validate(); err != nil {
+		t.Fatalf("default invalid: %v", err)
+	}
+	bad := DefaultSBM()
+	bad.Train = bad.Cascades
+	if err := bad.Validate(); err == nil {
+		t.Error("Train >= Cascades accepted")
+	}
+	bad = DefaultSBM()
+	bad.EarlyFrac = 1.5
+	if err := bad.Validate(); err == nil {
+		t.Error("EarlyFrac > 1 accepted")
+	}
+}
+
+func TestBuildSBMWorkload(t *testing.T) {
+	w, err := BuildSBMWorkload(testSBM())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Train)+len(w.Test) != 450 {
+		t.Fatalf("split sizes: %d + %d", len(w.Train), len(w.Test))
+	}
+	if err := w.Truth.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if w.EarlyCutoff() <= 0 || w.EarlyCutoff() >= w.Exp.Window {
+		t.Fatalf("EarlyCutoff = %v", w.EarlyCutoff())
+	}
+	// Sizes must be heavy-tailed: some cascade should be much larger than
+	// the median.
+	var max, total int
+	for _, c := range w.Train {
+		if c.Size() > max {
+			max = c.Size()
+		}
+		total += c.Size()
+	}
+	mean := float64(total) / float64(len(w.Train))
+	if float64(max) < 2.5*mean {
+		t.Errorf("no heavy tail: max %d vs mean %.1f", max, mean)
+	}
+}
+
+func TestFigures6to9SmallScale(t *testing.T) {
+	scatter, fig9, err := Figures6to9(testSBM())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scatter.DiverA) == 0 || len(scatter.DiverA) != len(scatter.NormA) {
+		t.Fatalf("scatter sizes: %d / %d", len(scatter.DiverA), len(scatter.NormA))
+	}
+	// The features must carry real signal: positive rank correlation.
+	if scatter.CorrDiverA <= 0.1 || scatter.CorrNormA <= 0.1 || scatter.CorrMaxA <= 0.1 {
+		t.Errorf("weak correlations: %v %v %v",
+			scatter.CorrDiverA, scatter.CorrNormA, scatter.CorrMaxA)
+	}
+	if len(fig9.Thresholds) == 0 || len(fig9.Thresholds) != len(fig9.F1) {
+		t.Fatalf("fig9 thresholds/F1: %d / %d", len(fig9.Thresholds), len(fig9.F1))
+	}
+	// F1 at the lowest threshold must beat F1 at the highest (the paper's
+	// downward-sloping curve).
+	if fig9.F1[0] <= fig9.F1[len(fig9.F1)-1] {
+		t.Errorf("F1 curve not decreasing: %v", fig9.F1)
+	}
+	for _, f := range fig9.F1 {
+		if f < 0 || f > 1 {
+			t.Fatalf("F1 out of range: %v", fig9.F1)
+		}
+	}
+	// Rendering and CSV must not panic and must carry content.
+	if s := scatter.Render(); len(s) < 100 {
+		t.Error("scatter render too short")
+	}
+	if s := fig9.Render(); len(s) < 100 {
+		t.Error("fig9 render too short")
+	}
+	h, rows := fig9.CSV()
+	if len(h) != 2 || len(rows) != len(fig9.Thresholds) {
+		t.Error("fig9 CSV malformed")
+	}
+	h2, rows2 := scatter.CSV()
+	if len(h2) != 4 || len(rows2) != len(scatter.DiverA) {
+		t.Error("scatter CSV malformed")
+	}
+}
+
+func TestFigure1(t *testing.T) {
+	ds, err := gdelt.Generate(testGDELT())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Figure1(ds, 300, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sampled < 50 {
+		t.Fatalf("too few usable cascades: %d", res.Sampled)
+	}
+	if len(res.TopMerges) == 0 {
+		t.Fatal("no merges recorded")
+	}
+	// Cluster sizes must cover all sampled cascades.
+	total := 0
+	for _, s := range res.ClusterSizes {
+		total += s
+	}
+	if total != res.Sampled {
+		t.Fatalf("cluster sizes sum %d != sampled %d", total, res.Sampled)
+	}
+	// Regional structure should make the clustering far better than the
+	// 1/k chance level.
+	if res.RegionPurity < 0.5 {
+		t.Errorf("region purity %.3f too low", res.RegionPurity)
+	}
+	if s := res.Render(); len(s) < 50 {
+		t.Error("render too short")
+	}
+}
+
+func TestFigure2(t *testing.T) {
+	ds, err := gdelt.Generate(testGDELT())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Figure2(ds, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Edges == 0 || res.Nodes == 0 {
+		t.Fatalf("empty backbone: %+v", res)
+	}
+	if res.IntraRegional <= 0.5 {
+		t.Errorf("intra-regional fraction %.3f; backbone should be regional", res.IntraRegional)
+	}
+	if s := res.Render(); len(s) < 50 {
+		t.Error("render too short")
+	}
+}
+
+func TestFigure3(t *testing.T) {
+	ds, err := gdelt.Generate(testGDELT())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Figure3(ds, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Bins) == 0 {
+		t.Fatal("no bins")
+	}
+	if res.Alpha < 1 || res.Alpha > 10 {
+		t.Errorf("implausible power-law alpha %.2f", res.Alpha)
+	}
+	if s := res.Render(); len(s) < 50 {
+		t.Error("render too short")
+	}
+}
+
+func TestFigures10And13(t *testing.T) {
+	sc := DefaultScaling()
+	sc.MaxIter = 6
+	series, err := Figure10(sc, 300, []int{120, 240})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 {
+		t.Fatalf("series = %d", len(series))
+	}
+	for _, s := range series {
+		if len(s.Seconds) != len(sc.Cores) {
+			t.Fatalf("series %s has %d points", s.Label, len(s.Seconds))
+		}
+		for _, sec := range s.Seconds {
+			if sec <= 0 {
+				t.Fatalf("non-positive runtime in %s: %v", s.Label, s.Seconds)
+			}
+		}
+		sp := s.Speedup()
+		if sp[0] != 1 {
+			t.Fatalf("speedup at 1 core = %v", sp[0])
+		}
+		ef := s.Efficiency()
+		if ef[0] != 1 {
+			t.Fatalf("efficiency at 1 core = %v", ef[0])
+		}
+		// Efficiency must decline with core count (communication + load
+		// imbalance), matching the paper's Figure 13.
+		if ef[len(ef)-1] >= ef[0] {
+			t.Errorf("efficiency did not decline: %v", ef)
+		}
+	}
+	// More cascades must cost more at 1 core (paper: time linear in C).
+	if series[1].Seconds[0] <= series[0].Seconds[0] {
+		t.Errorf("t1 not increasing in C: %v vs %v", series[0].Seconds[0], series[1].Seconds[0])
+	}
+	f13 := &Figure13Result{Series: series}
+	if s := f13.Render(); len(s) < 100 {
+		t.Error("fig13 render too short")
+	}
+	if s := RenderScaling("t", series); len(s) < 100 {
+		t.Error("scaling render too short")
+	}
+	h, rows := CSVScaling(series)
+	if len(h) != 6 || len(rows) != 2*len(sc.Cores) {
+		t.Error("scaling CSV malformed")
+	}
+}
+
+func TestFigure11(t *testing.T) {
+	sc := DefaultScaling()
+	sc.MaxIter = 5
+	series, err := Figure11(sc, []int{200, 400}, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 {
+		t.Fatalf("series = %d", len(series))
+	}
+	// The paper's point: runtime depends weakly on N at fixed C. Allow a
+	// generous factor but require the same order of magnitude.
+	t1a, t1b := series[0].Seconds[0], series[1].Seconds[0]
+	ratio := t1b / t1a
+	if ratio > 6 || ratio < 1.0/6 {
+		t.Errorf("runtime strongly depends on N: %v vs %v", t1a, t1b)
+	}
+}
+
+func TestFigure12SmallScale(t *testing.T) {
+	e := DefaultGDELTPrediction()
+	e.Dataset = testGDELT()
+	e.MaxIter = 8
+	res, err := Figure12(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Events < 20 {
+		t.Fatalf("too few test events: %d", res.Events)
+	}
+	if len(res.Thresholds) == 0 {
+		t.Fatal("no thresholds")
+	}
+	for _, f := range res.F1 {
+		if f < 0 || f > 1 {
+			t.Fatalf("F1 out of range: %v", res.F1)
+		}
+	}
+	if s := res.Render(); len(s) < 50 {
+		t.Error("render too short")
+	}
+	h, rows := res.CSV()
+	if len(h) != 2 || len(rows) != len(res.Thresholds) {
+		t.Error("CSV malformed")
+	}
+}
+
+func TestAblationMergePolicy(t *testing.T) {
+	sc := DefaultScaling()
+	sc.MaxIter = 5
+	rows, err := AblationMergePolicy(testSBM(), sc, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Node-count balancing must not be worse balanced than sequential
+	// pairing.
+	if rows[1].Imbalance > rows[0].Imbalance+1e-9 {
+		t.Errorf("ByNodeCount imbalance %v worse than ByCommunityCount %v",
+			rows[1].Imbalance, rows[0].Imbalance)
+	}
+	if s := RenderMergePolicy(rows, 8); len(s) < 50 {
+		t.Error("render too short")
+	}
+}
+
+func TestAblationOptimizers(t *testing.T) {
+	e := testSBM()
+	e.MaxIter = 5
+	rows, err := AblationOptimizers(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	names := map[string]bool{}
+	for _, r := range rows {
+		names[r.Name] = true
+		if r.Seconds <= 0 {
+			t.Errorf("%s: non-positive runtime", r.Name)
+		}
+	}
+	for _, want := range []string{"sequential", "hierarchical", "hogwild"} {
+		if !names[want] {
+			t.Errorf("missing optimizer %q", want)
+		}
+	}
+	if s := RenderOptimizers(rows); len(s) < 50 {
+		t.Error("render too short")
+	}
+}
+
+func TestAblationFeatures(t *testing.T) {
+	rows, err := AblationFeatures(testSBM())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.F1 < 0 || r.F1 > 1 {
+			t.Fatalf("F1 out of range: %+v", r)
+		}
+	}
+	if s := RenderFeatures(rows); len(s) < 50 {
+		t.Error("render too short")
+	}
+}
+
+func TestAblationTopicK(t *testing.T) {
+	e := testSBM()
+	e.MaxIter = 5
+	rows, err := AblationTopicK(e, []int{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0].K != 1 || rows[1].K != 4 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	if s := RenderTopicSweep(rows); len(s) < 50 {
+		t.Error("render too short")
+	}
+}
+
+func TestPredictF1Errors(t *testing.T) {
+	w, err := BuildSBMWorkload(testSBM())
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, _, err := w.FitEmbeddings()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sets, sizes, err := w.PredictionData(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PredictF1(sets, sizes, 1<<30, nil, 10, 1); err == nil {
+		t.Error("single-class threshold accepted")
+	}
+	if _, err := PredictF1(sets, sizes, 2, []string{"nope"}, 10, 1); err == nil {
+		t.Error("unknown feature accepted")
+	}
+}
+
+func TestCompareEdgeBaseline(t *testing.T) {
+	e := testSBM()
+	e.MaxIter = 5
+	rows, err := CompareEdgeBaseline(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	node, edge := rows[0], rows[1]
+	if node.Parameters != 2*e.N*e.InferK {
+		t.Errorf("node parameter count = %d", node.Parameters)
+	}
+	if edge.Parameters <= 0 {
+		t.Errorf("edge parameter count = %d", edge.Parameters)
+	}
+	// The paper's critique: the edge model needs far more parameters.
+	if edge.Parameters < node.Parameters {
+		t.Logf("note: sparse workload, edge params %d < node params %d", edge.Parameters, node.Parameters)
+	}
+	if s := RenderModelComparison(rows); len(s) < 50 {
+		t.Error("render too short")
+	}
+}
+
+func TestComparePredictors(t *testing.T) {
+	e := testSBM()
+	e.MaxIter = 5
+	rows, err := ComparePredictors(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 4 {
+		t.Fatalf("rows = %d, want 4 predictor variants", len(rows))
+	}
+	for _, r := range rows {
+		if r.F1 < 0 || r.F1 > 1 || r.Accuracy < 0 || r.Accuracy > 1 {
+			t.Fatalf("metrics out of range: %+v", r)
+		}
+	}
+	if s := RenderPredictorComparison(rows); len(s) < 50 {
+		t.Error("render too short")
+	}
+}
+
+func TestConvergenceStudy(t *testing.T) {
+	e := testSBM()
+	e.MaxIter = 6
+	res, err := ConvergenceStudy(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sequential) < 2 {
+		t.Fatalf("sequential trajectory too short: %v", res.Sequential)
+	}
+	// Sequential trajectory must be monotone non-decreasing.
+	for i := 1; i < len(res.Sequential); i++ {
+		if res.Sequential[i] < res.Sequential[i-1]-1e-9 {
+			t.Fatalf("sequential loglik decreased: %v", res.Sequential)
+		}
+	}
+	if len(res.Hierarchical) == 0 || len(res.Hierarchical) != len(res.HierLevels) {
+		t.Fatalf("hierarchical trajectory malformed: %v / %v", res.Hierarchical, res.HierLevels)
+	}
+	// The hierarchy must end at the root.
+	if res.HierLevels[len(res.HierLevels)-1] != 1 {
+		t.Errorf("last level = %d communities", res.HierLevels[len(res.HierLevels)-1])
+	}
+	if len(res.Hogwild) != 6 {
+		t.Errorf("hogwild epochs = %d", len(res.Hogwild))
+	}
+	if s := res.Render(); len(s) < 100 {
+		t.Error("render too short")
+	}
+}
+
+func TestSweepEarlyWindow(t *testing.T) {
+	e := testSBM()
+	e.MaxIter = 5
+	res, err := SweepEarlyWindow(e, []float64{0.1, 0.3, 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Fractions) == 0 {
+		t.Fatal("no horizons evaluated")
+	}
+	for i := range res.Fractions {
+		if res.F1[i] < 0 || res.F1[i] > 1 || res.Coverage[i] <= 0 || res.Coverage[i] > 1 {
+			t.Fatalf("bad sweep row %d: %+v", i, res)
+		}
+	}
+	// Coverage must not decrease as the horizon lengthens.
+	for i := 1; i < len(res.Coverage); i++ {
+		if res.Coverage[i] < res.Coverage[i-1]-1e-9 {
+			t.Errorf("coverage decreased with a longer horizon: %v", res.Coverage)
+		}
+	}
+	if _, err := SweepEarlyWindow(e, []float64{1.5}); err == nil {
+		t.Error("fraction > 1 accepted")
+	}
+	if s := res.Render(); len(s) < 50 {
+		t.Error("render too short")
+	}
+}
+
+func TestSweepTrainingSize(t *testing.T) {
+	e := testSBM()
+	e.MaxIter = 5
+	res, err := SweepTrainingSize(e, []int{60, 150, 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.TrainSizes) != 3 {
+		t.Fatalf("sizes evaluated: %v", res.TrainSizes)
+	}
+	// More data must not catastrophically hurt held-out fit: the largest
+	// training set should beat the smallest.
+	first := res.HeldOutPerInfection[0]
+	last := res.HeldOutPerInfection[len(res.HeldOutPerInfection)-1]
+	if last < first-0.5 {
+		t.Errorf("held-out fit degraded with more data: %v", res.HeldOutPerInfection)
+	}
+	if s := res.Render(); len(s) < 50 {
+		t.Error("render too short")
+	}
+}

@@ -1,0 +1,121 @@
+package features
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"viralcast/internal/cascade"
+	"viralcast/internal/embed"
+	"viralcast/internal/xrand"
+)
+
+// Property: the influence features are invariant to the order of early
+// adopters (they are set functions of the adopter identities), and
+// monotone under adding adopters for normA.
+func TestFeaturesSetInvarianceProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		const n, k = 20, 3
+		m := embed.NewModel(n, k)
+		m.InitUniform(rng, 0.1, 1.0)
+		sz := 2 + rng.Intn(8)
+		perm := rng.Perm(n)[:sz]
+		base := &cascade.Cascade{}
+		for i, u := range perm {
+			base.Infections = append(base.Infections, cascade.Infection{Node: u, Time: float64(i)})
+		}
+		s1, err := Extract(m, base)
+		if err != nil {
+			return false
+		}
+		// Shuffle adopter order (times permuted with nodes): set features
+		// must not change.
+		shuffled := &cascade.Cascade{}
+		order := rng.Perm(sz)
+		for i, j := range order {
+			shuffled.Infections = append(shuffled.Infections, cascade.Infection{
+				Node: base.Infections[j].Node, Time: float64(i),
+			})
+		}
+		s2, err := Extract(m, shuffled)
+		if err != nil {
+			return false
+		}
+		tol := 1e-9
+		if math.Abs(s1.DiverA-s2.DiverA) > tol ||
+			math.Abs(s1.NormA-s2.NormA) > tol ||
+			math.Abs(s1.MaxA-s2.MaxA) > tol {
+			return false
+		}
+		// Adding one more adopter never decreases maxA (component sums of
+		// non-negative vectors only grow).
+		if sz < n {
+			extra := -1
+			for _, u := range rng.Perm(n) {
+				found := false
+				for _, inf := range base.Infections {
+					if inf.Node == u {
+						found = true
+						break
+					}
+				}
+				if !found {
+					extra = u
+					break
+				}
+			}
+			if extra >= 0 {
+				bigger := &cascade.Cascade{Infections: append(
+					append([]cascade.Infection{}, base.Infections...),
+					cascade.Infection{Node: extra, Time: float64(sz)})}
+				s3, err := Extract(m, bigger)
+				if err != nil {
+					return false
+				}
+				if s3.MaxA < s1.MaxA-tol || s3.DiverA < s1.DiverA-tol {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: diverA is bounded by twice the largest influence norm among
+// early adopters (triangle inequality bound).
+func TestDiverABoundProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		const n, k = 15, 2
+		m := embed.NewModel(n, k)
+		m.InitUniform(rng, 0, 2)
+		sz := 2 + rng.Intn(6)
+		c := &cascade.Cascade{}
+		for i, u := range rng.Perm(n)[:sz] {
+			c.Infections = append(c.Infections, cascade.Infection{Node: u, Time: float64(i)})
+		}
+		s, err := Extract(m, c)
+		if err != nil {
+			return false
+		}
+		var maxNorm float64
+		for _, inf := range c.Infections {
+			row := m.A.Row(inf.Node)
+			var sq float64
+			for _, v := range row {
+				sq += v * v
+			}
+			if nrm := math.Sqrt(sq); nrm > maxNorm {
+				maxNorm = nrm
+			}
+		}
+		return s.DiverA <= 2*maxNorm+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

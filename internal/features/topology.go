@@ -1,0 +1,104 @@
+package features
+
+import (
+	"fmt"
+
+	"viralcast/internal/cascade"
+	"viralcast/internal/graph"
+)
+
+// TopoSet holds the topology-dependent early-adopter features of the
+// paper's first baseline family (§V, its references [20] and [21]):
+// feature-based cascade prediction that requires the propagation network
+// — early-adopter count, the surface of uninfected neighbors, and the
+// community spread of the early adopters. The paper's point is that
+// these features are unavailable when the topology is hidden (as in
+// GDELT), which is exactly what the embedding features repair; this
+// implementation lets the repository quantify that comparison on
+// synthetic workloads where the topology *is* known.
+type TopoSet struct {
+	// EarlyCount is the number of early adopters.
+	EarlyCount float64
+	// Frontier is the number of distinct uninfected out-neighbors of the
+	// early adopters — the cascade's growth surface.
+	Frontier float64
+	// FrontierPerAdopter normalizes Frontier by EarlyCount.
+	FrontierPerAdopter float64
+	// Communities is the number of distinct communities containing at
+	// least one early adopter.
+	Communities float64
+	// MaxCommunityShare is the largest fraction of early adopters inside
+	// a single community (1 = fully local so far).
+	MaxCommunityShare float64
+}
+
+// TopoNames lists the feature names in TopoVector order.
+var TopoNames = []string{"earlyCount", "frontier", "frontierPerAdopter", "communities", "maxCommunityShare"}
+
+// Vector returns the features in TopoNames order.
+func (s TopoSet) Vector() []float64 {
+	return []float64{s.EarlyCount, s.Frontier, s.FrontierPerAdopter, s.Communities, s.MaxCommunityShare}
+}
+
+// ExtractTopo computes the topology features of an early-adopter prefix
+// over the known propagation graph and node-community membership.
+func ExtractTopo(g *graph.Graph, membership []int, early *cascade.Cascade) (TopoSet, error) {
+	if early == nil || early.Size() == 0 {
+		return TopoSet{}, fmt.Errorf("features: empty early-adopter prefix")
+	}
+	if len(membership) != g.N() {
+		return TopoSet{}, fmt.Errorf("features: membership length %d != graph nodes %d", len(membership), g.N())
+	}
+	infected := make(map[int]bool, early.Size())
+	for _, inf := range early.Infections {
+		if inf.Node < 0 || inf.Node >= g.N() {
+			return TopoSet{}, fmt.Errorf("features: node %d out of range [0,%d)", inf.Node, g.N())
+		}
+		infected[inf.Node] = true
+	}
+	frontier := map[int]bool{}
+	commCount := map[int]int{}
+	for u := range infected {
+		commCount[membership[u]]++
+		ts, _ := g.Neighbors(u)
+		for _, v := range ts {
+			if !infected[v] {
+				frontier[v] = true
+			}
+		}
+	}
+	maxShare := 0.0
+	for _, c := range commCount {
+		if share := float64(c) / float64(early.Size()); share > maxShare {
+			maxShare = share
+		}
+	}
+	n := float64(early.Size())
+	return TopoSet{
+		EarlyCount:         n,
+		Frontier:           float64(len(frontier)),
+		FrontierPerAdopter: float64(len(frontier)) / n,
+		Communities:        float64(len(commCount)),
+		MaxCommunityShare:  maxShare,
+	}, nil
+}
+
+// ExtractTopoAll computes topology features for every cascade prefix cut
+// at earlyCutoff, returning sets aligned with the final sizes.
+func ExtractTopoAll(g *graph.Graph, membership []int, cs []*cascade.Cascade, earlyCutoff float64) ([]TopoSet, []int, error) {
+	var sets []TopoSet
+	var sizes []int
+	for _, c := range cs {
+		early := c.Prefix(earlyCutoff)
+		if early.Size() == 0 {
+			continue
+		}
+		s, err := ExtractTopo(g, membership, early)
+		if err != nil {
+			return nil, nil, err
+		}
+		sets = append(sets, s)
+		sizes = append(sizes, c.Size())
+	}
+	return sets, sizes, nil
+}

@@ -1,0 +1,331 @@
+package gdelt
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"viralcast/internal/cascade"
+	"viralcast/internal/stats"
+	"viralcast/internal/xrand"
+)
+
+// smallConfig keeps unit tests fast.
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Sites = 400
+	cfg.Events = 300
+	cfg.MeanDegree = 12
+	cfg.CrossLinks = 60
+	cfg.Seed = 1
+	return cfg
+}
+
+func TestDefaultConfigValid(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	mk := func(mod func(*Config)) Config {
+		c := smallConfig()
+		mod(&c)
+		return c
+	}
+	bad := []Config{
+		mk(func(c *Config) { c.Sites = 0 }),
+		mk(func(c *Config) { c.Topics = 0 }),
+		mk(func(c *Config) { c.Regions = nil }),
+		mk(func(c *Config) { c.Regions[0].Share = 0.9 }), // shares no longer sum to 1
+		mk(func(c *Config) { c.Topics = 2 }),             // fewer topics than regions
+		mk(func(c *Config) { c.WindowHours = 0 }),
+		mk(func(c *Config) { c.MeanDegree = 0 }),
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	ds, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Sites) != 400 || len(ds.Events) != 300 {
+		t.Fatalf("sites=%d events=%d", len(ds.Sites), len(ds.Events))
+	}
+	if err := cascade.ValidateAll(ds.Events, 400); err != nil {
+		t.Fatalf("generated events invalid: %v", err)
+	}
+	if err := ds.Truth.Validate(); err != nil {
+		t.Fatalf("planted truth invalid: %v", err)
+	}
+	// Region blocks: first 40% of sites are region 0.
+	if ds.Sites[0].Region != 0 || ds.Sites[100].Region != 0 {
+		t.Error("region assignment not contiguous")
+	}
+	if ds.Sites[399].Region != 3 {
+		t.Errorf("last site region = %d, want 3 (mixed)", ds.Sites[399].Region)
+	}
+	for _, s := range ds.Sites {
+		if s.Name == "" || s.Popularity < 1 {
+			t.Fatalf("bad site %+v", s)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Events) != len(b.Events) {
+		t.Fatal("event counts differ")
+	}
+	for i := range a.Events {
+		if a.Events[i].Size() != b.Events[i].Size() {
+			t.Fatalf("event %d sizes differ", i)
+		}
+	}
+}
+
+func TestShortLifeCycles(t *testing.T) {
+	// Paper §II: most news events are fully reported within ~50 hours.
+	ds, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	durations := ds.EventDurations()
+	if len(durations) < 50 {
+		t.Fatalf("too few multi-report events: %d", len(durations))
+	}
+	within := 0
+	for _, d := range durations {
+		if d <= 50 {
+			within++
+		}
+	}
+	if frac := float64(within) / float64(len(durations)); frac < 0.6 {
+		t.Errorf("only %.2f of events finish within 50h; paper says most do", frac)
+	}
+	// And nothing exceeds the observation window.
+	for _, d := range durations {
+		if d > ds.Config.WindowHours {
+			t.Fatalf("duration %v exceeds window %v", d, ds.Config.WindowHours)
+		}
+	}
+}
+
+func TestRegionalLocality(t *testing.T) {
+	// Paper §II: most cascades are local to one region. Measure the mean
+	// share of an event's reports coming from its modal region.
+	ds, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var shares []float64
+	for _, e := range ds.Events {
+		if e.Size() < 3 {
+			continue
+		}
+		counts := map[int]int{}
+		for _, inf := range e.Infections {
+			counts[ds.RegionOf(inf.Node)]++
+		}
+		best := 0
+		for _, c := range counts {
+			if c > best {
+				best = c
+			}
+		}
+		shares = append(shares, float64(best)/float64(e.Size()))
+	}
+	if len(shares) < 30 {
+		t.Fatalf("too few sizable events: %d", len(shares))
+	}
+	var sum float64
+	for _, s := range shares {
+		sum += s
+	}
+	if mean := sum / float64(len(shares)); mean < 0.6 {
+		t.Errorf("mean modal-region share %.2f; cascades should be mostly local", mean)
+	}
+}
+
+func TestMatthewEffect(t *testing.T) {
+	// Report counts must be heavy-tailed: a power-law MLE over the tail
+	// should give a plausible exponent, and the top site should dominate
+	// the median by an order of magnitude.
+	cfg := smallConfig()
+	cfg.Events = 800
+	ds, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := ds.ReportCounts()
+	var positive []float64
+	for _, c := range counts {
+		if c > 0 {
+			positive = append(positive, float64(c))
+		}
+	}
+	if len(positive) < 100 {
+		t.Fatalf("too few active sites: %d", len(positive))
+	}
+	sort.Float64s(positive)
+	median := positive[len(positive)/2]
+	top := positive[len(positive)-1]
+	if top < 8*median {
+		t.Errorf("no heavy tail: top=%v median=%v", top, median)
+	}
+	alpha, err := stats.PowerLawAlphaMLE(positive, median)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alpha < 1.2 || alpha > 5 {
+		t.Errorf("power-law alpha %.2f outside plausible range", alpha)
+	}
+}
+
+func TestBackbone(t *testing.T) {
+	ds, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := ds.Backbone(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bb.M() == 0 {
+		t.Fatal("backbone empty at minShared=3")
+	}
+	// Symmetric.
+	for _, e := range bb.Edges() {
+		if w, ok := bb.Weight(e.To, e.From); !ok || w != e.Weight {
+			t.Fatalf("backbone asymmetric at (%d,%d)", e.From, e.To)
+		}
+		if e.Weight < 3 {
+			t.Fatalf("backbone edge below threshold: %+v", e)
+		}
+	}
+	// Stricter threshold gives a sparser graph.
+	bb10, err := ds.Backbone(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bb10.M() > bb.M() {
+		t.Error("higher threshold produced denser backbone")
+	}
+	if _, err := ds.Backbone(0); err == nil {
+		t.Error("minShared=0 accepted")
+	}
+}
+
+func TestBackboneIsRegional(t *testing.T) {
+	// Most backbone edges should connect sites of the same region —
+	// that is Figure 2's visual message.
+	ds, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := ds.Backbone(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same, cross := 0, 0
+	for _, e := range bb.Edges() {
+		if ds.RegionOf(e.From) == ds.RegionOf(e.To) {
+			same++
+		} else {
+			cross++
+		}
+	}
+	if same <= cross {
+		t.Errorf("backbone not regional: %d same vs %d cross", same, cross)
+	}
+}
+
+func TestSampleEvents(t *testing.T) {
+	ds, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ds.SampleEvents(50, xrand.New(9))
+	if len(s) != 50 {
+		t.Fatalf("sampled %d", len(s))
+	}
+	seen := map[int]bool{}
+	for _, c := range s {
+		if seen[c.ID] {
+			t.Fatal("sampling with replacement detected")
+		}
+		seen[c.ID] = true
+	}
+	all := ds.SampleEvents(10000, xrand.New(9))
+	if len(all) != len(ds.Events) {
+		t.Fatal("oversized sample must return all events")
+	}
+}
+
+func TestTruthRegionalStructure(t *testing.T) {
+	ds, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Region-0 sites concentrate their influence mass inside region 0's
+	// topic pool (international hubs may leak a little outside it).
+	lo, hi := ds.Config.TopicPool(0)
+	if hi <= lo {
+		t.Fatalf("degenerate topic pool [%d,%d)", lo, hi)
+	}
+	inDominates := 0
+	total := 0
+	for _, s := range ds.Sites[:100] { // region 0
+		a := ds.Truth.A.Row(s.ID)
+		var in, out float64
+		for k, v := range a {
+			if k >= lo && k < hi {
+				in += v
+			} else {
+				out += v
+			}
+		}
+		total++
+		if in > out {
+			inDominates++
+		}
+	}
+	if frac := float64(inDominates) / float64(total); frac < 0.8 {
+		t.Errorf("only %.2f of region-0 sites have in-pool influence dominance", frac)
+	}
+}
+
+func TestTopicPoolPartition(t *testing.T) {
+	cfg := DefaultConfig()
+	covered := make([]bool, cfg.Topics)
+	for ri := range cfg.Regions {
+		lo, hi := cfg.TopicPool(ri)
+		if lo < 0 || hi > cfg.Topics || hi <= lo {
+			t.Fatalf("region %d pool [%d,%d) invalid", ri, lo, hi)
+		}
+		for k := lo; k < hi; k++ {
+			if covered[k] {
+				t.Fatalf("topic %d in two pools", k)
+			}
+			covered[k] = true
+		}
+	}
+	for k, ok := range covered {
+		if !ok {
+			t.Fatalf("topic %d unowned", k)
+		}
+	}
+	_ = math.Abs // keep math import used
+}

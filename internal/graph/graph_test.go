@@ -1,0 +1,246 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"viralcast/internal/xrand"
+)
+
+func mustAdd(t *testing.T, b *Builder, from, to int, w float64) {
+	t.Helper()
+	if err := b.AddEdge(from, to, w); err != nil {
+		t.Fatalf("AddEdge(%d,%d,%v): %v", from, to, w, err)
+	}
+}
+
+func TestBuilderBasics(t *testing.T) {
+	b := NewBuilder(4)
+	mustAdd(t, b, 0, 1, 1)
+	mustAdd(t, b, 0, 2, 2)
+	mustAdd(t, b, 1, 2, 3)
+	g := b.Build()
+	if g.N() != 4 || g.M() != 3 {
+		t.Fatalf("N=%d M=%d", g.N(), g.M())
+	}
+	ts, ws := g.Neighbors(0)
+	if len(ts) != 2 || ts[0] != 1 || ts[1] != 2 || ws[0] != 1 || ws[1] != 2 {
+		t.Fatalf("Neighbors(0) = %v %v", ts, ws)
+	}
+	if g.OutDegree(3) != 0 {
+		t.Fatal("isolated node must have degree 0")
+	}
+	if w, ok := g.Weight(1, 2); !ok || w != 3 {
+		t.Fatalf("Weight(1,2) = %v %v", w, ok)
+	}
+	if _, ok := g.Weight(2, 1); ok {
+		t.Fatal("Weight(2,1) should not exist (directed)")
+	}
+}
+
+func TestBuilderAccumulatesParallelEdges(t *testing.T) {
+	b := NewBuilder(2)
+	mustAdd(t, b, 0, 1, 1)
+	mustAdd(t, b, 0, 1, 2.5)
+	g := b.Build()
+	if g.M() != 1 {
+		t.Fatalf("parallel edges must merge, M=%d", g.M())
+	}
+	if w, _ := g.Weight(0, 1); w != 3.5 {
+		t.Fatalf("accumulated weight %v, want 3.5", w)
+	}
+}
+
+func TestBuilderRejects(t *testing.T) {
+	b := NewBuilder(3)
+	if err := b.AddEdge(0, 0, 1); err == nil {
+		t.Error("self-loop accepted")
+	}
+	if err := b.AddEdge(-1, 1, 1); err == nil {
+		t.Error("negative node accepted")
+	}
+	if err := b.AddEdge(0, 3, 1); err == nil {
+		t.Error("out-of-range node accepted")
+	}
+}
+
+func TestEdgesAndTotalWeight(t *testing.T) {
+	b := NewBuilder(3)
+	mustAdd(t, b, 2, 0, 1)
+	mustAdd(t, b, 0, 1, 2)
+	g := b.Build()
+	es := g.Edges()
+	if len(es) != 2 || es[0].From != 0 || es[1].From != 2 {
+		t.Fatalf("Edges order wrong: %v", es)
+	}
+	if g.TotalWeight() != 3 {
+		t.Fatalf("TotalWeight = %v", g.TotalWeight())
+	}
+}
+
+func TestUndirected(t *testing.T) {
+	b := NewBuilder(3)
+	mustAdd(t, b, 0, 1, 2)
+	g := b.Build().Undirected()
+	if w, ok := g.Weight(1, 0); !ok || w != 2 {
+		t.Fatalf("undirected reverse edge missing: %v %v", w, ok)
+	}
+	if w, ok := g.Weight(0, 1); !ok || w != 2 {
+		t.Fatalf("undirected forward edge wrong: %v %v", w, ok)
+	}
+}
+
+func TestUndirectedSymmetricWeights(t *testing.T) {
+	// A graph with both directions present: weights must sum symmetrically.
+	b := NewBuilder(2)
+	mustAdd(t, b, 0, 1, 1)
+	mustAdd(t, b, 1, 0, 3)
+	g := b.Build().Undirected()
+	w01, _ := g.Weight(0, 1)
+	w10, _ := g.Weight(1, 0)
+	if w01 != 4 || w10 != 4 {
+		t.Fatalf("undirected weights %v %v, want 4 4", w01, w10)
+	}
+}
+
+func TestDegreeHistogramAndAverage(t *testing.T) {
+	b := NewBuilder(3)
+	mustAdd(t, b, 0, 1, 1)
+	mustAdd(t, b, 0, 2, 1)
+	g := b.Build()
+	h := g.DegreeHistogram()
+	if h[2] != 1 || h[0] != 2 {
+		t.Fatalf("DegreeHistogram = %v", h)
+	}
+	if g.AverageDegree() != 2.0/3.0 {
+		t.Fatalf("AverageDegree = %v", g.AverageDegree())
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	b := NewBuilder(5)
+	mustAdd(t, b, 0, 1, 1)
+	mustAdd(t, b, 3, 2, 1) // direction must not matter
+	g := b.Build()
+	comp, count := g.ConnectedComponents()
+	if count != 3 {
+		t.Fatalf("components = %d, want 3 (got %v)", count, comp)
+	}
+	if comp[0] != comp[1] || comp[2] != comp[3] || comp[0] == comp[2] || comp[4] == comp[0] {
+		t.Fatalf("component assignment wrong: %v", comp)
+	}
+}
+
+func TestSubgraph(t *testing.T) {
+	b := NewBuilder(4)
+	mustAdd(t, b, 0, 1, 1)
+	mustAdd(t, b, 1, 2, 2)
+	mustAdd(t, b, 2, 3, 3)
+	g := b.Build()
+	sg, back, err := g.Subgraph([]int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sg.N() != 2 || sg.M() != 1 {
+		t.Fatalf("subgraph N=%d M=%d", sg.N(), sg.M())
+	}
+	if w, ok := sg.Weight(0, 1); !ok || w != 2 {
+		t.Fatalf("subgraph edge weight %v %v", w, ok)
+	}
+	if back[0] != 1 || back[1] != 2 {
+		t.Fatalf("back-mapping %v", back)
+	}
+}
+
+func TestSubgraphErrors(t *testing.T) {
+	g := NewBuilder(3).Build()
+	if _, _, err := g.Subgraph([]int{0, 0}); err == nil {
+		t.Error("duplicate node accepted")
+	}
+	if _, _, err := g.Subgraph([]int{5}); err == nil {
+		t.Error("out-of-range node accepted")
+	}
+}
+
+// Property: for random graphs, CSR invariants hold — M equals the number
+// of distinct pairs added, every neighbor list is sorted, and Weight
+// agrees with Neighbors.
+func TestCSRInvariantsProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		n := 2 + rng.Intn(30)
+		b := NewBuilder(n)
+		type pair struct{ u, v int }
+		want := map[pair]float64{}
+		edges := rng.Intn(100)
+		for i := 0; i < edges; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			w := rng.Float64()
+			if err := b.AddEdge(u, v, w); err != nil {
+				return false
+			}
+			want[pair{u, v}] += w
+		}
+		g := b.Build()
+		if g.M() != len(want) {
+			return false
+		}
+		total := 0
+		for u := 0; u < n; u++ {
+			ts, ws := g.Neighbors(u)
+			for i, v := range ts {
+				if i > 0 && ts[i-1] >= v {
+					return false // not sorted or duplicate
+				}
+				exp := want[pair{u, v}]
+				if diff := ws[i] - exp; diff > 1e-12 || diff < -1e-12 {
+					return false
+				}
+				total++
+			}
+		}
+		return total == len(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ConnectedComponents is a valid partition and respects edges.
+func TestComponentsProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		n := 1 + rng.Intn(40)
+		b := NewBuilder(n)
+		for i := 0; i < n; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				_ = b.AddEdge(u, v, 1)
+			}
+		}
+		g := b.Build()
+		comp, count := g.ConnectedComponents()
+		seen := map[int]bool{}
+		for _, c := range comp {
+			if c < 0 || c >= count {
+				return false
+			}
+			seen[c] = true
+		}
+		if len(seen) != count {
+			return false
+		}
+		for _, e := range g.Edges() {
+			if comp[e.From] != comp[e.To] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,217 @@
+// Package infer estimates the influence/selectivity embeddings from
+// observed cascades by maximizing the cascade log-likelihood with
+// projected gradient ascent (paper §IV). It provides:
+//
+//   - Sequential: full-batch monotone projected gradient ascent — the
+//     single-process baseline (and the paper's t_1 reference for speedup);
+//   - RunLevel: Algorithm 1 — one worker per community updating disjoint
+//     rows of A and B on that community's sub-cascades, lock-free because
+//     communities never intersect;
+//   - Hierarchical: Algorithm 2 — runs Algorithm 1 level by level up the
+//     community merge tree, warm-starting each level with the previous
+//     level's embeddings;
+//   - Hogwild (hogwild.go): the lock-free shared-matrix SGD baseline of
+//     the paper's reference [19], for comparison.
+package infer
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"viralcast/internal/cascade"
+	"viralcast/internal/embed"
+	"viralcast/internal/vecmath"
+	"viralcast/internal/xrand"
+)
+
+// Config controls the optimization. The zero value is unusable; call
+// WithDefaults or fill every field.
+type Config struct {
+	// K is the number of latent topics.
+	K int
+	// LearnRate is the initial gradient-ascent step size. The monotone
+	// line search shrinks it automatically when a step would decrease the
+	// likelihood, so it mostly controls how aggressively ascent begins.
+	LearnRate float64
+	// MaxIter bounds the number of epochs per optimization stage (the
+	// paper's "max number of iterations" early-stopping guard).
+	MaxIter int
+	// Tol declares convergence when an accepted step improves the
+	// log-likelihood by less than Tol*(1+|ll|).
+	Tol float64
+	// InitLo and InitHi bound the uniform random initialization.
+	InitLo, InitHi float64
+	// Seed drives initialization (and any stochastic variant).
+	Seed uint64
+}
+
+// WithDefaults fills unset fields with sensible values.
+func (c Config) WithDefaults() Config {
+	if c.K <= 0 {
+		c.K = 4
+	}
+	if c.LearnRate <= 0 {
+		// Directions are Adagrad-normalized, so coordinate steps are
+		// roughly LearnRate-sized on first epochs.
+		c.LearnRate = 0.5
+	}
+	if c.MaxIter <= 0 {
+		c.MaxIter = 50
+	}
+	if c.Tol <= 0 {
+		c.Tol = 1e-6
+	}
+	if c.InitHi <= c.InitLo || c.InitHi <= 0 {
+		c.InitLo, c.InitHi = 0.1, 0.5
+	}
+	return c
+}
+
+// Validate rejects configurations that cannot run.
+func (c Config) Validate() error {
+	if c.K <= 0 {
+		return fmt.Errorf("infer: K must be positive, got %d", c.K)
+	}
+	if c.LearnRate <= 0 {
+		return fmt.Errorf("infer: LearnRate must be positive, got %v", c.LearnRate)
+	}
+	if c.MaxIter <= 0 {
+		return fmt.Errorf("infer: MaxIter must be positive, got %d", c.MaxIter)
+	}
+	if c.InitLo < 0 || c.InitHi <= c.InitLo {
+		return fmt.Errorf("infer: bad init range [%v,%v]", c.InitLo, c.InitHi)
+	}
+	return nil
+}
+
+// Trace records the progress of an optimization run.
+type Trace struct {
+	// LogLik holds the total log-likelihood after each accepted epoch
+	// (Sequential) or after each level (Hierarchical).
+	LogLik []float64
+	// Iters is the total number of accepted epochs.
+	Iters int
+	// Elapsed is the wall-clock duration of the run.
+	Elapsed time.Duration
+	// Levels holds per-level statistics for hierarchical runs.
+	Levels []LevelStats
+}
+
+// LevelStats describes one level of the hierarchical algorithm.
+type LevelStats struct {
+	Communities int
+	Elapsed     time.Duration
+	LogLik      float64 // full-data log-likelihood after the level
+}
+
+// Sequential fits a model to the cascades with full-batch monotone
+// projected gradient ascent over all n nodes. This is the single-process
+// baseline the paper's speedups are measured against.
+func Sequential(cs []*cascade.Cascade, n int, cfg Config) (*embed.Model, *Trace, error) {
+	cfg = cfg.WithDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if n <= 0 {
+		return nil, nil, fmt.Errorf("infer: n must be positive, got %d", n)
+	}
+	if err := cascade.ValidateAll(cs, n); err != nil {
+		return nil, nil, err
+	}
+	start := time.Now()
+	m := embed.NewModel(n, cfg.K)
+	m.InitUniform(xrand.New(cfg.Seed), cfg.InitLo, cfg.InitHi)
+	tr := &Trace{}
+	iters, lls := ascend(m, cs, cfg)
+	tr.Iters = iters
+	tr.LogLik = lls
+	tr.Elapsed = time.Since(start)
+	return m, tr, nil
+}
+
+// ascend performs monotone projected gradient ascent on m over cs until
+// convergence or cfg.MaxIter epochs. The raw gradient of the cascade
+// likelihood is badly scaled (the 1/rate terms give some coordinates
+// enormous curvature), so the ascent direction is diagonally
+// preconditioned Adagrad-style: d_i = g_i / sqrt(acc_i), where acc_i
+// accumulates squared gradients. Each epoch runs a fresh backtracking
+// line search from cfg.LearnRate, halving until the step does not
+// decrease the log-likelihood; because every epoch retries the full base
+// step, a tiny accepted gain genuinely signals convergence. It returns
+// the number of accepted epochs and the log-likelihood trajectory.
+func ascend(m *embed.Model, cs []*cascade.Cascade, cfg Config) (int, []float64) {
+	if len(cs) == 0 {
+		return 0, nil
+	}
+	n, k := m.N(), m.K()
+	dA := vecmath.NewMatrix(n, k)
+	dB := vecmath.NewMatrix(n, k)
+	accA := vecmath.NewMatrix(n, k) // Adagrad accumulators
+	accB := vecmath.NewMatrix(n, k)
+	candA := vecmath.NewMatrix(n, k)
+	candB := vecmath.NewMatrix(n, k)
+	ws := embed.NewGradWorkspace(k)
+	cur := m.LogLikAll(cs)
+	lls := []float64{cur}
+	const minLR = 1e-12
+	const accEps = 1e-8
+	accepted := 0
+	for iter := 0; iter < cfg.MaxIter; iter++ {
+		dA.FillConst(0)
+		dB.FillConst(0)
+		for _, c := range cs {
+			m.AccumGrad(c, dA, dB, ws)
+		}
+		// Precondition in place: d_i <- g_i / sqrt(acc_i + g_i^2).
+		precondition(dA.Data, accA.Data, accEps)
+		precondition(dB.Data, accB.Data, accEps)
+		improved := false
+		var ll float64
+		for lr := cfg.LearnRate; lr >= minLR; lr /= 2 {
+			candA.CopyFrom(m.A)
+			candB.CopyFrom(m.B)
+			vecmath.Axpy(lr, dA.Data, candA.Data)
+			vecmath.Axpy(lr, dB.Data, candB.Data)
+			candA.ProjectNonneg()
+			candB.ProjectNonneg()
+			trial := &embed.Model{A: candA, B: candB}
+			ll = trial.LogLikAll(cs)
+			if ll >= cur {
+				improved = true
+				break
+			}
+		}
+		if !improved {
+			break // no step along the preconditioned direction helps
+		}
+		m.A.CopyFrom(candA)
+		m.B.CopyFrom(candB)
+		accepted++
+		lls = append(lls, ll)
+		gain := ll - cur
+		cur = ll
+		if gain <= cfg.Tol*(1+abs(cur)) {
+			break
+		}
+	}
+	return accepted, lls
+}
+
+// precondition rescales the gradient g coordinate-wise by the inverse
+// root of its accumulated squared magnitude (Adagrad), updating acc.
+func precondition(g, acc []float64, eps float64) {
+	for i, gi := range g {
+		acc[i] += gi * gi
+		if acc[i] > 0 {
+			g[i] = gi / math.Sqrt(acc[i]+eps)
+		}
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

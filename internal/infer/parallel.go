@@ -1,0 +1,194 @@
+package infer
+
+import (
+	"fmt"
+	"time"
+
+	"viralcast/internal/cascade"
+	"viralcast/internal/embed"
+	"viralcast/internal/mergetree"
+	"viralcast/internal/pool"
+	"viralcast/internal/slpa"
+	"viralcast/internal/xrand"
+)
+
+// ParallelOptions configures the community-based parallel algorithm.
+type ParallelOptions struct {
+	// Workers bounds the number of communities optimized concurrently —
+	// the experiment's "#cores" knob. <= 0 means 1.
+	Workers int
+	// Q is Algorithm 2's termination threshold: levels are processed until
+	// the partition has at most Q communities. Q <= 1 means the final
+	// level is the single root community (a full sequential polish pass).
+	Q int
+	// Policy selects the merge-tree pairing rule.
+	Policy mergetree.Policy
+}
+
+func (o ParallelOptions) withDefaults() ParallelOptions {
+	if o.Workers <= 0 {
+		o.Workers = 1
+	}
+	if o.Q < 1 {
+		o.Q = 1
+	}
+	return o
+}
+
+// SplitCascades implements Algorithm 1 lines 1-11: every cascade is
+// divided into per-community sub-cascades according to the node
+// membership. Sub-cascades keep the original absolute infection times.
+// Sub-cascades with fewer than two infections are dropped — they carry
+// no likelihood terms.
+func SplitCascades(cs []*cascade.Cascade, p *slpa.Partition) [][]*cascade.Cascade {
+	out := make([][]*cascade.Cascade, p.NumCommunities())
+	for _, c := range cs {
+		var parts map[int]*cascade.Cascade
+		for _, inf := range c.Infections {
+			r := p.Membership[inf.Node]
+			if parts == nil {
+				parts = make(map[int]*cascade.Cascade, 4)
+			}
+			sub, ok := parts[r]
+			if !ok {
+				sub = &cascade.Cascade{ID: c.ID}
+				parts[r] = sub
+			}
+			sub.Infections = append(sub.Infections, inf)
+		}
+		for r, sub := range parts {
+			if sub.Size() >= 2 {
+				out[r] = append(out[r], sub)
+			}
+		}
+	}
+	return out
+}
+
+// communityTask is the unit of parallel work: one community's nodes and
+// its sub-cascades remapped to community-local ids.
+type communityTask struct {
+	nodes   []int // global node ids, index = local id
+	localCs []*cascade.Cascade
+}
+
+// buildTasks localizes every community's sub-cascades: global node ids
+// are remapped to 0..len(nodes)-1 so each worker can run on a compact
+// local model instead of scattering over the full matrices.
+func buildTasks(subs [][]*cascade.Cascade, p *slpa.Partition) []communityTask {
+	tasks := make([]communityTask, p.NumCommunities())
+	for r := range tasks {
+		nodes := p.Communities[r]
+		local := make(map[int]int, len(nodes))
+		for li, u := range nodes {
+			local[u] = li
+		}
+		lcs := make([]*cascade.Cascade, 0, len(subs[r]))
+		for _, sub := range subs[r] {
+			lc := &cascade.Cascade{ID: sub.ID, Infections: make([]cascade.Infection, len(sub.Infections))}
+			for i, inf := range sub.Infections {
+				lc.Infections[i] = cascade.Infection{Node: local[inf.Node], Time: inf.Time}
+			}
+			lcs = append(lcs, lc)
+		}
+		tasks[r] = communityTask{nodes: nodes, localCs: lcs}
+	}
+	return tasks
+}
+
+// RunLevel executes Algorithm 1 on one level: every community is
+// optimized independently (its rows of A and B are disjoint from every
+// other community's, so no synchronization beyond the final barrier is
+// needed), with at most workers communities in flight at once. The model
+// is updated in place; the barrier is the WaitGroup at the end.
+func RunLevel(m *embed.Model, cs []*cascade.Cascade, p *slpa.Partition, cfg Config, workers int) error {
+	cfg = cfg.WithDefaults()
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if err := p.Validate(m.N()); err != nil {
+		return err
+	}
+	if workers <= 0 {
+		workers = 1
+	}
+	subs := SplitCascades(cs, p)
+	tasks := buildTasks(subs, p)
+	// Drop workless communities before dispatch so the pool's bound
+	// applies to real tasks only.
+	active := tasks[:0]
+	for r := range tasks {
+		if len(tasks[r].localCs) > 0 {
+			active = append(active, tasks[r])
+		}
+	}
+	// pool.Run's completion is Algorithm 1's barrier; communities touch
+	// disjoint rows of A and B, so the tasks need no other coordination.
+	return pool.Run(workers, len(active), func(i int) error {
+		optimizeCommunity(m, &active[i], cfg)
+		return nil
+	})
+}
+
+// optimizeCommunity copies the community's rows into a compact local
+// model, runs monotone projected gradient ascent on the community's
+// sub-cascades, and copies the rows back. Reads and writes touch only
+// this community's rows, which no other worker owns.
+func optimizeCommunity(m *embed.Model, task *communityTask, cfg Config) {
+	k := m.K()
+	local := embed.NewModel(len(task.nodes), k)
+	for li, u := range task.nodes {
+		copy(local.A.Row(li), m.A.Row(u))
+		copy(local.B.Row(li), m.B.Row(u))
+	}
+	ascend(local, task.localCs, cfg)
+	for li, u := range task.nodes {
+		copy(m.A.Row(u), local.A.Row(li))
+		copy(m.B.Row(u), local.B.Row(li))
+	}
+}
+
+// Hierarchical executes Algorithm 2: starting from the base partition
+// (typically SLPA communities of the co-occurrence graph), it runs
+// Algorithm 1 at every level of the merge tree, joining communities
+// pairwise between levels and warm-starting each level with the previous
+// level's embeddings.
+func Hierarchical(cs []*cascade.Cascade, n int, base *slpa.Partition, cfg Config, opts ParallelOptions) (*embed.Model, *Trace, error) {
+	cfg = cfg.WithDefaults()
+	opts = opts.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if n <= 0 {
+		return nil, nil, fmt.Errorf("infer: n must be positive, got %d", n)
+	}
+	if err := cascade.ValidateAll(cs, n); err != nil {
+		return nil, nil, err
+	}
+	if err := base.Validate(n); err != nil {
+		return nil, nil, err
+	}
+	levels, err := mergetree.Levels(base, opts.Q, opts.Policy)
+	if err != nil {
+		return nil, nil, err
+	}
+	start := time.Now()
+	m := embed.NewModel(n, cfg.K)
+	m.InitUniform(xrand.New(cfg.Seed), cfg.InitLo, cfg.InitHi)
+	tr := &Trace{}
+	for _, level := range levels {
+		levelStart := time.Now()
+		if err := RunLevel(m, cs, level, cfg, opts.Workers); err != nil {
+			return nil, nil, err
+		}
+		ll := m.LogLikAll(cs)
+		tr.Levels = append(tr.Levels, LevelStats{
+			Communities: level.NumCommunities(),
+			Elapsed:     time.Since(levelStart),
+			LogLik:      ll,
+		})
+		tr.LogLik = append(tr.LogLik, ll)
+	}
+	tr.Elapsed = time.Since(start)
+	return m, tr, nil
+}

@@ -1,0 +1,41 @@
+package infer
+
+import (
+	"viralcast/internal/cascade"
+	"viralcast/internal/cooccur"
+	"viralcast/internal/embed"
+	"viralcast/internal/slpa"
+	"viralcast/internal/xrand"
+)
+
+// PipelineOptions bundles everything the end-to-end inference needs: the
+// co-occurrence construction, the SLPA community detection, and the
+// hierarchical parallel optimization.
+type PipelineOptions struct {
+	Cooccur  cooccur.Options
+	SLPA     slpa.Options
+	Parallel ParallelOptions
+}
+
+// Pipeline runs the paper's full inference stack on raw cascades:
+//
+//  1. build the frequent co-occurrence graph (§IV-B),
+//  2. detect communities with SLPA,
+//  3. run the hierarchical community-parallel gradient ascent
+//     (Algorithms 1 and 2).
+//
+// It returns the fitted model, the detected base partition, and the
+// optimization trace.
+func Pipeline(cs []*cascade.Cascade, n int, cfg Config, opts PipelineOptions) (*embed.Model, *slpa.Partition, *Trace, error) {
+	cfg = cfg.WithDefaults()
+	g, err := cooccur.Build(cs, n, opts.Cooccur)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	part := slpa.Detect(g, opts.SLPA, xrand.New(cfg.Seed^0x5eed))
+	m, tr, err := Hierarchical(cs, n, part, cfg, opts.Parallel)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return m, part, tr, nil
+}

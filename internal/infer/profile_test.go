@@ -1,0 +1,97 @@
+package infer
+
+import (
+	"testing"
+	"time"
+
+	"viralcast/internal/mergetree"
+	"viralcast/internal/slpa"
+)
+
+func TestMakespan(t *testing.T) {
+	tasks := []time.Duration{4, 3, 2, 1} // units
+	if got := Makespan(tasks, 1); got != 10 {
+		t.Fatalf("1 worker makespan = %v, want 10", got)
+	}
+	// LPT with 2 workers: 4+1=5, 3+2=5 -> makespan 5.
+	if got := Makespan(tasks, 2); got != 5 {
+		t.Fatalf("2 worker makespan = %v, want 5", got)
+	}
+	// More workers than tasks: bounded by the longest task.
+	if got := Makespan(tasks, 10); got != 4 {
+		t.Fatalf("10 worker makespan = %v, want 4", got)
+	}
+	if got := Makespan(nil, 4); got != 0 {
+		t.Fatalf("empty makespan = %v", got)
+	}
+	if got := Makespan(tasks, 0); got != 10 {
+		t.Fatalf("workers=0 must clamp to 1, got %v", got)
+	}
+}
+
+func TestMakespanMonotoneInWorkers(t *testing.T) {
+	tasks := []time.Duration{7, 5, 5, 3, 2, 2, 1, 1}
+	prev := Makespan(tasks, 1)
+	for w := 2; w <= 8; w++ {
+		cur := Makespan(tasks, w)
+		if cur > prev {
+			t.Fatalf("makespan increased with more workers: %v -> %v at w=%d", prev, cur, w)
+		}
+		prev = cur
+	}
+}
+
+func TestScheduleCost(t *testing.T) {
+	profiles := []LevelProfile{
+		{Communities: 4, TaskDurations: []time.Duration{4, 3, 2, 1}},
+		{Communities: 2, TaskDurations: []time.Duration{5, 5}},
+	}
+	// 1 worker, no barrier: 10 + 10 = 20.
+	if got := ScheduleCost(profiles, 1, time.Nanosecond); got != 20 {
+		t.Fatalf("sequential cost = %v, want 20", got)
+	}
+	// 2 workers, zero barrier: 5 + 5 = 10.
+	if got := ScheduleCost(profiles, 2, 0); got != 10 {
+		t.Fatalf("2-worker cost = %v, want 10", got)
+	}
+	// Barrier cost scales with workers and levels.
+	base := ScheduleCost(profiles, 2, 0)
+	withBarrier := ScheduleCost(profiles, 2, 3)
+	if withBarrier != base+2*2*3 {
+		t.Fatalf("barrier accounting wrong: %v vs base %v", withBarrier, base)
+	}
+}
+
+func TestHierarchicalProfiledMatchesHierarchical(t *testing.T) {
+	cs, _ := trainingSet(t, 60, 80, 31)
+	base := slpa.FromMembership(blockMembership(60, 10))
+	cfg := Config{K: 2, MaxIter: 8, Seed: 32}
+	mPar, _, err := Hierarchical(cs, 60, base, cfg, ParallelOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mProf, profiles, err := HierarchicalProfiled(cs, 60, base, cfg, 1, mergetree.ByCommunityCount)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mPar.A.FrobeniusDist(mProf.A) != 0 || mPar.B.FrobeniusDist(mProf.B) != 0 {
+		t.Fatal("profiled run produced a different model than the parallel run")
+	}
+	// Levels 6 -> 3 -> 2 -> 1.
+	if len(profiles) != 4 {
+		t.Fatalf("profiles = %d levels", len(profiles))
+	}
+	for i, p := range profiles {
+		if len(p.TaskDurations) == 0 {
+			t.Errorf("level %d recorded no tasks", i)
+		}
+		for _, d := range p.TaskDurations {
+			if d < 0 {
+				t.Errorf("negative duration at level %d", i)
+			}
+		}
+	}
+	if profiles[len(profiles)-1].Communities != 1 {
+		t.Error("last level should be the root community")
+	}
+}

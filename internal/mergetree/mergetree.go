@@ -1,0 +1,144 @@
+// Package mergetree builds the hierarchy of community partitions that
+// guides the paper's hierarchical parallel inference (Algorithm 2 and
+// Figure 4): the SLPA communities form the leaves; every level joins
+// communities pairwise until at most q remain. Two pairing policies are
+// provided:
+//
+//   - ByCommunityCount — pair communities in id order, which balances the
+//     binary tree by the number of tree nodes (the paper's design);
+//   - ByNodeCount — pair largest-with-smallest so both members of a pair
+//     carry similar numbers of graph nodes (the load-balancing refinement
+//     the paper describes as future work; our ablation benchmark compares
+//     the two).
+package mergetree
+
+import (
+	"fmt"
+	"sort"
+
+	"viralcast/internal/slpa"
+)
+
+// Policy selects how communities are paired when moving up a level.
+type Policy int
+
+const (
+	// ByCommunityCount pairs communities sequentially by id (paper).
+	ByCommunityCount Policy = iota
+	// ByNodeCount pairs communities largest-with-smallest to balance the
+	// graph-node load of each merged community (paper's future work).
+	ByNodeCount
+)
+
+func (p Policy) String() string {
+	switch p {
+	case ByCommunityCount:
+		return "by-community-count"
+	case ByNodeCount:
+		return "by-node-count"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Levels returns the sequence of partitions visited by Algorithm 2,
+// starting with base and joining pairs per level until the partition has
+// at most q communities (that final partition is included). q < 1 is
+// treated as 1, so the last level is always a single community — the
+// sequential root pass of Figure 4.
+func Levels(base *slpa.Partition, q int, policy Policy) ([]*slpa.Partition, error) {
+	if base == nil || base.NumCommunities() == 0 {
+		return nil, fmt.Errorf("mergetree: empty base partition")
+	}
+	if q < 1 {
+		q = 1
+	}
+	levels := []*slpa.Partition{base}
+	cur := base
+	for cur.NumCommunities() > q {
+		next, err := Join(cur, policy)
+		if err != nil {
+			return nil, err
+		}
+		if next.NumCommunities() >= cur.NumCommunities() {
+			return nil, fmt.Errorf("mergetree: join did not reduce communities (%d -> %d)",
+				cur.NumCommunities(), next.NumCommunities())
+		}
+		levels = append(levels, next)
+		cur = next
+	}
+	return levels, nil
+}
+
+// Join merges every two communities of p into one according to the
+// policy, producing the next level's partition. An odd community out is
+// left unmerged.
+func Join(p *slpa.Partition, policy Policy) (*slpa.Partition, error) {
+	nc := p.NumCommunities()
+	if nc <= 1 {
+		return nil, fmt.Errorf("mergetree: cannot join a partition with %d communities", nc)
+	}
+	pairOf := make([]int, nc) // old community id -> new community id
+	switch policy {
+	case ByCommunityCount:
+		for id := 0; id < nc; id++ {
+			pairOf[id] = id / 2
+		}
+	case ByNodeCount:
+		// Sort community ids by descending size, then pair the largest
+		// with the smallest, second largest with second smallest, etc.
+		ids := make([]int, nc)
+		for i := range ids {
+			ids[i] = i
+		}
+		sort.Slice(ids, func(a, b int) bool {
+			sa, sb := len(p.Communities[ids[a]]), len(p.Communities[ids[b]])
+			if sa != sb {
+				return sa > sb
+			}
+			return ids[a] < ids[b]
+		})
+		newID := 0
+		lo, hi := 0, nc-1
+		for lo < hi {
+			pairOf[ids[lo]] = newID
+			pairOf[ids[hi]] = newID
+			newID++
+			lo++
+			hi--
+		}
+		if lo == hi {
+			pairOf[ids[lo]] = newID
+		}
+	default:
+		return nil, fmt.Errorf("mergetree: unknown policy %v", policy)
+	}
+	membership := make([]int, len(p.Membership))
+	for u, c := range p.Membership {
+		membership[u] = pairOf[c]
+	}
+	return slpa.FromMembership(membership), nil
+}
+
+// Imbalance returns the ratio of the largest community's node count to
+// the mean community node count — 1.0 is perfectly balanced. Used by the
+// load-balancing ablation.
+func Imbalance(p *slpa.Partition) float64 {
+	nc := p.NumCommunities()
+	if nc == 0 {
+		return 0
+	}
+	largest := 0
+	total := 0
+	for _, members := range p.Communities {
+		total += len(members)
+		if len(members) > largest {
+			largest = len(members)
+		}
+	}
+	mean := float64(total) / float64(nc)
+	if mean == 0 {
+		return 0
+	}
+	return float64(largest) / mean
+}

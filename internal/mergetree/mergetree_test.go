@@ -1,0 +1,196 @@
+package mergetree
+
+import (
+	"testing"
+	"testing/quick"
+
+	"viralcast/internal/slpa"
+	"viralcast/internal/xrand"
+)
+
+// partitionOf builds a partition with the given community sizes.
+func partitionOf(sizes ...int) *slpa.Partition {
+	var membership []int
+	for cid, sz := range sizes {
+		for i := 0; i < sz; i++ {
+			membership = append(membership, cid)
+		}
+	}
+	return slpa.FromMembership(membership)
+}
+
+func TestJoinSequential(t *testing.T) {
+	p := partitionOf(2, 2, 2, 2)
+	next, err := Join(p, ByCommunityCount)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.NumCommunities() != 2 {
+		t.Fatalf("joined to %d communities, want 2", next.NumCommunities())
+	}
+	// Communities 0,1 merge; 2,3 merge.
+	if next.Membership[0] != next.Membership[2] {
+		t.Error("communities 0 and 1 not merged")
+	}
+	if next.Membership[4] != next.Membership[6] {
+		t.Error("communities 2 and 3 not merged")
+	}
+	if next.Membership[0] == next.Membership[4] {
+		t.Error("all four communities merged")
+	}
+}
+
+func TestJoinOddCommunityOut(t *testing.T) {
+	p := partitionOf(1, 1, 1)
+	next, err := Join(p, ByCommunityCount)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.NumCommunities() != 2 {
+		t.Fatalf("3 communities joined to %d, want 2", next.NumCommunities())
+	}
+}
+
+func TestJoinByNodeCountBalances(t *testing.T) {
+	// Sizes 8, 1, 7, 2: largest pairs with smallest -> (8+1, 7+2) = (9, 9).
+	p := partitionOf(8, 1, 7, 2)
+	next, err := Join(p, ByNodeCount)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.NumCommunities() != 2 {
+		t.Fatalf("joined to %d communities", next.NumCommunities())
+	}
+	for _, members := range next.Communities {
+		if len(members) != 9 {
+			t.Fatalf("balanced join produced sizes %d and %d",
+				len(next.Communities[0]), len(next.Communities[1]))
+		}
+	}
+	// Sequential pairing would give (9, 9) here too? No: (8+1, 7+2) by id
+	// happens to match; use a case where they differ.
+	p2 := partitionOf(8, 7, 2, 1)
+	seq, _ := Join(p2, ByCommunityCount)
+	bal, _ := Join(p2, ByNodeCount)
+	if Imbalance(bal) > Imbalance(seq) {
+		t.Errorf("ByNodeCount imbalance %v worse than sequential %v",
+			Imbalance(bal), Imbalance(seq))
+	}
+}
+
+func TestJoinErrors(t *testing.T) {
+	if _, err := Join(partitionOf(3), ByCommunityCount); err == nil {
+		t.Error("joining single community accepted")
+	}
+	if _, err := Join(partitionOf(1, 1), Policy(99)); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+func TestLevels(t *testing.T) {
+	p := partitionOf(1, 1, 1, 1, 1, 1, 1, 1) // 8 communities
+	levels, err := Levels(p, 1, ByCommunityCount)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCounts := []int{8, 4, 2, 1}
+	if len(levels) != len(wantCounts) {
+		t.Fatalf("got %d levels, want %d", len(levels), len(wantCounts))
+	}
+	for i, want := range wantCounts {
+		if levels[i].NumCommunities() != want {
+			t.Errorf("level %d has %d communities, want %d", i, levels[i].NumCommunities(), want)
+		}
+		if err := levels[i].Validate(8); err != nil {
+			t.Errorf("level %d invalid: %v", i, err)
+		}
+	}
+}
+
+func TestLevelsStopAtQ(t *testing.T) {
+	p := partitionOf(1, 1, 1, 1, 1, 1, 1, 1)
+	levels, err := Levels(p, 3, ByCommunityCount)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := levels[len(levels)-1]
+	if last.NumCommunities() > 3 {
+		t.Fatalf("last level has %d communities, want <= 3", last.NumCommunities())
+	}
+	if levels[len(levels)-2].NumCommunities() <= 3 {
+		t.Fatal("stopped later than necessary")
+	}
+}
+
+func TestLevelsBaseAlreadySmall(t *testing.T) {
+	p := partitionOf(2, 3)
+	levels, err := Levels(p, 2, ByCommunityCount)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(levels) != 1 {
+		t.Fatalf("base already satisfies q; got %d levels", len(levels))
+	}
+}
+
+func TestLevelsErrors(t *testing.T) {
+	if _, err := Levels(nil, 1, ByCommunityCount); err == nil {
+		t.Error("nil base accepted")
+	}
+}
+
+func TestImbalance(t *testing.T) {
+	if got := Imbalance(partitionOf(5, 5)); got != 1 {
+		t.Errorf("balanced imbalance = %v, want 1", got)
+	}
+	if got := Imbalance(partitionOf(9, 1)); got != 1.8 {
+		t.Errorf("imbalance = %v, want 1.8", got)
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if ByCommunityCount.String() == "" || ByNodeCount.String() == "" || Policy(42).String() == "" {
+		t.Error("Policy.String returned empty")
+	}
+}
+
+// Property: every level is a coarsening of the previous one — nodes that
+// share a community keep sharing it at every higher level — and node
+// counts are conserved.
+func TestLevelsCoarseningProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		n := 2 + rng.Intn(40)
+		membership := make([]int, n)
+		for i := range membership {
+			membership[i] = rng.Intn(8)
+		}
+		base := slpa.FromMembership(membership)
+		policy := ByCommunityCount
+		if seed%2 == 0 {
+			policy = ByNodeCount
+		}
+		levels, err := Levels(base, 1, policy)
+		if err != nil {
+			return false
+		}
+		for li := 1; li < len(levels); li++ {
+			prev, cur := levels[li-1], levels[li]
+			if cur.Validate(n) != nil {
+				return false
+			}
+			for u := 0; u < n; u++ {
+				for v := u + 1; v < n; v++ {
+					if prev.Membership[u] == prev.Membership[v] &&
+						cur.Membership[u] != cur.Membership[v] {
+						return false
+					}
+				}
+			}
+		}
+		return levels[len(levels)-1].NumCommunities() == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,179 @@
+package pointproc
+
+import (
+	"math"
+	"testing"
+
+	"viralcast/internal/cascade"
+	"viralcast/internal/xrand"
+)
+
+// hawkesish generates cascades from an actual branching process with
+// exponential-kernel delays, so Fit faces its own generative family.
+func hawkesish(n int, nu, omega, window float64, seed uint64) []*cascade.Cascade {
+	rng := xrand.New(seed)
+	var out []*cascade.Cascade
+	node := 0
+	for i := 0; i < n; i++ {
+		c := &cascade.Cascade{ID: i}
+		type ev struct{ t float64 }
+		frontier := []ev{{0}}
+		c.Infections = append(c.Infections, cascade.Infection{Node: node, Time: 0})
+		node++
+		for len(frontier) > 0 {
+			e := frontier[0]
+			frontier = frontier[1:]
+			// Poisson(nu) children via Bernoulli splitting over a small grid.
+			children := 0
+			for rng.Float64() < nu-float64(children) {
+				children++
+			}
+			for ch := 0; ch < children; ch++ {
+				t := e.t + rng.Exp(omega)
+				if t > window || len(c.Infections) > 400 {
+					continue
+				}
+				c.Infections = append(c.Infections, cascade.Infection{Node: node, Time: t})
+				node++
+				frontier = append(frontier, ev{t})
+			}
+		}
+		c.SortByTime()
+		out = append(out, c)
+	}
+	return out
+}
+
+func TestFitValidation(t *testing.T) {
+	if _, err := Fit(nil, 0); err == nil {
+		t.Error("horizon=0 accepted")
+	}
+	singles := []*cascade.Cascade{{ID: 0, Infections: []cascade.Infection{{Node: 0, Time: 0}}}}
+	if _, err := Fit(singles, 1); err == nil {
+		t.Error("no-delay training data accepted")
+	}
+}
+
+func TestFitRecoversKernel(t *testing.T) {
+	cs := hawkesish(400, 0.7, 2.0, 20, 1)
+	m, err := Fit(cs, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Omega is estimated from consecutive-report (not parent-child)
+	// delays, which biases it upward; demand the right order of magnitude.
+	if m.Omega < 1 || m.Omega > 10 {
+		t.Errorf("omega = %v, want O(2)", m.Omega)
+	}
+	if m.Nu <= 0 || m.Nu >= 1 {
+		t.Errorf("nu = %v outside (0,1)", m.Nu)
+	}
+}
+
+func TestPredictionUnbiasedOnTraining(t *testing.T) {
+	cs := hawkesish(500, 0.6, 1.5, 25, 2)
+	const horizon = 6.0
+	m, err := Fit(cs, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var predSum, trueSum float64
+	for _, c := range cs {
+		p, err := m.PredictSize(c)
+		if err != nil {
+			continue
+		}
+		predSum += p
+		trueSum += float64(c.Size())
+	}
+	// Nu is calibrated to make total growth match; totals must agree
+	// within a few percent.
+	if math.Abs(predSum-trueSum) > 0.05*trueSum {
+		t.Errorf("biased predictor: predicted total %v vs true %v", predSum, trueSum)
+	}
+}
+
+func TestPredictSizeMonotoneInEarlyMass(t *testing.T) {
+	cs := hawkesish(200, 0.6, 1.5, 25, 3)
+	m, err := Fit(cs, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := &cascade.Cascade{Infections: []cascade.Infection{{Node: 0, Time: 0}}}
+	big := &cascade.Cascade{Infections: []cascade.Infection{
+		{Node: 0, Time: 0}, {Node: 1, Time: 1}, {Node: 2, Time: 5}, {Node: 3, Time: 5.5},
+	}}
+	ps, err := m.PredictSize(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := m.PredictSize(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pb <= ps {
+		t.Errorf("more early mass must predict more growth: %v vs %v", pb, ps)
+	}
+	// Recent reports carry more remaining infectiousness than old ones.
+	recent := &cascade.Cascade{Infections: []cascade.Infection{{Node: 0, Time: 5.9}}}
+	old := &cascade.Cascade{Infections: []cascade.Infection{{Node: 0, Time: 0}}}
+	pr, _ := m.PredictSize(recent)
+	po, _ := m.PredictSize(old)
+	if pr <= po {
+		t.Errorf("recent report must predict more growth: %v vs %v", pr, po)
+	}
+}
+
+func TestPredictSizeErrors(t *testing.T) {
+	cs := hawkesish(100, 0.5, 1.5, 25, 4)
+	m, err := Fit(cs, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	late := &cascade.Cascade{Infections: []cascade.Infection{{Node: 0, Time: 50}}}
+	if _, err := m.PredictSize(late); err == nil {
+		t.Error("unobservable cascade accepted")
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cs := hawkesish(300, 0.6, 1.5, 25, 5)
+	m, err := Fit(cs, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := m.Classify(cs, 10)
+	if len(labels) == 0 {
+		t.Fatal("nothing classified")
+	}
+	pos, neg := 0, 0
+	for _, l := range labels {
+		switch l {
+		case 1:
+			pos++
+		case -1:
+			neg++
+		default:
+			t.Fatalf("bad label %d", l)
+		}
+	}
+	if pos == 0 || neg == 0 {
+		t.Errorf("degenerate classification: %d pos, %d neg", pos, neg)
+	}
+	// Correlation sanity: classification should beat chance on its own
+	// generative family.
+	correct, total := 0, 0
+	for i, l := range labels {
+		truth := -1
+		if cs[i].Size() >= 10 {
+			truth = 1
+		}
+		if truth == l {
+			correct++
+		}
+		total++
+	}
+	if acc := float64(correct) / float64(total); acc < 0.6 {
+		t.Errorf("accuracy %v below sanity bound on in-family data", acc)
+	}
+}

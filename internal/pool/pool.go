@@ -1,0 +1,80 @@
+// Package pool provides the bounded-concurrency primitives the parallel
+// inference uses: run n independent tasks on at most w workers, with
+// deterministic result placement, first-error propagation, and panic
+// containment. It is the Go-native equivalent of the per-community
+// process pool in the paper's Algorithm 1 — a barrier at the end of Run
+// is the algorithm's explicit synchronization point.
+package pool
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Run executes task(0..n-1) with at most `workers` invocations in flight
+// at once and waits for all of them (the barrier). The first error
+// encountered is returned; remaining tasks still run to completion so
+// the caller never observes a half-synchronized state. A panicking task
+// is converted into an error rather than tearing down the process.
+func Run(workers, n int, task func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	record := func(err error) {
+		if err == nil {
+			return
+		}
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	sem := make(chan struct{}, workers)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			defer func() {
+				if r := recover(); r != nil {
+					record(fmt.Errorf("pool: task %d panicked: %v", i, r))
+				}
+			}()
+			record(task(i))
+		}(i)
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// Map runs task(0..n-1) under Run's discipline and collects the results
+// in index order, so output placement is deterministic regardless of
+// scheduling. On error the partial results are discarded.
+func Map[T any](workers, n int, task func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := Run(workers, n, func(i int) error {
+		v, err := task(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,123 @@
+package pool
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunExecutesAll(t *testing.T) {
+	var count atomic.Int64
+	err := Run(4, 100, func(i int) error {
+		count.Add(1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count.Load() != 100 {
+		t.Fatalf("executed %d of 100", count.Load())
+	}
+}
+
+func TestRunBoundsConcurrency(t *testing.T) {
+	var inFlight, peak atomic.Int64
+	var mu sync.Mutex
+	err := Run(3, 50, func(i int) error {
+		cur := inFlight.Add(1)
+		mu.Lock()
+		if cur > peak.Load() {
+			peak.Store(cur)
+		}
+		mu.Unlock()
+		time.Sleep(time.Millisecond)
+		inFlight.Add(-1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak.Load() > 3 {
+		t.Fatalf("concurrency peak %d exceeds bound 3", peak.Load())
+	}
+	// On a 1-core host the peak may be < 3; it must be at least 1.
+	if peak.Load() < 1 {
+		t.Fatalf("nothing ran concurrently at all: peak %d", peak.Load())
+	}
+}
+
+func TestRunReturnsFirstErrorButFinishes(t *testing.T) {
+	sentinel := errors.New("boom")
+	var count atomic.Int64
+	err := Run(2, 20, func(i int) error {
+		count.Add(1)
+		if i == 3 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v", err)
+	}
+	if count.Load() != 20 {
+		t.Fatalf("error aborted remaining tasks: %d of 20 ran", count.Load())
+	}
+}
+
+func TestRunContainsPanics(t *testing.T) {
+	err := Run(2, 10, func(i int) error {
+		if i == 5 {
+			panic("kaboom")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("panic not converted to error")
+	}
+}
+
+func TestRunDegenerateInputs(t *testing.T) {
+	if err := Run(4, 0, func(int) error { return errors.New("never") }); err != nil {
+		t.Fatal("n=0 must be a no-op")
+	}
+	var ran atomic.Int64
+	if err := Run(0, 5, func(int) error { ran.Add(1); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 5 {
+		t.Fatal("workers=0 must clamp to 1 and still run")
+	}
+}
+
+func TestMapOrdersResults(t *testing.T) {
+	out, err := Map(4, 50, func(i int) (int, error) {
+		time.Sleep(time.Duration(50-i) * time.Microsecond) // finish out of order
+		return i * i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestMapDiscardsOnError(t *testing.T) {
+	out, err := Map(2, 10, func(i int) (string, error) {
+		if i == 7 {
+			return "", fmt.Errorf("task %d failed", i)
+		}
+		return "ok", nil
+	})
+	if err == nil {
+		t.Fatal("error swallowed")
+	}
+	if out != nil {
+		t.Fatal("partial results returned on error")
+	}
+}

@@ -1,0 +1,172 @@
+package sbm
+
+import (
+	"math"
+	"testing"
+
+	"viralcast/internal/xrand"
+)
+
+func TestValidate(t *testing.T) {
+	good := Params{N: 100, BlockSize: 10, Alpha: 0.2, Beta: 0.01}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid params rejected: %v", err)
+	}
+	bad := []Params{
+		{N: 0, BlockSize: 10, Alpha: 0.2, Beta: 0.01},
+		{N: 100, BlockSize: 0, Alpha: 0.2, Beta: 0.01},
+		{N: 100, BlockSize: 10, Alpha: 1.5, Beta: 0.01},
+		{N: 100, BlockSize: 10, Alpha: 0.2, Beta: -0.1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad params %d accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestPaperParams(t *testing.T) {
+	p := PaperParams(2000)
+	if p.N != 2000 || p.BlockSize != 40 || p.Alpha != 0.2 || p.Beta != 0.001 {
+		t.Fatalf("PaperParams wrong: %+v", p)
+	}
+	if p.NumBlocks() != 50 {
+		t.Fatalf("NumBlocks = %d, want 50", p.NumBlocks())
+	}
+}
+
+func TestBlockAssignment(t *testing.T) {
+	p := Params{N: 25, BlockSize: 10, Alpha: 0.5, Beta: 0}
+	if p.NumBlocks() != 3 {
+		t.Fatalf("NumBlocks = %d", p.NumBlocks())
+	}
+	if p.Block(0) != 0 || p.Block(9) != 0 || p.Block(10) != 1 || p.Block(24) != 2 {
+		t.Fatal("Block assignment wrong")
+	}
+}
+
+func TestGenerateMembership(t *testing.T) {
+	p := Params{N: 30, BlockSize: 10, Alpha: 0.3, Beta: 0.01}
+	g, mem, err := Generate(p, xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 30 || len(mem) != 30 {
+		t.Fatalf("sizes wrong: N=%d len(mem)=%d", g.N(), len(mem))
+	}
+	for u, m := range mem {
+		if m != u/10 {
+			t.Fatalf("membership[%d] = %d", u, m)
+		}
+	}
+}
+
+func TestGenerateEdgeRates(t *testing.T) {
+	// With enough nodes, empirical intra/inter edge densities must match
+	// alpha and beta.
+	p := Params{N: 400, BlockSize: 40, Alpha: 0.2, Beta: 0.01}
+	g, mem, err := Generate(p, xrand.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var intraEdges, interEdges float64
+	for _, e := range g.Edges() {
+		if e.From > e.To {
+			continue // undirected: count each pair once
+		}
+		if mem[e.From] == mem[e.To] {
+			intraEdges++
+		} else {
+			interEdges++
+		}
+	}
+	intraPairs := 10.0 * 40 * 39 / 2 // 10 blocks
+	interPairs := float64(400*399)/2 - intraPairs
+	intraRate := intraEdges / intraPairs
+	interRate := interEdges / interPairs
+	if math.Abs(intraRate-0.2) > 0.02 {
+		t.Errorf("intra rate %v, want ~0.2", intraRate)
+	}
+	if math.Abs(interRate-0.01) > 0.002 {
+		t.Errorf("inter rate %v, want ~0.01", interRate)
+	}
+}
+
+func TestGenerateUndirectedSymmetry(t *testing.T) {
+	p := Params{N: 80, BlockSize: 20, Alpha: 0.3, Beta: 0.02}
+	g, _, err := Generate(p, xrand.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range g.Edges() {
+		if w, ok := g.Weight(e.To, e.From); !ok || w != e.Weight {
+			t.Fatalf("missing reverse edge for (%d,%d)", e.From, e.To)
+		}
+	}
+}
+
+func TestGenerateZeroBeta(t *testing.T) {
+	p := Params{N: 60, BlockSize: 20, Alpha: 0.5, Beta: 0}
+	g, mem, err := Generate(p, xrand.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range g.Edges() {
+		if mem[e.From] != mem[e.To] {
+			t.Fatalf("beta=0 produced cross edge (%d,%d)", e.From, e.To)
+		}
+	}
+	if g.M() == 0 {
+		t.Fatal("no intra edges generated at alpha=0.5")
+	}
+}
+
+func TestGeneratePaperScaleDegree(t *testing.T) {
+	// Paper: n=2000, alpha=0.2, beta=0.001 gives average degree ~ 10.
+	// Expected degree = 0.2*39 + 0.001*1960 ~ 9.76.
+	if testing.Short() {
+		t.Skip("paper-scale generation skipped in -short")
+	}
+	p := PaperParams(2000)
+	g, _, err := Generate(p, xrand.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg := g.AverageDegree()
+	if avg < 8.5 || avg > 11.5 {
+		t.Errorf("average degree %v, want ~10 (paper)", avg)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := Params{N: 50, BlockSize: 10, Alpha: 0.3, Beta: 0.02}
+	g1, _, _ := Generate(p, xrand.New(9))
+	g2, _, _ := Generate(p, xrand.New(9))
+	if g1.M() != g2.M() {
+		t.Fatalf("same seed, different edge counts: %d vs %d", g1.M(), g2.M())
+	}
+	e1, e2 := g1.Edges(), g2.Edges()
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Fatalf("same seed, edge %d differs", i)
+		}
+	}
+}
+
+func TestGenerateDirected(t *testing.T) {
+	p := Params{N: 60, BlockSize: 20, Alpha: 0.4, Beta: 0.01, Directed: true}
+	g, _, err := Generate(p, xrand.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// In a directed SBM, some edges should lack a reverse counterpart.
+	asym := 0
+	for _, e := range g.Edges() {
+		if _, ok := g.Weight(e.To, e.From); !ok {
+			asym++
+		}
+	}
+	if asym == 0 {
+		t.Error("directed generation produced a perfectly symmetric graph")
+	}
+}

@@ -1,0 +1,155 @@
+package slpa
+
+import (
+	"fmt"
+	"sort"
+
+	"viralcast/internal/graph"
+	"viralcast/internal/xrand"
+)
+
+// Cover is an overlapping community assignment — the full SLPA output
+// (the original algorithm was designed to uncover *overlapping*
+// communities; the paper's parallel algorithm consumes the disjoint
+// reduction from Detect, but the overlapping form is useful for
+// analyzing bridge sites that belong to several regional communities).
+type Cover struct {
+	// Memberships[u] lists the community ids node u belongs to, sorted.
+	Memberships [][]int
+	// Communities[c] lists the member nodes of community c, sorted.
+	Communities [][]int
+}
+
+// NumCommunities returns the number of communities in the cover.
+func (c *Cover) NumCommunities() int { return len(c.Communities) }
+
+// Validate checks structural consistency of the cover for n nodes:
+// every node has at least one community, memberships and community
+// lists agree, and ids are in range.
+func (c *Cover) Validate(n int) error {
+	if len(c.Memberships) != n {
+		return fmt.Errorf("slpa: cover has %d membership rows, want %d", len(c.Memberships), n)
+	}
+	inComm := make([]map[int]bool, len(c.Communities))
+	for cid, members := range c.Communities {
+		inComm[cid] = make(map[int]bool, len(members))
+		for _, u := range members {
+			if u < 0 || u >= n {
+				return fmt.Errorf("slpa: community %d contains out-of-range node %d", cid, u)
+			}
+			if inComm[cid][u] {
+				return fmt.Errorf("slpa: community %d lists node %d twice", cid, u)
+			}
+			inComm[cid][u] = true
+		}
+	}
+	for u, comms := range c.Memberships {
+		if len(comms) == 0 {
+			return fmt.Errorf("slpa: node %d has no community", u)
+		}
+		for _, cid := range comms {
+			if cid < 0 || cid >= len(c.Communities) {
+				return fmt.Errorf("slpa: node %d references community %d out of range", u, cid)
+			}
+			if !inComm[cid][u] {
+				return fmt.Errorf("slpa: node %d claims community %d which does not list it", u, cid)
+			}
+		}
+	}
+	return nil
+}
+
+// OverlapNodes returns the nodes that belong to more than one community
+// — the bridges.
+func (c *Cover) OverlapNodes() []int {
+	var out []int
+	for u, comms := range c.Memberships {
+		if len(comms) > 1 {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// DetectOverlapping runs SLPA and keeps, for every node, every label
+// whose memory frequency is at least r (the original algorithm's
+// post-processing threshold, typically 0.05-0.5). Lower r keeps more
+// overlap; r > 0.5 degenerates to the disjoint output.
+func DetectOverlapping(g *graph.Graph, opt Options, r float64, rng *xrand.RNG) (*Cover, error) {
+	if r <= 0 || r > 1 {
+		return nil, fmt.Errorf("slpa: threshold r must be in (0,1], got %v", r)
+	}
+	opt = opt.withDefaults()
+	n := g.N()
+	und := g.Undirected()
+	memory := make([]map[int]int, n)
+	memSize := make([]int, n)
+	for u := range memory {
+		memory[u] = map[int]int{u: 1}
+		memSize[u] = 1
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	for it := 0; it < opt.Iterations; it++ {
+		rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, listener := range order {
+			ts, ws := und.Neighbors(listener)
+			if len(ts) == 0 {
+				continue
+			}
+			received := map[int]float64{}
+			for i, speaker := range ts {
+				label := speak(memory[speaker], memSize[speaker], rng)
+				received[label] += ws[i]
+			}
+			best, bestW := -1, -1.0
+			for label, w := range received {
+				if w > bestW || (w == bestW && label < best) {
+					best, bestW = label, w
+				}
+			}
+			memory[listener][best]++
+			memSize[listener]++
+		}
+	}
+	// Post-processing: keep labels above the frequency threshold; always
+	// keep the most frequent label so every node is covered.
+	rawMemberships := make([][]int, n)
+	labelsSeen := map[int]int{} // raw label -> dense community id
+	var communities [][]int
+	for u := 0; u < n; u++ {
+		var kept []int
+		bestLabel, bestCount := -1, -1
+		for label, cnt := range memory[u] {
+			if float64(cnt)/float64(memSize[u]) >= r {
+				kept = append(kept, label)
+			}
+			if cnt > bestCount || (cnt == bestCount && label < bestLabel) {
+				bestLabel, bestCount = label, cnt
+			}
+		}
+		if len(kept) == 0 {
+			kept = []int{bestLabel}
+		}
+		sort.Ints(kept)
+		for _, label := range kept {
+			id, ok := labelsSeen[label]
+			if !ok {
+				id = len(communities)
+				labelsSeen[label] = id
+				communities = append(communities, nil)
+			}
+			communities[id] = append(communities[id], u)
+			rawMemberships[u] = append(rawMemberships[u], id)
+		}
+	}
+	for _, members := range communities {
+		sort.Ints(members)
+	}
+	for _, comms := range rawMemberships {
+		sort.Ints(comms)
+	}
+	return &Cover{Memberships: rawMemberships, Communities: communities}, nil
+}

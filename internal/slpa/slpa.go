@@ -1,0 +1,273 @@
+// Package slpa implements the Speaker-Listener Label Propagation
+// Algorithm (Xie, Szymanski & Liu, ICDMW 2011), the community detection
+// method the paper runs on the frequent co-occurrence graph (§IV-B).
+//
+// Each node keeps a memory of labels. In every iteration each listener
+// node collects one label from each neighbor (the speaker samples a label
+// from its own memory, weighted by frequency; neighbors are weighted by
+// edge weight) and stores the most popular received label. After T
+// iterations, each node's community is the most frequent label in its
+// memory — a disjoint partition, which is what the parallel inference
+// algorithm needs (the paper relies on communities that do not intersect
+// so that gradient updates touch disjoint matrix rows).
+package slpa
+
+import (
+	"fmt"
+	"sort"
+
+	"viralcast/internal/graph"
+	"viralcast/internal/xrand"
+)
+
+// Options configures SLPA.
+type Options struct {
+	// Iterations is the number of propagation rounds T (paper default
+	// regimes use 20-100; we default to 50 when 0).
+	Iterations int
+	// MinCommunitySize merges communities smaller than this into their
+	// most-connected neighbor community (0 disables). Tiny fragments are
+	// useless as parallel work units.
+	MinCommunitySize int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Iterations <= 0 {
+		o.Iterations = 50
+	}
+	return o
+}
+
+// Partition holds a disjoint community assignment.
+type Partition struct {
+	// Membership maps node id -> community id in [0, NumCommunities).
+	Membership []int
+	// Communities lists member nodes per community id, each sorted.
+	Communities [][]int
+}
+
+// NumCommunities returns the number of communities.
+func (p *Partition) NumCommunities() int { return len(p.Communities) }
+
+// Validate checks that the partition is a disjoint cover of [0, n).
+func (p *Partition) Validate(n int) error {
+	if len(p.Membership) != n {
+		return fmt.Errorf("slpa: membership length %d != n %d", len(p.Membership), n)
+	}
+	seen := make([]bool, n)
+	for cid, members := range p.Communities {
+		for _, u := range members {
+			if u < 0 || u >= n {
+				return fmt.Errorf("slpa: node %d out of range", u)
+			}
+			if seen[u] {
+				return fmt.Errorf("slpa: node %d in two communities", u)
+			}
+			seen[u] = true
+			if p.Membership[u] != cid {
+				return fmt.Errorf("slpa: membership[%d]=%d but listed in community %d",
+					u, p.Membership[u], cid)
+			}
+		}
+	}
+	for u, ok := range seen {
+		if !ok {
+			return fmt.Errorf("slpa: node %d not covered", u)
+		}
+	}
+	return nil
+}
+
+// FromMembership builds a Partition from a membership slice, renumbering
+// community ids densely in order of first appearance.
+func FromMembership(membership []int) *Partition {
+	remap := map[int]int{}
+	p := &Partition{Membership: make([]int, len(membership))}
+	for u, raw := range membership {
+		id, ok := remap[raw]
+		if !ok {
+			id = len(p.Communities)
+			remap[raw] = id
+			p.Communities = append(p.Communities, nil)
+		}
+		p.Membership[u] = id
+		p.Communities[id] = append(p.Communities[id], u)
+	}
+	for _, members := range p.Communities {
+		sort.Ints(members)
+	}
+	return p
+}
+
+// Detect runs SLPA on g (interpreted as undirected: both in- and
+// out-neighbors speak to a listener) and returns a disjoint partition.
+func Detect(g *graph.Graph, opt Options, rng *xrand.RNG) *Partition {
+	opt = opt.withDefaults()
+	n := g.N()
+	und := g.Undirected()
+	// memory[u] maps label -> count. Initially every node holds itself.
+	memory := make([]map[int]int, n)
+	memSize := make([]int, n)
+	for u := range memory {
+		memory[u] = map[int]int{u: 1}
+		memSize[u] = 1
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	for it := 0; it < opt.Iterations; it++ {
+		rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, listener := range order {
+			ts, ws := und.Neighbors(listener)
+			if len(ts) == 0 {
+				continue
+			}
+			// Each neighbor speaks one label sampled from its memory;
+			// the listener adopts the label with the largest total edge
+			// weight among those spoken.
+			received := map[int]float64{}
+			for i, speaker := range ts {
+				label := speak(memory[speaker], memSize[speaker], rng)
+				received[label] += ws[i]
+			}
+			best, bestW := -1, -1.0
+			for label, w := range received {
+				if w > bestW || (w == bestW && label < best) {
+					best, bestW = label, w
+				}
+			}
+			memory[listener][best]++
+			memSize[listener]++
+		}
+	}
+	// Post-processing: each node takes its most frequent remembered label.
+	membership := make([]int, n)
+	for u := range membership {
+		bestLabel, bestCount := -1, -1
+		for label, cnt := range memory[u] {
+			if cnt > bestCount || (cnt == bestCount && label < bestLabel) {
+				bestLabel, bestCount = label, cnt
+			}
+		}
+		membership[u] = bestLabel
+	}
+	p := FromMembership(membership)
+	if opt.MinCommunitySize > 1 {
+		p = mergeSmall(und, p, opt.MinCommunitySize)
+	}
+	return p
+}
+
+// speak samples a label from the speaker's memory proportionally to its
+// stored frequency.
+func speak(mem map[int]int, total int, rng *xrand.RNG) int {
+	target := rng.Intn(total)
+	// Map iteration order is random in Go; for determinism we walk labels
+	// in sorted order. Memories are small (<= iterations), so this is fine.
+	labels := make([]int, 0, len(mem))
+	for l := range mem {
+		labels = append(labels, l)
+	}
+	sort.Ints(labels)
+	acc := 0
+	for _, l := range labels {
+		acc += mem[l]
+		if target < acc {
+			return l
+		}
+	}
+	return labels[len(labels)-1]
+}
+
+// mergeSmall folds communities below minSize into the neighboring
+// community they connect to with the greatest total weight; isolated
+// small communities merge into the largest community.
+func mergeSmall(und *graph.Graph, p *Partition, minSize int) *Partition {
+	membership := append([]int(nil), p.Membership...)
+	for {
+		counts := map[int]int{}
+		for _, c := range membership {
+			counts[c]++
+		}
+		// Find the smallest community below threshold (ties: lowest id).
+		smallID, smallN := -1, minSize
+		for id, n := range counts {
+			if n < smallN || (n == smallN && smallID != -1 && id < smallID) {
+				smallID, smallN = id, n
+			}
+		}
+		if smallID == -1 {
+			break
+		}
+		// Total connection weight to every other community.
+		weightTo := map[int]float64{}
+		for u, c := range membership {
+			if c != smallID {
+				continue
+			}
+			ts, ws := und.Neighbors(u)
+			for i, v := range ts {
+				if membership[v] != smallID {
+					weightTo[membership[v]] += ws[i]
+				}
+			}
+		}
+		target, bestW := -1, -1.0
+		for id, w := range weightTo {
+			if w > bestW || (w == bestW && id < target) {
+				target, bestW = id, w
+			}
+		}
+		if target == -1 {
+			// Isolated: merge into the largest other community, if any.
+			bestN := -1
+			for id, n := range counts {
+				if id != smallID && (n > bestN || (n == bestN && id < target)) {
+					target, bestN = id, n
+				}
+			}
+			if target == -1 {
+				break // only one community left
+			}
+		}
+		for u, c := range membership {
+			if c == smallID {
+				membership[u] = target
+			}
+		}
+	}
+	return FromMembership(membership)
+}
+
+// Modularity computes the weighted Newman modularity of the partition on
+// graph g (treated as undirected). Used in tests and diagnostics to check
+// that detected communities are meaningfully dense.
+func Modularity(g *graph.Graph, p *Partition) float64 {
+	und := g.Undirected()
+	m2 := und.TotalWeight() // sum over directed arcs = 2m for undirected
+	if m2 == 0 {
+		return 0
+	}
+	// Standard per-community form: Q = sum_c [ w_in(c)/m2 - (deg(c)/m2)^2 ]
+	// where w_in(c) counts directed arcs inside c (each undirected edge
+	// twice, matching m2 = 2m) and deg(c) is the total weighted degree.
+	nc := p.NumCommunities()
+	win := make([]float64, nc)
+	deg := make([]float64, nc)
+	for u := 0; u < und.N(); u++ {
+		cu := p.Membership[u]
+		ts, ws := und.Neighbors(u)
+		for i, v := range ts {
+			deg[cu] += ws[i]
+			if p.Membership[v] == cu {
+				win[cu] += ws[i]
+			}
+		}
+	}
+	var q float64
+	for c := 0; c < nc; c++ {
+		q += win[c]/m2 - (deg[c]/m2)*(deg[c]/m2)
+	}
+	return q
+}

@@ -1,0 +1,239 @@
+package slpa
+
+import (
+	"testing"
+	"testing/quick"
+
+	"viralcast/internal/graph"
+	"viralcast/internal/sbm"
+	"viralcast/internal/xrand"
+)
+
+func TestFromMembership(t *testing.T) {
+	p := FromMembership([]int{5, 5, 9, 5, 9})
+	if p.NumCommunities() != 2 {
+		t.Fatalf("NumCommunities = %d", p.NumCommunities())
+	}
+	if err := p.Validate(5); err != nil {
+		t.Fatal(err)
+	}
+	// Dense renumbering in first-appearance order: label 5 -> 0, 9 -> 1.
+	if p.Membership[0] != 0 || p.Membership[2] != 1 {
+		t.Fatalf("Membership = %v", p.Membership)
+	}
+	if len(p.Communities[0]) != 3 || len(p.Communities[1]) != 2 {
+		t.Fatalf("Communities = %v", p.Communities)
+	}
+	// Members sorted.
+	for _, members := range p.Communities {
+		for i := 1; i < len(members); i++ {
+			if members[i-1] >= members[i] {
+				t.Fatalf("community not sorted: %v", members)
+			}
+		}
+	}
+}
+
+func TestValidateCatchesBadPartitions(t *testing.T) {
+	p := FromMembership([]int{0, 0, 1})
+	if err := p.Validate(2); err == nil {
+		t.Error("wrong n accepted")
+	}
+	broken := &Partition{
+		Membership:  []int{0, 0},
+		Communities: [][]int{{0}},
+	}
+	if err := broken.Validate(2); err == nil {
+		t.Error("uncovered node accepted")
+	}
+	dup := &Partition{
+		Membership:  []int{0, 0},
+		Communities: [][]int{{0, 0, 1}},
+	}
+	if err := dup.Validate(2); err == nil {
+		t.Error("duplicated node accepted")
+	}
+}
+
+// twoCliques returns two K5s joined by a single weak edge.
+func twoCliques(t *testing.T) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(10)
+	addClique := func(lo, hi int) {
+		for u := lo; u < hi; u++ {
+			for v := u + 1; v < hi; v++ {
+				if err := b.AddEdge(u, v, 1); err != nil {
+					t.Fatal(err)
+				}
+				if err := b.AddEdge(v, u, 1); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	addClique(0, 5)
+	addClique(5, 10)
+	if err := b.AddEdge(4, 5, 0.05); err != nil {
+		t.Fatal(err)
+	}
+	return b.Build()
+}
+
+func TestDetectTwoCliques(t *testing.T) {
+	g := twoCliques(t)
+	p := Detect(g, Options{Iterations: 60}, xrand.New(1))
+	if err := p.Validate(10); err != nil {
+		t.Fatal(err)
+	}
+	// Nodes 0-4 must share a community, 5-9 another, and they must differ.
+	for u := 1; u < 5; u++ {
+		if p.Membership[u] != p.Membership[0] {
+			t.Fatalf("clique 1 split: %v", p.Membership)
+		}
+	}
+	for u := 6; u < 10; u++ {
+		if p.Membership[u] != p.Membership[5] {
+			t.Fatalf("clique 2 split: %v", p.Membership)
+		}
+	}
+	if p.Membership[0] == p.Membership[5] {
+		t.Fatalf("cliques merged: %v", p.Membership)
+	}
+}
+
+func TestDetectSBMRecovery(t *testing.T) {
+	// SLPA on a well-separated SBM should recover the planted blocks for
+	// the vast majority of nodes.
+	params := sbm.Params{N: 200, BlockSize: 40, Alpha: 0.4, Beta: 0.002}
+	g, planted, err := sbm.Generate(params, xrand.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Detect(g, Options{Iterations: 40, MinCommunitySize: 5}, xrand.New(3))
+	if err := p.Validate(200); err != nil {
+		t.Fatal(err)
+	}
+	// Compare by majority vote: each detected community's planted-purity.
+	agree := 0
+	for _, members := range p.Communities {
+		counts := map[int]int{}
+		for _, u := range members {
+			counts[planted[u]]++
+		}
+		best := 0
+		for _, c := range counts {
+			if c > best {
+				best = c
+			}
+		}
+		agree += best
+	}
+	purity := float64(agree) / 200
+	if purity < 0.9 {
+		t.Errorf("SLPA purity %.3f < 0.9 on well-separated SBM", purity)
+	}
+	if p.NumCommunities() < 3 {
+		t.Errorf("SLPA found only %d communities on a 5-block SBM", p.NumCommunities())
+	}
+}
+
+func TestDetectIsolatedNodes(t *testing.T) {
+	g := graph.NewBuilder(4).Build() // no edges at all
+	p := Detect(g, Options{Iterations: 10}, xrand.New(4))
+	if err := p.Validate(4); err != nil {
+		t.Fatal(err)
+	}
+	if p.NumCommunities() != 4 {
+		t.Fatalf("isolated nodes must stay singleton communities, got %d", p.NumCommunities())
+	}
+}
+
+func TestMinCommunitySizeMerging(t *testing.T) {
+	g := twoCliques(t)
+	// A huge minimum forces everything into one community.
+	p := Detect(g, Options{Iterations: 30, MinCommunitySize: 11}, xrand.New(5))
+	if err := p.Validate(10); err != nil {
+		t.Fatal(err)
+	}
+	if p.NumCommunities() != 1 {
+		t.Fatalf("expected full merge, got %d communities", p.NumCommunities())
+	}
+}
+
+func TestDetectDeterministic(t *testing.T) {
+	g := twoCliques(t)
+	p1 := Detect(g, Options{Iterations: 30}, xrand.New(7))
+	p2 := Detect(g, Options{Iterations: 30}, xrand.New(7))
+	for u := range p1.Membership {
+		if p1.Membership[u] != p2.Membership[u] {
+			t.Fatalf("same seed, different partitions at node %d", u)
+		}
+	}
+}
+
+func TestModularity(t *testing.T) {
+	g := twoCliques(t)
+	good := FromMembership([]int{0, 0, 0, 0, 0, 1, 1, 1, 1, 1})
+	bad := FromMembership([]int{0, 1, 0, 1, 0, 1, 0, 1, 0, 1})
+	one := FromMembership(make([]int, 10))
+	qg, qb, qo := Modularity(g, good), Modularity(g, bad), Modularity(g, one)
+	if qg <= qb {
+		t.Errorf("planted partition modularity %v <= scrambled %v", qg, qb)
+	}
+	if qg <= qo {
+		t.Errorf("planted partition modularity %v <= single community %v", qg, qo)
+	}
+	if qg < 0.3 {
+		t.Errorf("two-clique modularity %v unexpectedly low", qg)
+	}
+}
+
+func TestModularityEmptyGraph(t *testing.T) {
+	g := graph.NewBuilder(3).Build()
+	p := FromMembership([]int{0, 0, 0})
+	if Modularity(g, p) != 0 {
+		t.Error("modularity of empty graph must be 0")
+	}
+}
+
+// Property: FromMembership output always validates and preserves
+// co-membership relations.
+func TestFromMembershipProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		n := 1 + rng.Intn(30)
+		membership := make([]int, n)
+		for i := range membership {
+			membership[i] = rng.Intn(6) * 10
+		}
+		p := FromMembership(membership)
+		if p.Validate(n) != nil {
+			return false
+		}
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				same := membership[u] == membership[v]
+				got := p.Membership[u] == p.Membership[v]
+				if same != got {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkDetectSBM(b *testing.B) {
+	params := sbm.Params{N: 500, BlockSize: 40, Alpha: 0.3, Beta: 0.005}
+	g, _, err := sbm.Generate(params, xrand.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Detect(g, Options{Iterations: 20}, xrand.New(uint64(i)))
+	}
+}

@@ -1,0 +1,230 @@
+// Package stats provides the descriptive statistics the experiments
+// report: histograms (linear and logarithmic, for the power-law site
+// popularity of Figure 3), a maximum-likelihood power-law exponent
+// estimator, summary statistics, and correlation measures.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds basic descriptive statistics of a sample.
+type Summary struct {
+	N                int
+	Mean, Std        float64
+	Min, Median, Max float64
+	Q1, Q3           float64
+}
+
+// Summarize computes a Summary; it returns an error for empty input.
+func Summarize(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, fmt.Errorf("stats: empty sample")
+	}
+	s := Summary{N: len(xs)}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.Min, s.Max = sorted[0], sorted[len(sorted)-1]
+	s.Median = Quantile(sorted, 0.5)
+	s.Q1 = Quantile(sorted, 0.25)
+	s.Q3 = Quantile(sorted, 0.75)
+	var sum float64
+	for _, v := range xs {
+		sum += v
+	}
+	s.Mean = sum / float64(len(xs))
+	var ss float64
+	for _, v := range xs {
+		d := v - s.Mean
+		ss += d * d
+	}
+	s.Std = math.Sqrt(ss / float64(len(xs)))
+	return s, nil
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of an ascending-sorted
+// sample with linear interpolation.
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Bin is one histogram bucket: [Lo, Hi) with Count observations.
+type Bin struct {
+	Lo, Hi float64
+	Count  int
+}
+
+// Histogram bins xs into `bins` equal-width buckets spanning [min, max].
+// The last bucket is closed on both sides so max lands inside it.
+func Histogram(xs []float64, bins int) ([]Bin, error) {
+	if len(xs) == 0 {
+		return nil, fmt.Errorf("stats: empty sample")
+	}
+	if bins < 1 {
+		return nil, fmt.Errorf("stats: bins must be >= 1, got %d", bins)
+	}
+	lo, hi := xs[0], xs[0]
+	for _, v := range xs {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi == lo {
+		return []Bin{{Lo: lo, Hi: hi, Count: len(xs)}}, nil
+	}
+	width := (hi - lo) / float64(bins)
+	out := make([]Bin, bins)
+	for i := range out {
+		out[i] = Bin{Lo: lo + float64(i)*width, Hi: lo + float64(i+1)*width}
+	}
+	for _, v := range xs {
+		idx := int((v - lo) / width)
+		if idx >= bins {
+			idx = bins - 1
+		}
+		out[idx].Count++
+	}
+	return out, nil
+}
+
+// LogHistogram bins strictly positive xs into log-spaced buckets — the
+// natural binning for power-law data such as Figure 3's site popularity.
+func LogHistogram(xs []float64, bins int) ([]Bin, error) {
+	if len(xs) == 0 {
+		return nil, fmt.Errorf("stats: empty sample")
+	}
+	if bins < 1 {
+		return nil, fmt.Errorf("stats: bins must be >= 1, got %d", bins)
+	}
+	lo, hi := xs[0], xs[0]
+	for _, v := range xs {
+		if v <= 0 {
+			return nil, fmt.Errorf("stats: LogHistogram requires positive values, got %v", v)
+		}
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi == lo {
+		return []Bin{{Lo: lo, Hi: hi, Count: len(xs)}}, nil
+	}
+	logLo, logHi := math.Log(lo), math.Log(hi)
+	width := (logHi - logLo) / float64(bins)
+	out := make([]Bin, bins)
+	for i := range out {
+		out[i] = Bin{Lo: math.Exp(logLo + float64(i)*width), Hi: math.Exp(logLo + float64(i+1)*width)}
+	}
+	for _, v := range xs {
+		idx := int((math.Log(v) - logLo) / width)
+		if idx >= bins {
+			idx = bins - 1
+		}
+		out[idx].Count++
+	}
+	return out, nil
+}
+
+// PowerLawAlphaMLE estimates the exponent alpha of a Pareto tail
+// P(X > x) ~ (xmin/x)^(alpha-1)... more precisely, for the continuous
+// power-law density p(x) ∝ x^(-alpha) for x >= xmin, the Hill/MLE
+// estimator is alpha = 1 + n / sum(ln(x_i/xmin)) over samples >= xmin.
+func PowerLawAlphaMLE(xs []float64, xmin float64) (float64, error) {
+	if xmin <= 0 {
+		return 0, fmt.Errorf("stats: xmin must be positive, got %v", xmin)
+	}
+	var n int
+	var logsum float64
+	for _, v := range xs {
+		if v >= xmin {
+			n++
+			logsum += math.Log(v / xmin)
+		}
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("stats: no samples >= xmin %v", xmin)
+	}
+	if logsum == 0 {
+		return math.Inf(1), nil
+	}
+	return 1 + float64(n)/logsum, nil
+}
+
+// Pearson returns the Pearson correlation of two equal-length samples,
+// or 0 if either is degenerate.
+func Pearson(x, y []float64) float64 {
+	if len(x) != len(y) || len(x) == 0 {
+		return 0
+	}
+	n := float64(len(x))
+	var sx, sy, sxx, syy, sxy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+		sxx += x[i] * x[i]
+		syy += y[i] * y[i]
+		sxy += x[i] * y[i]
+	}
+	cov := sxy/n - sx/n*sy/n
+	vx := sxx/n - sx/n*sx/n
+	vy := syy/n - sy/n*sy/n
+	if vx <= 0 || vy <= 0 {
+		return 0
+	}
+	return cov / math.Sqrt(vx*vy)
+}
+
+// Spearman returns the Spearman rank correlation (Pearson on ranks,
+// with average ranks for ties).
+func Spearman(x, y []float64) float64 {
+	if len(x) != len(y) || len(x) == 0 {
+		return 0
+	}
+	return Pearson(Ranks(x), Ranks(y))
+}
+
+// Ranks returns 1-based average ranks of xs.
+func Ranks(xs []float64) []float64 {
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	ranks := make([]float64, n)
+	i := 0
+	for i < n {
+		j := i
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			ranks[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return ranks
+}

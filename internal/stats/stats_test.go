@@ -1,0 +1,170 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"viralcast/internal/xrand"
+)
+
+func TestSummarize(t *testing.T) {
+	s, err := Summarize([]float64{1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Fatalf("Summary = %+v", s)
+	}
+	if math.Abs(s.Std-math.Sqrt(2)) > 1e-12 {
+		t.Errorf("Std = %v, want sqrt(2)", s.Std)
+	}
+	if s.Q1 != 2 || s.Q3 != 4 {
+		t.Errorf("quartiles = %v, %v", s.Q1, s.Q3)
+	}
+	if _, err := Summarize(nil); err == nil {
+		t.Error("empty sample accepted")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	sorted := []float64{0, 10}
+	if Quantile(sorted, 0.5) != 5 {
+		t.Errorf("median interpolation = %v", Quantile(sorted, 0.5))
+	}
+	if Quantile(sorted, 0) != 0 || Quantile(sorted, 1) != 10 {
+		t.Error("extreme quantiles wrong")
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("empty quantile should be NaN")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	bins, err := Histogram([]float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bins) != 5 {
+		t.Fatalf("bins = %d", len(bins))
+	}
+	total := 0
+	for _, b := range bins {
+		total += b.Count
+		if b.Hi <= b.Lo {
+			t.Fatalf("degenerate bin %+v", b)
+		}
+	}
+	if total != 11 {
+		t.Fatalf("histogram lost observations: %d", total)
+	}
+	// Max lands in the last bin.
+	if bins[4].Count < 3 {
+		t.Errorf("last bin count = %d, expected to include max", bins[4].Count)
+	}
+}
+
+func TestHistogramDegenerate(t *testing.T) {
+	bins, err := Histogram([]float64{2, 2, 2}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bins) != 1 || bins[0].Count != 3 {
+		t.Fatalf("constant histogram = %+v", bins)
+	}
+	if _, err := Histogram(nil, 2); err == nil {
+		t.Error("empty accepted")
+	}
+	if _, err := Histogram([]float64{1}, 0); err == nil {
+		t.Error("bins=0 accepted")
+	}
+}
+
+func TestLogHistogram(t *testing.T) {
+	xs := []float64{1, 10, 100, 1000}
+	bins, err := LogHistogram(xs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, b := range bins {
+		total += b.Count
+	}
+	if total != 4 {
+		t.Fatalf("log histogram lost observations: %d", total)
+	}
+	// Bin edges grow geometrically.
+	ratio1 := bins[0].Hi / bins[0].Lo
+	ratio2 := bins[1].Hi / bins[1].Lo
+	if math.Abs(ratio1-ratio2) > 1e-9 {
+		t.Errorf("log bins not geometric: %v vs %v", ratio1, ratio2)
+	}
+	if _, err := LogHistogram([]float64{0, 1}, 2); err == nil {
+		t.Error("non-positive value accepted")
+	}
+}
+
+func TestPowerLawAlphaMLE(t *testing.T) {
+	// Sample from a known power law alpha=2.5 via Pareto(xmin=1,
+	// tail exponent alpha-1=1.5) and recover the exponent.
+	rng := xrand.New(1)
+	xs := make([]float64, 50000)
+	for i := range xs {
+		xs[i] = rng.Pareto(1, 1.5)
+	}
+	alpha, err := PowerLawAlphaMLE(xs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(alpha-2.5) > 0.05 {
+		t.Errorf("alpha = %v, want 2.5", alpha)
+	}
+}
+
+func TestPowerLawAlphaMLEErrors(t *testing.T) {
+	if _, err := PowerLawAlphaMLE([]float64{1, 2}, 0); err == nil {
+		t.Error("xmin=0 accepted")
+	}
+	if _, err := PowerLawAlphaMLE([]float64{1, 2}, 100); err == nil {
+		t.Error("no samples above xmin accepted")
+	}
+}
+
+func TestPearson(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{2, 4, 6, 8}
+	if r := Pearson(x, y); math.Abs(r-1) > 1e-12 {
+		t.Errorf("perfect correlation = %v", r)
+	}
+	neg := []float64{8, 6, 4, 2}
+	if r := Pearson(x, neg); math.Abs(r+1) > 1e-12 {
+		t.Errorf("perfect anticorrelation = %v", r)
+	}
+	if Pearson(x, []float64{1, 1, 1, 1}) != 0 {
+		t.Error("constant series correlation must be 0")
+	}
+	if Pearson(x, []float64{1}) != 0 {
+		t.Error("length mismatch must give 0")
+	}
+}
+
+func TestSpearmanMonotone(t *testing.T) {
+	// Monotone nonlinear relation: Spearman 1, Pearson < 1.
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{1, 8, 27, 64, 125}
+	if r := Spearman(x, y); math.Abs(r-1) > 1e-12 {
+		t.Errorf("Spearman = %v, want 1", r)
+	}
+	if p := Pearson(x, y); p >= 1 {
+		t.Errorf("Pearson = %v, expected < 1", p)
+	}
+}
+
+func TestRanksWithTies(t *testing.T) {
+	r := Ranks([]float64{10, 20, 20, 30})
+	want := []float64{1, 2.5, 2.5, 4}
+	for i := range want {
+		if r[i] != want[i] {
+			t.Fatalf("Ranks = %v, want %v", r, want)
+		}
+	}
+}

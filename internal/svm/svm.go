@@ -1,0 +1,288 @@
+// Package svm implements the linear support-vector classifier used for
+// cascade-virality prediction (paper §V uses an SVM with a linear kernel,
+// stressing that a simple classifier suffices when the features are
+// informative). Training is primal stochastic sub-gradient descent on the
+// hinge loss with L2 regularization (Pegasos, Shalev-Shwartz et al.),
+// which converges quickly on the paper's 3-dimensional feature vectors.
+package svm
+
+import (
+	"fmt"
+	"math"
+
+	"viralcast/internal/vecmath"
+	"viralcast/internal/xrand"
+)
+
+// Options configures training.
+type Options struct {
+	// Lambda is the L2 regularization strength (default 1e-3).
+	Lambda float64
+	// Epochs is the number of passes over the training set (default 50).
+	Epochs int
+	// Seed drives the stochastic sample order.
+	Seed uint64
+	// PosWeight scales the hinge loss of positive-class samples — the
+	// standard cost-sensitive SVM for imbalanced tasks such as the
+	// paper's top-20% virality threshold. 0 means 1 (unweighted);
+	// AutoBalance overrides it.
+	PosWeight float64
+	// AutoBalance sets PosWeight to #negatives/#positives, equalizing the
+	// total loss mass of the two classes.
+	AutoBalance bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Lambda <= 0 {
+		o.Lambda = 1e-3
+	}
+	if o.Epochs <= 0 {
+		o.Epochs = 50
+	}
+	if o.PosWeight <= 0 {
+		o.PosWeight = 1
+	}
+	return o
+}
+
+// Model is a trained linear classifier: prediction is sign(W·x + Bias).
+type Model struct {
+	W    []float64
+	Bias float64
+}
+
+// Train fits a linear SVM on features x (rows) and labels y (+1 or -1).
+func Train(x [][]float64, y []int, opt Options) (*Model, error) {
+	opt = opt.withDefaults()
+	if len(x) == 0 || len(x) != len(y) {
+		return nil, fmt.Errorf("svm: %d samples but %d labels", len(x), len(y))
+	}
+	dim := len(x[0])
+	if dim == 0 {
+		return nil, fmt.Errorf("svm: zero-dimensional features")
+	}
+	for i, row := range x {
+		if len(row) != dim {
+			return nil, fmt.Errorf("svm: sample %d has %d features, want %d", i, len(row), dim)
+		}
+		if y[i] != 1 && y[i] != -1 {
+			return nil, fmt.Errorf("svm: label %d is %d, want +1 or -1", i, y[i])
+		}
+	}
+	// The bias is trained as a constant-1 feature appended to every
+	// sample (lightly regularized with the rest of the weights), which
+	// keeps the Pegasos step sizes stable. The returned model averages
+	// the iterates of the second half of training — standard Pegasos
+	// suffix averaging, which markedly reduces the variance of the final
+	// hyperplane.
+	aug := make([][]float64, len(x))
+	for i, row := range x {
+		aug[i] = append(append(make([]float64, 0, dim+1), row...), 1)
+	}
+	if opt.AutoBalance {
+		pos, neg := 0, 0
+		for _, label := range y {
+			if label == 1 {
+				pos++
+			} else {
+				neg++
+			}
+		}
+		if pos > 0 && neg > 0 {
+			opt.PosWeight = float64(neg) / float64(pos)
+		}
+	}
+	w := make([]float64, dim+1)
+	avg := make([]float64, dim+1)
+	avgCount := 0
+	rng := xrand.New(opt.Seed)
+	t := 0
+	halfway := opt.Epochs / 2
+	for epoch := 0; epoch < opt.Epochs; epoch++ {
+		order := rng.Perm(len(aug))
+		for _, i := range order {
+			t++
+			eta := 1 / (opt.Lambda * float64(t))
+			margin := float64(y[i]) * vecmath.Dot(w, aug[i])
+			// Regularization shrink applies on every step.
+			vecmath.Scale(1-eta*opt.Lambda, w)
+			if margin < 1 {
+				weight := 1.0
+				if y[i] == 1 {
+					weight = opt.PosWeight
+				}
+				vecmath.Axpy(eta*weight*float64(y[i]), aug[i], w)
+			}
+		}
+		if epoch >= halfway {
+			vecmath.Add(w, avg)
+			avgCount++
+		}
+	}
+	if avgCount > 0 {
+		vecmath.Scale(1/float64(avgCount), avg)
+	} else {
+		copy(avg, w)
+	}
+	if !vecmath.AllFinite(avg) {
+		return nil, fmt.Errorf("svm: training diverged (non-finite weights); standardize features or lower Lambda")
+	}
+	return &Model{W: avg[:dim], Bias: avg[dim]}, nil
+}
+
+// Decision returns the signed distance proxy W·x + Bias.
+func (m *Model) Decision(x []float64) float64 {
+	return vecmath.Dot(m.W, x) + m.Bias
+}
+
+// Predict returns +1 or -1.
+func (m *Model) Predict(x []float64) int {
+	if m.Decision(x) >= 0 {
+		return 1
+	}
+	return -1
+}
+
+// PredictAll classifies every row.
+func (m *Model) PredictAll(x [][]float64) []int {
+	out := make([]int, len(x))
+	for i, row := range x {
+		out[i] = m.Predict(row)
+	}
+	return out
+}
+
+// TrainBestF1 trains cost-sensitive SVMs over a grid of positive-class
+// weights and returns the one with the best F1 on an internal
+// validation split (stratified 75/25). It exists because the right
+// imbalance compensation for the virality task depends on how separable
+// the classes are: full #neg/#pos balancing maximizes recall at a steep
+// precision cost, while no weighting collapses recall. weights lists the
+// candidate PosWeight values; 0 entries mean "auto" (#neg/#pos).
+func TrainBestF1(x [][]float64, y []int, opt Options, weights []float64, rng *xrand.RNG) (*Model, error) {
+	if len(weights) == 0 {
+		weights = []float64{1, 2, 4, 0}
+	}
+	// Stratified split.
+	var pos, neg []int
+	for i, label := range y {
+		if label == 1 {
+			pos = append(pos, i)
+		} else {
+			neg = append(neg, i)
+		}
+	}
+	if len(pos) < 4 || len(neg) < 4 {
+		// Too small to validate: fall back to auto-balanced training.
+		opt.AutoBalance = true
+		return Train(x, y, opt)
+	}
+	rng.Shuffle(len(pos), func(i, j int) { pos[i], pos[j] = pos[j], pos[i] })
+	rng.Shuffle(len(neg), func(i, j int) { neg[i], neg[j] = neg[j], neg[i] })
+	valSet := map[int]bool{}
+	for _, i := range pos[:len(pos)/4] {
+		valSet[i] = true
+	}
+	for _, i := range neg[:len(neg)/4] {
+		valSet[i] = true
+	}
+	var trX, vaX [][]float64
+	var trY, vaY []int
+	for i := range x {
+		if valSet[i] {
+			vaX = append(vaX, x[i])
+			vaY = append(vaY, y[i])
+		} else {
+			trX = append(trX, x[i])
+			trY = append(trY, y[i])
+		}
+	}
+	autoW := float64(len(neg)) / float64(len(pos))
+	bestF1 := -1.0
+	bestW := 1.0
+	for _, w := range weights {
+		cand := opt
+		cand.AutoBalance = false
+		cand.PosWeight = w
+		if w == 0 {
+			cand.PosWeight = autoW
+		}
+		m, err := Train(trX, trY, cand)
+		if err != nil {
+			continue
+		}
+		var tp, fp, fn int
+		for i, row := range vaX {
+			p := m.Predict(row)
+			switch {
+			case vaY[i] == 1 && p == 1:
+				tp++
+			case vaY[i] == -1 && p == 1:
+				fp++
+			case vaY[i] == 1 && p == -1:
+				fn++
+			}
+		}
+		f1 := 0.0
+		if 2*tp+fp+fn > 0 {
+			f1 = 2 * float64(tp) / float64(2*tp+fp+fn)
+		}
+		if f1 > bestF1 {
+			bestF1, bestW = f1, cand.PosWeight
+		}
+	}
+	final := opt
+	final.AutoBalance = false
+	final.PosWeight = bestW
+	return Train(x, y, final)
+}
+
+// Standardizer shifts and scales features to zero mean and unit variance,
+// fitted on training data and applied to both splits. SVM training on raw
+// heavy-tailed cascade features is ill-conditioned without it.
+type Standardizer struct {
+	Mean, Std []float64
+}
+
+// FitStandardizer estimates per-feature mean and standard deviation.
+func FitStandardizer(x [][]float64) (*Standardizer, error) {
+	if len(x) == 0 {
+		return nil, fmt.Errorf("svm: cannot standardize empty data")
+	}
+	dim := len(x[0])
+	mean := make([]float64, dim)
+	std := make([]float64, dim)
+	for _, row := range x {
+		if len(row) != dim {
+			return nil, fmt.Errorf("svm: ragged feature rows")
+		}
+		vecmath.Add(row, mean)
+	}
+	vecmath.Scale(1/float64(len(x)), mean)
+	for _, row := range x {
+		for j, v := range row {
+			d := v - mean[j]
+			std[j] += d * d
+		}
+	}
+	for j := range std {
+		std[j] = math.Sqrt(std[j] / float64(len(x)))
+		if std[j] < 1e-12 {
+			std[j] = 1 // constant feature: leave centered, unscaled
+		}
+	}
+	return &Standardizer{Mean: mean, Std: std}, nil
+}
+
+// Apply returns the standardized copy of x.
+func (s *Standardizer) Apply(x [][]float64) [][]float64 {
+	out := make([][]float64, len(x))
+	for i, row := range x {
+		r := make([]float64, len(row))
+		for j, v := range row {
+			r[j] = (v - s.Mean[j]) / s.Std[j]
+		}
+		out[i] = r
+	}
+	return out
+}

@@ -1,0 +1,278 @@
+package vecmath
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b))
+}
+
+func TestDot(t *testing.T) {
+	cases := []struct {
+		a, b []float64
+		want float64
+	}{
+		{nil, nil, 0},
+		{[]float64{1}, []float64{2}, 2},
+		{[]float64{1, 2, 3}, []float64{4, 5, 6}, 32},
+		{[]float64{-1, 0.5}, []float64{2, 4}, 0},
+	}
+	for _, c := range cases {
+		if got := Dot(c.a, c.b); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("Dot(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDotPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Dot did not panic on length mismatch")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+func TestAxpy(t *testing.T) {
+	dst := []float64{1, 2, 3}
+	Axpy(2, []float64{1, 1, 1}, dst)
+	want := []float64{3, 4, 5}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("Axpy result %v, want %v", dst, want)
+		}
+	}
+}
+
+func TestAddScaleFillCopy(t *testing.T) {
+	dst := []float64{1, 2}
+	Add([]float64{3, 4}, dst)
+	if dst[0] != 4 || dst[1] != 6 {
+		t.Fatalf("Add result %v", dst)
+	}
+	Scale(0.5, dst)
+	if dst[0] != 2 || dst[1] != 3 {
+		t.Fatalf("Scale result %v", dst)
+	}
+	Fill(dst, 7)
+	if dst[0] != 7 || dst[1] != 7 {
+		t.Fatalf("Fill result %v", dst)
+	}
+	src := []float64{9, 8}
+	Copy(dst, src)
+	if dst[0] != 9 || dst[1] != 8 {
+		t.Fatalf("Copy result %v", dst)
+	}
+}
+
+func TestNorm2(t *testing.T) {
+	if got := Norm2([]float64{3, 4}); !almostEq(got, 5, 1e-12) {
+		t.Errorf("Norm2(3,4) = %v", got)
+	}
+	if got := Norm2(nil); got != 0 {
+		t.Errorf("Norm2(nil) = %v", got)
+	}
+	// Overflow-safe scaling: naive sum of squares would overflow.
+	big := []float64{1e200, 1e200}
+	if got := Norm2(big); math.IsInf(got, 0) || !almostEq(got, 1e200*math.Sqrt2, 1e-10) {
+		t.Errorf("Norm2 overflow guard failed: %v", got)
+	}
+}
+
+func TestDist2(t *testing.T) {
+	if got := Dist2([]float64{0, 0}, []float64{3, 4}); !almostEq(got, 5, 1e-12) {
+		t.Errorf("Dist2 = %v", got)
+	}
+}
+
+func TestSumMax(t *testing.T) {
+	if got := Sum([]float64{1, 2, 3}); got != 6 {
+		t.Errorf("Sum = %v", got)
+	}
+	v, i := Max([]float64{1, 5, 3})
+	if v != 5 || i != 1 {
+		t.Errorf("Max = %v at %d", v, i)
+	}
+	v, i = Max([]float64{-2, -1, -3})
+	if v != -1 || i != 1 {
+		t.Errorf("Max negatives = %v at %d", v, i)
+	}
+}
+
+func TestMaxPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Max did not panic on empty")
+		}
+	}()
+	Max(nil)
+}
+
+func TestProjectNonneg(t *testing.T) {
+	x := []float64{-1, 0, 2, -0.5}
+	ProjectNonneg(x)
+	want := []float64{0, 0, 2, 0}
+	for i := range want {
+		if x[i] != want[i] {
+			t.Fatalf("ProjectNonneg result %v, want %v", x, want)
+		}
+	}
+	if !AllNonneg(x) {
+		t.Fatal("AllNonneg false after projection")
+	}
+}
+
+// Property: projection is idempotent and never increases any element's
+// distance from the feasible set.
+func TestProjectNonnegPropertyIdempotent(t *testing.T) {
+	f := func(x []float64) bool {
+		y := append([]float64(nil), x...)
+		ProjectNonneg(y)
+		if !AllNonneg(y) {
+			return false
+		}
+		z := append([]float64(nil), y...)
+		ProjectNonneg(z)
+		for i := range y {
+			if y[i] != z[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Dot is symmetric and bilinear in its first argument.
+func TestDotPropertySymmetric(t *testing.T) {
+	f := func(a, b []float64) bool {
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		a, b = a[:n], b[:n]
+		for _, v := range append(append([]float64(nil), a...), b...) {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e100 {
+				return true // skip degenerate inputs
+			}
+		}
+		return almostEq(Dot(a, b), Dot(b, a), 1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: triangle inequality for Dist2.
+func TestDist2PropertyTriangle(t *testing.T) {
+	f := func(a, b, c []float64) bool {
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		if len(c) < n {
+			n = len(c)
+		}
+		a, b, c = a[:n], b[:n], c[:n]
+		for _, s := range [][]float64{a, b, c} {
+			for _, v := range s {
+				if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e100 {
+					return true
+				}
+			}
+		}
+		return Dist2(a, c) <= Dist2(a, b)+Dist2(b, c)+1e-9*(1+Dist2(a, b)+Dist2(b, c))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAllFinite(t *testing.T) {
+	if !AllFinite([]float64{1, -2, 0}) {
+		t.Error("AllFinite false on finite input")
+	}
+	if AllFinite([]float64{1, math.NaN()}) {
+		t.Error("AllFinite true on NaN")
+	}
+	if AllFinite([]float64{math.Inf(1)}) {
+		t.Error("AllFinite true on Inf")
+	}
+}
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(3, 2)
+	if m.RowsN != 3 || m.ColsN != 2 || len(m.Data) != 6 {
+		t.Fatalf("NewMatrix shape wrong: %+v", m)
+	}
+	m.Set(1, 1, 5)
+	if m.At(1, 1) != 5 {
+		t.Fatal("Set/At roundtrip failed")
+	}
+	r := m.Row(1)
+	r[0] = 7
+	if m.At(1, 0) != 7 {
+		t.Fatal("Row must alias storage")
+	}
+	c := m.Clone()
+	c.Set(0, 0, 9)
+	if m.At(0, 0) == 9 {
+		t.Fatal("Clone must deep-copy")
+	}
+	m2 := NewMatrix(3, 2)
+	m2.CopyFrom(m)
+	if m2.At(1, 1) != 5 {
+		t.Fatal("CopyFrom failed")
+	}
+	m2.FillConst(1)
+	if m2.At(2, 1) != 1 {
+		t.Fatal("FillConst failed")
+	}
+}
+
+func TestMatrixProjectAndFrobenius(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Set(0, 0, -3)
+	m.Set(1, 1, 4)
+	m.ProjectNonneg()
+	if m.At(0, 0) != 0 || m.At(1, 1) != 4 {
+		t.Fatalf("matrix projection wrong: %+v", m.Data)
+	}
+	o := NewMatrix(2, 2)
+	if got := m.FrobeniusDist(o); !almostEq(got, 4, 1e-12) {
+		t.Errorf("FrobeniusDist = %v, want 4", got)
+	}
+}
+
+func TestMatrixShapePanics(t *testing.T) {
+	m := NewMatrix(2, 2)
+	o := NewMatrix(2, 3)
+	for name, fn := range map[string]func(){
+		"CopyFrom":      func() { m.CopyFrom(o) },
+		"FrobeniusDist": func() { m.FrobeniusDist(o) },
+		"NewMatrixNeg":  func() { NewMatrix(-1, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic on shape mismatch", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 1) != 1 || Clamp(-5, 0, 1) != 0 || Clamp(0.5, 0, 1) != 0.5 {
+		t.Error("Clamp wrong")
+	}
+}

@@ -1,0 +1,200 @@
+// Package xrand provides a deterministic, splittable pseudo-random number
+// generator for the simulations and the stochastic inference algorithm.
+//
+// Every stochastic component in this repository takes an explicit *RNG so
+// experiments are reproducible bit-for-bit from a seed, and so parallel
+// workers can each own an independent stream (via Split) without locking.
+// The core generator is xoshiro256** seeded through splitmix64, which is
+// the recommended seeding procedure for the xoshiro family.
+package xrand
+
+import "math"
+
+// RNG is a xoshiro256** generator. It is NOT safe for concurrent use; give
+// each goroutine its own stream via Split.
+type RNG struct {
+	s [4]uint64
+}
+
+// splitmix64 advances the state and returns the next output; used for
+// seeding and for Split.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a generator seeded from seed. Distinct seeds give
+// independent-looking streams; the zero seed is valid.
+func New(seed uint64) *RNG {
+	r := &RNG{}
+	sm := seed
+	for i := range r.s {
+		r.s[i] = splitmix64(&sm)
+	}
+	// xoshiro must not start at the all-zero state; splitmix64 of any seed
+	// cannot produce four zero words, but guard anyway.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 1
+	}
+	return r
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly random bits.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Split derives a new independent generator from r, advancing r. Use it to
+// hand each parallel worker its own stream.
+func (r *RNG) Split() *RNG {
+	return New(r.Uint64())
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) * 0x1p-53
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with n <= 0")
+	}
+	// Lemire's nearly-divisionless bounded generation.
+	un := uint64(n)
+	x := r.Uint64()
+	hi, lo := mul64(x, un)
+	if lo < un {
+		thresh := (-un) % un
+		for lo < thresh {
+			x = r.Uint64()
+			hi, lo = mul64(x, un)
+		}
+	}
+	return int(hi)
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask32 = 1<<32 - 1
+	a0, a1 := a&mask32, a>>32
+	b0, b1 := b&mask32, b>>32
+	t := a1*b0 + (a0*b0)>>32
+	w1 := t&mask32 + a0*b1
+	hi = a1*b1 + t>>32 + w1>>32
+	lo = a * b
+	return
+}
+
+// Exp returns an exponentially distributed sample with the given rate
+// (mean 1/rate). It panics if rate <= 0.
+func (r *RNG) Exp(rate float64) float64 {
+	if rate <= 0 {
+		panic("xrand: Exp with rate <= 0")
+	}
+	// Use 1-U to avoid log(0).
+	return -math.Log(1-r.Float64()) / rate
+}
+
+// Norm returns a normally distributed sample with the given mean and
+// standard deviation, via the polar Box-Muller transform.
+func (r *RNG) Norm(mean, stddev float64) float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s >= 1 || s == 0 {
+			continue
+		}
+		return mean + stddev*u*math.Sqrt(-2*math.Log(s)/s)
+	}
+}
+
+// Pareto returns a sample from a Pareto (power-law) distribution with the
+// given minimum xmin > 0 and exponent alpha > 1: P(X > x) = (xmin/x)^alpha.
+func (r *RNG) Pareto(xmin, alpha float64) float64 {
+	if xmin <= 0 || alpha <= 0 {
+		panic("xrand: Pareto requires xmin > 0 and alpha > 0")
+	}
+	return xmin / math.Pow(1-r.Float64(), 1/alpha)
+}
+
+// Perm returns a uniformly random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(len(p), func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+// Shuffle performs a Fisher-Yates shuffle of n elements using swap.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Bernoulli returns true with probability p.
+func (r *RNG) Bernoulli(p float64) bool {
+	return r.Float64() < p
+}
+
+// Zipf samples integers in [0, n) with probability proportional to
+// 1/(k+1)^s using inverse-CDF over a precomputed table. Build one with
+// NewZipf and reuse it; construction is O(n).
+type Zipf struct {
+	cdf []float64
+}
+
+// NewZipf builds a Zipf sampler over n categories with exponent s >= 0.
+// s = 0 degenerates to the uniform distribution.
+func NewZipf(n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("xrand: NewZipf with n <= 0")
+	}
+	cdf := make([]float64, n)
+	var total float64
+	for k := 0; k < n; k++ {
+		total += 1 / math.Pow(float64(k+1), s)
+		cdf[k] = total
+	}
+	for k := range cdf {
+		cdf[k] /= total
+	}
+	return &Zipf{cdf: cdf}
+}
+
+// N returns the number of categories.
+func (z *Zipf) N() int { return len(z.cdf) }
+
+// Sample draws one category index from the distribution.
+func (z *Zipf) Sample(r *RNG) int {
+	u := r.Float64()
+	// Binary search for the first cdf entry >= u.
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

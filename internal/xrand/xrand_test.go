@@ -1,0 +1,325 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at step %d", i)
+		}
+	}
+	c := New(43)
+	same := 0
+	a = New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d/1000 identical outputs", same)
+	}
+}
+
+func TestZeroSeedValid(t *testing.T) {
+	r := New(0)
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		seen[r.Uint64()] = true
+	}
+	if len(seen) < 99 {
+		t.Fatalf("zero-seeded RNG has low entropy: %d distinct of 100", len(seen))
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := New(7)
+	s1 := r.Split()
+	s2 := r.Split()
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if s1.Uint64() == s2.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("split streams produced %d/1000 identical outputs", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(1)
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+		sum += v
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean %v too far from 0.5", mean)
+	}
+}
+
+func TestIntnUniform(t *testing.T) {
+	r := New(2)
+	const n, buckets = 100000, 10
+	counts := make([]int, buckets)
+	for i := 0; i < n; i++ {
+		v := r.Intn(buckets)
+		if v < 0 || v >= buckets {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		counts[v]++
+	}
+	want := float64(n) / buckets
+	for b, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("bucket %d count %d deviates from %v", b, c, want)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestExpMeanAndPositivity(t *testing.T) {
+	r := New(3)
+	const n = 200000
+	rate := 2.5
+	var sum float64
+	for i := 0; i < n; i++ {
+		v := r.Exp(rate)
+		if v < 0 {
+			t.Fatalf("Exp returned negative %v", v)
+		}
+		sum += v
+	}
+	mean := sum / n
+	if math.Abs(mean-1/rate) > 0.01 {
+		t.Fatalf("Exp mean %v, want %v", mean, 1/rate)
+	}
+}
+
+// Kolmogorov-Smirnov-style check that Exp(1) matches the exponential CDF.
+func TestExpDistributionKS(t *testing.T) {
+	r := New(4)
+	const n = 20000
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = r.Exp(1)
+	}
+	// Sort via simple insertion into histogram-free approach: use sort-free
+	// empirical CDF at fixed probe points.
+	probes := []float64{0.1, 0.25, 0.5, 1, 1.5, 2, 3}
+	for _, p := range probes {
+		var below int
+		for _, x := range xs {
+			if x <= p {
+				below++
+			}
+		}
+		emp := float64(below) / n
+		theo := 1 - math.Exp(-p)
+		if math.Abs(emp-theo) > 0.015 {
+			t.Errorf("Exp CDF at %v: empirical %v, theoretical %v", p, emp, theo)
+		}
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	r := New(5)
+	const n = 200000
+	mean, sd := 3.0, 2.0
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		v := r.Norm(mean, sd)
+		sum += v
+		sumsq += v * v
+	}
+	m := sum / n
+	variance := sumsq/n - m*m
+	if math.Abs(m-mean) > 0.02 {
+		t.Errorf("Norm mean %v, want %v", m, mean)
+	}
+	if math.Abs(math.Sqrt(variance)-sd) > 0.02 {
+		t.Errorf("Norm sd %v, want %v", math.Sqrt(variance), sd)
+	}
+}
+
+func TestParetoTail(t *testing.T) {
+	r := New(6)
+	const n = 100000
+	xmin, alpha := 1.0, 2.0
+	var belowXmin int
+	var tail int // P(X > 2) should be (1/2)^2 = 0.25
+	for i := 0; i < n; i++ {
+		v := r.Pareto(xmin, alpha)
+		if v < xmin {
+			belowXmin++
+		}
+		if v > 2 {
+			tail++
+		}
+	}
+	if belowXmin > 0 {
+		t.Errorf("Pareto produced %d samples below xmin", belowXmin)
+	}
+	frac := float64(tail) / n
+	if math.Abs(frac-0.25) > 0.01 {
+		t.Errorf("Pareto tail P(X>2) = %v, want 0.25", frac)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(8)
+	for _, n := range []int{0, 1, 2, 10, 100} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) invalid: %v", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestShuffleUniformity(t *testing.T) {
+	// Over many shuffles of [0,1,2], each of the 6 permutations should
+	// appear roughly 1/6 of the time.
+	r := New(9)
+	counts := map[[3]int]int{}
+	const n = 60000
+	for i := 0; i < n; i++ {
+		a := [3]int{0, 1, 2}
+		r.Shuffle(3, func(i, j int) { a[i], a[j] = a[j], a[i] })
+		counts[a]++
+	}
+	if len(counts) != 6 {
+		t.Fatalf("expected 6 permutations, got %d", len(counts))
+	}
+	for p, c := range counts {
+		if math.Abs(float64(c)-n/6.0) > 5*math.Sqrt(n/6.0) {
+			t.Errorf("permutation %v count %d deviates from %v", p, c, n/6.0)
+		}
+	}
+}
+
+func TestBernoulli(t *testing.T) {
+	r := New(10)
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if r.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if math.Abs(frac-0.3) > 0.01 {
+		t.Errorf("Bernoulli(0.3) rate %v", frac)
+	}
+}
+
+func TestZipfDistribution(t *testing.T) {
+	z := NewZipf(5, 1.0)
+	if z.N() != 5 {
+		t.Fatalf("Zipf N = %d", z.N())
+	}
+	r := New(11)
+	const n = 200000
+	counts := make([]int, 5)
+	for i := 0; i < n; i++ {
+		counts[z.Sample(r)]++
+	}
+	// P(k) proportional to 1/(k+1); harmonic sum H5 = 137/60.
+	h5 := 1.0 + 0.5 + 1.0/3 + 0.25 + 0.2
+	for k, c := range counts {
+		want := (1 / float64(k+1)) / h5
+		got := float64(c) / n
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("Zipf P(%d) = %v, want %v", k, got, want)
+		}
+	}
+	// Monotone non-increasing counts.
+	for k := 1; k < 5; k++ {
+		if counts[k] > counts[k-1] {
+			t.Errorf("Zipf counts not monotone: %v", counts)
+		}
+	}
+}
+
+func TestZipfUniformWhenSZero(t *testing.T) {
+	z := NewZipf(4, 0)
+	r := New(12)
+	counts := make([]int, 4)
+	const n = 80000
+	for i := 0; i < n; i++ {
+		counts[z.Sample(r)]++
+	}
+	for k, c := range counts {
+		if math.Abs(float64(c)-n/4.0) > 5*math.Sqrt(n/4.0) {
+			t.Errorf("Zipf s=0 bucket %d count %d not uniform", k, c)
+		}
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewZipf(0, 1) did not panic")
+		}
+	}()
+	NewZipf(0, 1)
+}
+
+func TestExpParetoPanics(t *testing.T) {
+	r := New(13)
+	for name, fn := range map[string]func(){
+		"Exp":    func() { r.Exp(0) },
+		"Pareto": func() { r.Pareto(0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic on invalid args", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink = r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkExp(b *testing.B) {
+	r := New(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink = r.Exp(1.5)
+	}
+	_ = sink
+}

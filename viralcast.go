@@ -1,0 +1,116 @@
+// Package viralcast reproduces "Predicting Viral News Events in Online
+// Media" (Lu & Szymanski, ParSocial @ IPDPSW 2017): topic-specific
+// influence/selectivity node embeddings inferred from information
+// cascades with a community-parallel hierarchical gradient-ascent
+// algorithm, and early-stage prediction of viral cascades from the
+// embeddings of their first adopters.
+//
+// This file is the public façade. The minimal workflow:
+//
+//	cs, _ := cascade.Read(file)                    // or simulate your own
+//	sys, _ := viralcast.Train(cs, nNodes, viralcast.TrainConfig{Topics: 4})
+//	pred, _ := sys.TrainPredictor(cs, earlyCutoff, sizeThreshold)
+//	viral, margin, _ := pred.PredictViral(newCascade)
+//
+// Subsystems (simulator, SBM generator, SLPA communities, Ward
+// clustering, metrics, the synthetic GDELT corpus, figure harnesses)
+// live in internal packages and are exercised by the executables under
+// cmd/ and the programs under examples/.
+package viralcast
+
+import (
+	"fmt"
+	"io"
+
+	"viralcast/internal/cascade"
+	"viralcast/internal/core"
+	"viralcast/internal/eval"
+	"viralcast/internal/experiments"
+	"viralcast/internal/gdelt"
+)
+
+// Cascade is a time-ordered sequence of node infections — the unit of
+// observation throughout the library.
+type Cascade = cascade.Cascade
+
+// Infection is one (node, time) report inside a cascade.
+type Infection = cascade.Infection
+
+// TrainConfig configures Train; the zero value uses library defaults.
+type TrainConfig = core.TrainConfig
+
+// System is a fitted model: influence and selectivity embeddings plus
+// the detected community structure.
+type System = core.System
+
+// Predictor is a trained early-stage virality classifier.
+type Predictor = core.Predictor
+
+// Influencer is a node ranked by total inferred influence.
+type Influencer = core.Influencer
+
+// Confusion is a binary confusion matrix with Precision/Recall/F1/
+// Accuracy methods.
+type Confusion = eval.Confusion
+
+// NewsConfig parameterizes the synthetic news-event corpus generator —
+// the stand-in for the GDELT dataset of the original study.
+type NewsConfig = gdelt.Config
+
+// NewsCorpus is a generated news-event dataset: sites with regions and
+// power-law popularity, plus one reporting cascade per event.
+type NewsCorpus = gdelt.Dataset
+
+// Train fits the embeddings from observed cascades over n nodes using
+// the paper's full pipeline: co-occurrence graph, SLPA communities, and
+// hierarchical community-parallel projected gradient ascent.
+func Train(cs []*Cascade, n int, cfg TrainConfig) (*System, error) {
+	return core.Train(cs, n, cfg)
+}
+
+// LoadSystem rebuilds a fitted System from embeddings previously saved
+// with System.SaveEmbeddings.
+func LoadSystem(r io.Reader, cfg TrainConfig) (*System, error) {
+	return core.LoadSystem(r, cfg)
+}
+
+// SimulateSBM generates a demo workload: a stochastic block-model
+// network with a planted influence/selectivity model, and `count`
+// cascades simulated from it under the continuous-time propagation
+// model. Returned cascades are over node ids [0, n).
+func SimulateSBM(n, count int, window float64, seed uint64) ([]*Cascade, error) {
+	if count < 2 {
+		return nil, fmt.Errorf("viralcast: need at least 2 cascades, got %d", count)
+	}
+	e := experiments.DefaultSBM()
+	e.N = n
+	e.Cascades = count + 1
+	e.Train = count
+	e.Window = window
+	e.Seed = seed
+	w, err := experiments.BuildSBMWorkload(e)
+	if err != nil {
+		return nil, err
+	}
+	return w.Train, nil
+}
+
+// DefaultNewsConfig returns the paper-scale synthetic GDELT
+// configuration (6,000 sites, four regional pools, 72-hour windows).
+func DefaultNewsConfig() NewsConfig { return gdelt.DefaultConfig() }
+
+// GenerateNews builds a synthetic news-event corpus.
+func GenerateNews(cfg NewsConfig) (*NewsCorpus, error) { return gdelt.Generate(cfg) }
+
+// TopSizeThreshold returns the cascade-size threshold that marks the top
+// `frac` fraction of the given cascades as viral.
+func TopSizeThreshold(cs []*Cascade, frac float64) int {
+	return eval.TopFractionThreshold(cascade.Sizes(cs), frac)
+}
+
+// WriteCascades encodes cascades in the library's text format
+// (cascadeID,node,time per line); ReadCascades decodes it.
+func WriteCascades(w io.Writer, cs []*Cascade) error { return cascade.Write(w, cs) }
+
+// ReadCascades decodes the format produced by WriteCascades.
+func ReadCascades(r io.Reader) ([]*Cascade, error) { return cascade.Read(r) }

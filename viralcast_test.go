@@ -1,0 +1,53 @@
+package viralcast_test
+
+import (
+	"testing"
+
+	"viralcast"
+	"viralcast/internal/cascade"
+	"viralcast/internal/embed"
+	"viralcast/internal/sbm"
+	"viralcast/internal/xrand"
+)
+
+// TestPublicWorkflow exercises the documented façade end to end: train a
+// system from cascades, rank influencers, fit a predictor, classify a
+// fresh cascade.
+func TestPublicWorkflow(t *testing.T) {
+	rng := xrand.New(1)
+	g, _, err := sbm.Generate(sbm.Params{N: 80, BlockSize: 20, Alpha: 0.3, Beta: 0.01}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := embed.NewModel(80, 2)
+	truth.InitUniform(rng, 0.2, 0.8)
+	sim, err := cascade.NewSimulator(g, truth.A, truth.B, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := sim.RunMany(0, 250, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sys, err := viralcast.Train(cs[:200], 80, viralcast.TrainConfig{Topics: 2, MaxIter: 8, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top := sys.TopInfluencers(3); len(top) != 3 {
+		t.Fatalf("TopInfluencers = %d", len(top))
+	}
+	pred, err := sys.TrainPredictor(cs[:200], 0.5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	classified := 0
+	for _, c := range cs[200:] {
+		if _, _, err := pred.PredictViral(c); err == nil {
+			classified++
+		}
+	}
+	if classified == 0 {
+		t.Fatal("no test cascades classifiable")
+	}
+}
