@@ -11,6 +11,12 @@
 //	    Fit influence/selectivity embeddings from observed cascades with
 //	    the hierarchical community-parallel algorithm.
 //
+// The training subcommands (infer, influencers, predict) support
+// fault-tolerant runs: -checkpoint FILE persists atomic training
+// snapshots every -checkpoint-every hierarchy levels, SIGINT/SIGTERM
+// triggers a graceful shutdown that writes a final snapshot before
+// exiting, and -resume continues from the snapshot file.
+//
 //	viralcast influencers -n 2000 -in cascades.txt -top 20
 //	    Train and print the highest-influence nodes per topic.
 //
@@ -28,10 +34,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
+	"syscall"
 
 	"viralcast/internal/cascade"
 	"viralcast/internal/cluster"
@@ -49,16 +59,21 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	// SIGINT/SIGTERM cancel the context; the training loops notice at the
+	// next consistency boundary, write a final checkpoint if one is
+	// configured, and unwind cleanly instead of dying mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	var err error
 	switch os.Args[1] {
 	case "simulate":
 		err = cmdSimulate(os.Args[2:])
 	case "infer":
-		err = cmdInfer(os.Args[2:])
+		err = cmdInfer(ctx, os.Args[2:])
 	case "influencers":
-		err = cmdInfluencers(os.Args[2:])
+		err = cmdInfluencers(ctx, os.Args[2:])
 	case "predict":
-		err = cmdPredict(os.Args[2:])
+		err = cmdPredict(ctx, os.Args[2:])
 	case "analyze":
 		err = cmdAnalyze(os.Args[2:])
 	case "gdelt":
@@ -72,8 +87,45 @@ func main() {
 		os.Exit(2)
 	}
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "viralcast: interrupted")
+			os.Exit(130)
+		}
 		fmt.Fprintf(os.Stderr, "viralcast: %v\n", err)
 		os.Exit(1)
+	}
+}
+
+// checkpointFlags registers the fault-tolerance flags shared by the
+// training subcommands.
+type checkpointFlags struct {
+	path   *string
+	every  *int
+	resume *bool
+}
+
+func addCheckpointFlags(fs *flag.FlagSet) checkpointFlags {
+	return checkpointFlags{
+		path:   fs.String("checkpoint", "", "persist training snapshots to this file (atomic writes)"),
+		every:  fs.Int("checkpoint-every", 1, "snapshot cadence in hierarchy levels"),
+		resume: fs.Bool("resume", false, "continue from the -checkpoint snapshot if it exists"),
+	}
+}
+
+func (c checkpointFlags) apply(cfg *core.TrainConfig) {
+	cfg.CheckpointPath = *c.path
+	cfg.CheckpointEvery = *c.every
+	cfg.Resume = *c.resume
+}
+
+// reportInterrupted prints resume guidance after a mid-training
+// cancellation, provided a checkpoint file actually exists.
+func reportInterrupted(err error, path string) {
+	if err == nil || !errors.Is(err, context.Canceled) || path == "" {
+		return
+	}
+	if _, statErr := os.Stat(path); statErr == nil {
+		fmt.Fprintf(os.Stderr, "interrupted; checkpoint saved to %s; rerun with -resume to continue\n", path)
 	}
 }
 
@@ -145,7 +197,7 @@ func loadCascades(path string, n int) ([]*cascade.Cascade, int, error) {
 	return cs, n, nil
 }
 
-func cmdInfer(args []string) error {
+func cmdInfer(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("infer", flag.ExitOnError)
 	in := fs.String("in", "", "cascade file (required)")
 	n := fs.Int("n", 0, "number of nodes (default: inferred from the file)")
@@ -154,6 +206,7 @@ func cmdInfer(args []string) error {
 	workers := fs.Int("workers", 4, "parallel community workers")
 	seed := fs.Uint64("seed", 1, "random seed")
 	out := fs.String("out", "", "write the fitted embeddings (CSV) to this file")
+	ck := addCheckpointFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -164,15 +217,24 @@ func cmdInfer(args []string) error {
 	if err != nil {
 		return err
 	}
-	sys, err := core.Train(cs, nn, core.TrainConfig{
+	cfg := core.TrainConfig{
 		Topics: *topics, MaxIter: *iters, Workers: *workers, Seed: *seed,
-	})
+	}
+	ck.apply(&cfg)
+	sys, err := core.TrainCtx(ctx, cs, nn, cfg)
 	if err != nil {
+		reportInterrupted(err, *ck.path)
 		return err
 	}
-	last := sys.Trace.Levels[len(sys.Trace.Levels)-1]
-	fmt.Fprintf(os.Stderr, "fitted %d nodes x %d topics; %d hierarchy levels; final loglik %.1f; %v\n",
-		nn, *topics, len(sys.Trace.Levels), last.LogLik, sys.Trace.Elapsed)
+	if len(sys.Trace.Levels) > 0 {
+		last := sys.Trace.Levels[len(sys.Trace.Levels)-1]
+		fmt.Fprintf(os.Stderr, "fitted %d nodes x %d topics; %d hierarchy levels; final loglik %.1f; %v\n",
+			nn, *topics, len(sys.Trace.Levels), last.LogLik, sys.Trace.Elapsed)
+	} else {
+		// Resuming a checkpoint of an already-finished run re-runs zero
+		// levels; the model is the snapshot as-is.
+		fmt.Fprintf(os.Stderr, "resumed a completed fit: %d nodes x %d topics; nothing left to run\n", nn, *topics)
+	}
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
@@ -184,7 +246,7 @@ func cmdInfer(args []string) error {
 	return nil
 }
 
-func cmdInfluencers(args []string) error {
+func cmdInfluencers(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("influencers", flag.ExitOnError)
 	in := fs.String("in", "", "cascade file (required)")
 	n := fs.Int("n", 0, "number of nodes (default: inferred)")
@@ -192,6 +254,7 @@ func cmdInfluencers(args []string) error {
 	iters := fs.Int("iters", 30, "max epochs per level")
 	top := fs.Int("top", 20, "how many influencers to print")
 	seed := fs.Uint64("seed", 1, "random seed")
+	ck := addCheckpointFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -202,8 +265,11 @@ func cmdInfluencers(args []string) error {
 	if err != nil {
 		return err
 	}
-	sys, err := core.Train(cs, nn, core.TrainConfig{Topics: *topics, MaxIter: *iters, Seed: *seed})
+	cfg := core.TrainConfig{Topics: *topics, MaxIter: *iters, Seed: *seed}
+	ck.apply(&cfg)
+	sys, err := core.TrainCtx(ctx, cs, nn, cfg)
 	if err != nil {
+		reportInterrupted(err, *ck.path)
 		return err
 	}
 	rows := make([][]string, 0, *top)
@@ -220,7 +286,7 @@ func cmdInfluencers(args []string) error {
 	return nil
 }
 
-func cmdPredict(args []string) error {
+func cmdPredict(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("predict", flag.ExitOnError)
 	in := fs.String("in", "", "cascade file (required)")
 	n := fs.Int("n", 0, "number of nodes (default: inferred)")
@@ -229,6 +295,7 @@ func cmdPredict(args []string) error {
 	early := fs.Float64("early", 0, "early-adopter cutoff time (default: 2/7 of the max observed time)")
 	topFrac := fs.Float64("top", 0.2, "viral class = top fraction of cascade sizes")
 	seed := fs.Uint64("seed", 1, "random seed")
+	ck := addCheckpointFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -254,8 +321,11 @@ func cmdPredict(args []string) error {
 		}
 		cutoff = maxT * 2 / 7
 	}
-	sys, err := core.Train(train, nn, core.TrainConfig{Topics: *topics, MaxIter: *iters, Seed: *seed})
+	cfg := core.TrainConfig{Topics: *topics, MaxIter: *iters, Seed: *seed}
+	ck.apply(&cfg)
+	sys, err := core.TrainCtx(ctx, train, nn, cfg)
 	if err != nil {
+		reportInterrupted(err, *ck.path)
 		return err
 	}
 	thr := eval.TopFractionThreshold(cascade.Sizes(train), *topFrac)

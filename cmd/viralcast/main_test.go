@@ -1,10 +1,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"viralcast/internal/faultinject"
 )
 
 // simulateFixture writes a small cascade file and returns its path.
@@ -34,7 +38,7 @@ func TestCmdSimulateAndAnalyze(t *testing.T) {
 func TestCmdInferWritesModel(t *testing.T) {
 	path := simulateFixture(t)
 	out := filepath.Join(t.TempDir(), "model.csv")
-	err := cmdInfer([]string{"-in", path, "-topics", "2", "-iters", "5", "-out", out})
+	err := cmdInfer(context.Background(), []string{"-in", path, "-topics", "2", "-iters", "5", "-out", out})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,29 +58,29 @@ func TestCmdInferWritesModel(t *testing.T) {
 
 func TestCmdInfluencers(t *testing.T) {
 	path := simulateFixture(t)
-	if err := cmdInfluencers([]string{"-in", path, "-topics", "2", "-iters", "4", "-top", "5"}); err != nil {
+	if err := cmdInfluencers(context.Background(), []string{"-in", path, "-topics", "2", "-iters", "4", "-top", "5"}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestCmdPredict(t *testing.T) {
 	path := simulateFixture(t)
-	if err := cmdPredict([]string{"-in", path, "-topics", "2", "-iters", "5", "-top", "0.3"}); err != nil {
+	if err := cmdPredict(context.Background(), []string{"-in", path, "-topics", "2", "-iters", "5", "-top", "0.3"}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestCmdErrors(t *testing.T) {
-	if err := cmdInfer([]string{"-topics", "2"}); err == nil {
+	if err := cmdInfer(context.Background(), []string{"-topics", "2"}); err == nil {
 		t.Error("infer without -in accepted")
 	}
 	if err := cmdAnalyze([]string{}); err == nil {
 		t.Error("analyze without -in accepted")
 	}
-	if err := cmdPredict([]string{"-in", filepath.Join(t.TempDir(), "missing.txt")}); err == nil {
+	if err := cmdPredict(context.Background(), []string{"-in", filepath.Join(t.TempDir(), "missing.txt")}); err == nil {
 		t.Error("predict on missing file accepted")
 	}
-	if err := cmdInfluencers([]string{}); err == nil {
+	if err := cmdInfluencers(context.Background(), []string{}); err == nil {
 		t.Error("influencers without -in accepted")
 	}
 }
@@ -169,5 +173,78 @@ func TestCmdGdeltDotExport(t *testing.T) {
 	}
 	if !strings.Contains(string(data), "color=") {
 		t.Fatal("DOT has no region colors")
+	}
+}
+
+// TestCmdInferCheckpointResume interrupts an infer run mid-training (the
+// fault injector cancels the context from inside the fit loop, standing
+// in for SIGINT), checks that a checkpoint was persisted, and verifies
+// that -resume produces the same model file as an uninterrupted run.
+func TestCmdInferCheckpointResume(t *testing.T) {
+	path := simulateFixture(t)
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "fit.ckpt")
+	resumed := filepath.Join(dir, "resumed.csv")
+	straight := filepath.Join(dir, "straight.csv")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	inj := faultinject.NewInjector()
+	inj.Arm(faultinject.Fault{Site: "infer.epoch", Action: faultinject.Call, Hit: 6, Fn: cancel, Times: 1})
+	deactivate := faultinject.Activate(inj)
+	err := cmdInfer(ctx, []string{"-in", path, "-topics", "2", "-iters", "5", "-checkpoint", ckpt})
+	deactivate()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted infer returned %v, want context.Canceled", err)
+	}
+	if _, err := os.Stat(ckpt); err != nil {
+		t.Fatalf("no checkpoint after interrupt: %v", err)
+	}
+
+	err = cmdInfer(context.Background(), []string{
+		"-in", path, "-topics", "2", "-iters", "5", "-checkpoint", ckpt, "-resume", "-out", resumed,
+	})
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	err = cmdInfer(context.Background(), []string{"-in", path, "-topics", "2", "-iters", "5", "-out", straight})
+	if err != nil {
+		t.Fatalf("uninterrupted run: %v", err)
+	}
+	a, err := os.ReadFile(resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(straight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatal("resumed model differs from the uninterrupted run")
+	}
+
+	// Resuming the now-complete checkpoint runs zero levels and still
+	// writes the same model.
+	again := filepath.Join(dir, "again.csv")
+	err = cmdInfer(context.Background(), []string{
+		"-in", path, "-topics", "2", "-iters", "5", "-checkpoint", ckpt, "-resume", "-out", again,
+	})
+	if err != nil {
+		t.Fatalf("resume of completed run: %v", err)
+	}
+	c, err := os.ReadFile(again)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(c) != string(b) {
+		t.Fatal("resume of a completed checkpoint changed the model")
+	}
+}
+
+func TestCmdInferResumeRequiresCheckpoint(t *testing.T) {
+	path := simulateFixture(t)
+	err := cmdInfer(context.Background(), []string{"-in", path, "-topics", "2", "-iters", "2", "-resume"})
+	if err == nil || !strings.Contains(err.Error(), "Resume requires CheckpointPath") {
+		t.Fatalf("-resume without -checkpoint: err = %v", err)
 	}
 }

@@ -6,6 +6,7 @@ package cascade
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -178,11 +179,24 @@ func Write(w io.Writer, cs []*Cascade) error {
 	return bw.Flush()
 }
 
+// maxLineBytes bounds a single input line in Read. Real cascade files
+// have short lines; the limit only exists so a corrupt or non-text file
+// fails with a clear error instead of unbounded memory growth. A
+// variable rather than a constant so tests can lower it.
+var maxLineBytes = 64 * 1024 * 1024
+
 // Read decodes the format produced by Write. Cascades are returned in
-// first-appearance order; infections keep file order.
+// first-appearance order; infections keep file order. Every parse error
+// names the offending 1-based line.
 func Read(r io.Reader) ([]*Cascade, error) {
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	// The scanner's effective limit is max(maxLineBytes, cap(buf)), so
+	// the initial buffer must not exceed the configured limit.
+	initial := 64 * 1024
+	if initial > maxLineBytes {
+		initial = maxLineBytes
+	}
+	sc.Buffer(make([]byte, 0, initial), maxLineBytes)
 	byID := map[int]*Cascade{}
 	var order []*Cascade
 	lineNo := 0
@@ -217,7 +231,13 @@ func Read(r io.Reader) ([]*Cascade, error) {
 		c.Infections = append(c.Infections, Infection{Node: node, Time: tm})
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		// The scanner stops before the offending line, so lineNo+1 is the
+		// line that failed to read.
+		if errors.Is(err, bufio.ErrTooLong) {
+			return nil, fmt.Errorf("cascade: line %d: longer than the %d-byte limit (not a cascade file?)",
+				lineNo+1, maxLineBytes)
+		}
+		return nil, fmt.Errorf("cascade: read failed at line %d: %w", lineNo+1, err)
 	}
 	return order, nil
 }

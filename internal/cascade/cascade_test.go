@@ -210,3 +210,25 @@ func TestRoundtripProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestReadOversizedLine(t *testing.T) {
+	old := maxLineBytes
+	maxLineBytes = 256
+	defer func() { maxLineBytes = old }()
+	// Two good lines, then one longer than the limit on line 3.
+	in := "1,0,0\n1,1,0.5\n# " + strings.Repeat("x", 512) + "\n"
+	_, err := Read(strings.NewReader(in))
+	if err == nil {
+		t.Fatal("oversized line accepted")
+	}
+	for _, want := range []string{"line 3", "256-byte limit"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
+	}
+	// Lines within the limit still read fine.
+	cs, err := Read(strings.NewReader("1,0,0\n1,1,0.5\n"))
+	if err != nil || len(cs) != 1 || cs[0].Size() != 2 {
+		t.Fatalf("short lines: cs=%v err=%v", cs, err)
+	}
+}

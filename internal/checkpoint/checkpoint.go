@@ -1,0 +1,223 @@
+// Package checkpoint persists training state durably so a long
+// inference run killed mid-flight — SIGINT, OOM, a pulled plug — resumes
+// from its last consistent snapshot instead of restarting from scratch.
+//
+// A checkpoint file is a small text header followed by the embedding
+// model in the embed CSV format:
+//
+//	viralcast-checkpoint v1
+//	level=3 epoch=40 step=0.25 seed=42 loglik=-1234.5
+//	payload bytes=182733 crc32=9ab3f00d
+//	<model CSV>
+//
+// The header's byte length and CRC-32 of the payload detect truncation
+// and bit rot before a corrupt model ever reaches the optimizer. Save
+// writes to a temporary file in the same directory and renames it into
+// place, so the checkpoint path always holds either the previous
+// complete snapshot or the new one — never a torn write.
+package checkpoint
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"viralcast/internal/embed"
+	"viralcast/internal/faultinject"
+)
+
+const magic = "viralcast-checkpoint v1"
+
+// State is everything a fit loop needs to continue where it stopped.
+type State struct {
+	// Model is the embedding snapshot at a consistent optimization
+	// boundary (end of an accepted epoch or a hierarchy level).
+	Model *embed.Model
+	// Level counts fully completed hierarchy levels (0 for sequential
+	// fits).
+	Level int
+	// Epoch counts accepted epochs completed within the current stage.
+	Epoch int
+	// Step is the current base step size — already halved by any
+	// divergence backoffs, so a resumed run does not re-diverge.
+	Step float64
+	// Seed is the run's RNG seed; a resume must be given the same data
+	// and configuration for the remaining schedule to line up.
+	Seed uint64
+	// LogLik is the training log-likelihood at the snapshot.
+	LogLik float64
+}
+
+// Save atomically writes st to path: the bytes go to a temporary file in
+// the same directory (same filesystem, so the final rename is atomic),
+// are fsynced, and then renamed over path.
+func Save(path string, st *State) error {
+	if st == nil || st.Model == nil {
+		return fmt.Errorf("checkpoint: nil state")
+	}
+	var payload bytes.Buffer
+	if err := st.Model.Write(&payload); err != nil {
+		return fmt.Errorf("checkpoint: encoding model: %w", err)
+	}
+	var buf bytes.Buffer
+	fmt.Fprintln(&buf, magic)
+	fmt.Fprintf(&buf, "level=%d epoch=%d step=%s seed=%d loglik=%s\n",
+		st.Level, st.Epoch,
+		strconv.FormatFloat(st.Step, 'g', -1, 64), st.Seed,
+		strconv.FormatFloat(st.LogLik, 'g', -1, 64))
+	fmt.Fprintf(&buf, "payload bytes=%d crc32=%08x\n",
+		payload.Len(), crc32.ChecksumIEEE(payload.Bytes()))
+	buf.Write(payload.Bytes())
+
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(buf.Bytes()); err != nil {
+		tmp.Close()
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	// Fault site "checkpoint.write": tests chop bytes off the file here
+	// to prove that Load detects a crash-truncated checkpoint.
+	if n := faultinject.TruncateBy("checkpoint.write"); n > 0 {
+		if err := tmp.Truncate(int64(buf.Len() - n)); err != nil {
+			tmp.Close()
+			return fmt.Errorf("checkpoint: %w", err)
+		}
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	return nil
+}
+
+// Load reads and verifies a checkpoint written by Save. Truncated,
+// altered, or foreign files fail with a descriptive error rather than
+// producing a silently wrong model.
+func Load(path string) (*State, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+
+	line, err := readLine(br)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint %s: missing header: %w", path, err)
+	}
+	if line != magic {
+		return nil, fmt.Errorf("checkpoint %s: not a checkpoint file (header %q)", path, line)
+	}
+	st := &State{}
+	line, err = readLine(br)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint %s: truncated header: %w", path, err)
+	}
+	if err := parseFields(line, map[string]func(string) error{
+		"level":  func(v string) (e error) { st.Level, e = strconv.Atoi(v); return },
+		"epoch":  func(v string) (e error) { st.Epoch, e = strconv.Atoi(v); return },
+		"step":   func(v string) (e error) { st.Step, e = strconv.ParseFloat(v, 64); return },
+		"seed":   func(v string) (e error) { st.Seed, e = strconv.ParseUint(v, 10, 64); return },
+		"loglik": func(v string) (e error) { st.LogLik, e = strconv.ParseFloat(v, 64); return },
+	}); err != nil {
+		return nil, fmt.Errorf("checkpoint %s: bad state line: %w", path, err)
+	}
+	line, err = readLine(br)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint %s: truncated header: %w", path, err)
+	}
+	var wantLen int
+	var wantCRC uint32
+	if err := parseFields(strings.TrimPrefix(line, "payload "), map[string]func(string) error{
+		"bytes": func(v string) (e error) { wantLen, e = strconv.Atoi(v); return },
+		"crc32": func(v string) (e error) {
+			c, e := strconv.ParseUint(v, 16, 32)
+			wantCRC = uint32(c)
+			return e
+		},
+	}); err != nil {
+		return nil, fmt.Errorf("checkpoint %s: bad payload line: %w", path, err)
+	}
+	payload := make([]byte, wantLen)
+	if _, err := io.ReadFull(br, payload); err != nil {
+		return nil, fmt.Errorf("checkpoint %s: corrupt: payload truncated (want %d bytes): %w", path, wantLen, err)
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("checkpoint %s: corrupt: trailing bytes after %d-byte payload", path, wantLen)
+	}
+	if got := crc32.ChecksumIEEE(payload); got != wantCRC {
+		return nil, fmt.Errorf("checkpoint %s: corrupt: payload crc32 %08x, header says %08x", path, got, wantCRC)
+	}
+	m, err := embed.Read(bytes.NewReader(payload))
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint %s: corrupt model payload: %w", path, err)
+	}
+	st.Model = m
+	return st, nil
+}
+
+// Resume is Load, except a missing file is not an error: it returns
+// (nil, nil) so "resume if there is anything to resume from" is one
+// call.
+func Resume(path string) (*State, error) {
+	st, err := Load(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	return st, err
+}
+
+// readLine returns the next line without its terminator; a missing
+// newline at EOF is an error because Save always terminates lines.
+func readLine(br *bufio.Reader) (string, error) {
+	line, err := br.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimRight(line, "\n"), nil
+}
+
+// parseFields parses "k1=v1 k2=v2 ..." requiring every registered key
+// exactly once and no unknown keys.
+func parseFields(line string, want map[string]func(string) error) error {
+	seen := make(map[string]bool, len(want))
+	for _, field := range strings.Fields(line) {
+		k, v, ok := strings.Cut(field, "=")
+		if !ok {
+			return fmt.Errorf("malformed field %q", field)
+		}
+		parse, known := want[k]
+		if !known {
+			return fmt.Errorf("unknown field %q", k)
+		}
+		if seen[k] {
+			return fmt.Errorf("duplicate field %q", k)
+		}
+		seen[k] = true
+		if err := parse(v); err != nil {
+			return fmt.Errorf("field %q: %v", field, err)
+		}
+	}
+	for k := range want {
+		if !seen[k] {
+			return fmt.Errorf("missing field %q", k)
+		}
+	}
+	return nil
+}

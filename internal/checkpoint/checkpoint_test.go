@@ -1,0 +1,138 @@
+package checkpoint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"viralcast/internal/embed"
+	"viralcast/internal/faultinject"
+	"viralcast/internal/xrand"
+)
+
+func testState(t *testing.T) *State {
+	t.Helper()
+	m := embed.NewModel(12, 3)
+	m.InitUniform(xrand.New(9), 0.1, 0.9)
+	return &State{Model: m, Level: 2, Epoch: 17, Step: 0.125, Seed: 42, LogLik: -987.25}
+}
+
+func TestSaveLoadRoundtrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt")
+	want := testState(t)
+	if err := Save(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Level != want.Level || got.Epoch != want.Epoch ||
+		got.Step != want.Step || got.Seed != want.Seed || got.LogLik != want.LogLik {
+		t.Fatalf("state mismatch: got %+v", got)
+	}
+	if got.Model.A.FrobeniusDist(want.Model.A) != 0 || got.Model.B.FrobeniusDist(want.Model.B) != 0 {
+		t.Fatal("model not restored bit-for-bit")
+	}
+}
+
+func TestSaveLeavesNoTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ckpt")
+	if err := Save(path, testState(t)); err != nil {
+		t.Fatal(err)
+	}
+	// Overwriting goes through the same temp+rename dance.
+	if err := Save(path, testState(t)); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "ckpt" {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Fatalf("directory not clean after save: %v", names)
+	}
+}
+
+func TestLoadDetectsInjectedTruncation(t *testing.T) {
+	inj := faultinject.NewInjector()
+	inj.Arm(faultinject.Fault{Site: "checkpoint.write", Action: faultinject.Truncate, Hit: 1, Bytes: 100})
+	defer faultinject.Activate(inj)()
+	path := filepath.Join(t.TempDir(), "ckpt")
+	if err := Save(path, testState(t)); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Load(path)
+	if err == nil {
+		t.Fatal("truncated checkpoint loaded without error")
+	}
+	if !strings.Contains(err.Error(), "corrupt") && !strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("unhelpful corruption error: %v", err)
+	}
+}
+
+func TestLoadDetectsBitFlip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt")
+	if err := Save(path, testState(t)); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-20] ^= 0x04 // flip one payload bit
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil || !strings.Contains(err.Error(), "crc32") {
+		t.Fatalf("bit flip not caught: %v", err)
+	}
+}
+
+func TestLoadDetectsTrailingGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt")
+	if err := Save(path, testState(t)); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString("extra\n")
+	f.Close()
+	if _, err := Load(path); err == nil || !strings.Contains(err.Error(), "trailing") {
+		t.Fatalf("trailing garbage not caught: %v", err)
+	}
+}
+
+func TestLoadRejectsForeignFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "notckpt")
+	if err := os.WriteFile(path, []byte("node,kind,topic0\n0,0,1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil || !strings.Contains(err.Error(), "not a checkpoint") {
+		t.Fatalf("foreign file accepted: %v", err)
+	}
+}
+
+func TestResumeMissingFileIsNil(t *testing.T) {
+	st, err := Resume(filepath.Join(t.TempDir(), "nope"))
+	if st != nil || err != nil {
+		t.Fatalf("got %v, %v; want nil, nil", st, err)
+	}
+}
+
+func TestSaveRejectsNilState(t *testing.T) {
+	if err := Save(filepath.Join(t.TempDir(), "ckpt"), nil); err == nil {
+		t.Fatal("nil state accepted")
+	}
+	if err := Save(filepath.Join(t.TempDir(), "ckpt"), &State{}); err == nil {
+		t.Fatal("nil model accepted")
+	}
+}

@@ -8,11 +8,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
 
 	"viralcast/internal/cascade"
+	"viralcast/internal/checkpoint"
 	"viralcast/internal/embed"
 	"viralcast/internal/eval"
 	"viralcast/internal/features"
@@ -37,6 +39,19 @@ type TrainConfig struct {
 	Q int
 	// Seed makes the whole pipeline deterministic.
 	Seed uint64
+	// CheckpointPath, when set, persists training snapshots to this file
+	// (atomically: write-temp-then-rename) so an interrupted run can be
+	// continued with Resume. A final checkpoint is also written when the
+	// training context is canceled mid-fit.
+	CheckpointPath string
+	// CheckpointEvery is the snapshot cadence in hierarchy levels
+	// (sequential polish stages count epochs); values < 1 mean every
+	// boundary.
+	CheckpointEvery int
+	// Resume warm-starts training from the snapshot at CheckpointPath if
+	// the file exists; a missing file starts from scratch. The cascades,
+	// configuration, and seed must match the interrupted run.
+	Resume bool
 }
 
 func (c TrainConfig) withDefaults() TrainConfig {
@@ -66,6 +81,16 @@ type System struct {
 
 // Train fits the system on observed cascades over n nodes.
 func Train(cs []*cascade.Cascade, n int, cfg TrainConfig) (*System, error) {
+	return TrainCtx(context.Background(), cs, n, cfg)
+}
+
+// TrainCtx is Train with cancellation and fault tolerance. Canceling ctx
+// stops the fit at the next consistency boundary and — if
+// cfg.CheckpointPath is set — leaves a durable snapshot behind before
+// returning the context's error, so a SIGINT-style shutdown loses no
+// more than the level in flight. Rerunning with cfg.Resume continues
+// from that snapshot.
+func TrainCtx(ctx context.Context, cs []*cascade.Cascade, n int, cfg TrainConfig) (*System, error) {
 	cfg = cfg.withDefaults()
 	if n <= 0 {
 		return nil, fmt.Errorf("core: n must be positive, got %d", n)
@@ -73,14 +98,51 @@ func Train(cs []*cascade.Cascade, n int, cfg TrainConfig) (*System, error) {
 	if len(cs) == 0 {
 		return nil, fmt.Errorf("core: no training cascades")
 	}
+	res, err := cfg.resilience()
+	if err != nil {
+		return nil, err
+	}
 	inferCfg := infer.Config{K: cfg.Topics, MaxIter: cfg.MaxIter, Seed: cfg.Seed}
-	m, part, tr, err := infer.Pipeline(cs, n, inferCfg, infer.PipelineOptions{
-		Parallel: infer.ParallelOptions{Workers: cfg.Workers, Q: cfg.Q},
+	m, part, tr, err := infer.PipelineCtx(ctx, cs, n, inferCfg, infer.PipelineOptions{
+		Parallel:   infer.ParallelOptions{Workers: cfg.Workers, Q: cfg.Q},
+		Resilience: res,
 	})
 	if err != nil {
 		return nil, err
 	}
 	return &System{N: n, Embeddings: m, Partition: part, Trace: tr, cfg: cfg}, nil
+}
+
+// resilience translates the checkpoint knobs into the inference layer's
+// Resilience hooks, loading the resume snapshot if requested.
+func (c TrainConfig) resilience() (infer.Resilience, error) {
+	res := infer.Resilience{CheckpointEvery: c.CheckpointEvery}
+	if c.CheckpointPath == "" {
+		if c.Resume {
+			return res, fmt.Errorf("core: Resume requires CheckpointPath")
+		}
+		return res, nil
+	}
+	path := c.CheckpointPath
+	res.Checkpoint = func(st infer.FitState) error {
+		return checkpoint.Save(path, &checkpoint.State{
+			Model: st.Model, Level: st.Level, Epoch: st.Epoch,
+			Step: st.Step, Seed: st.Seed, LogLik: st.LogLik,
+		})
+	}
+	if c.Resume {
+		st, err := checkpoint.Resume(path)
+		if err != nil {
+			return res, err
+		}
+		if st != nil {
+			res.Resume = &infer.FitState{
+				Model: st.Model, Level: st.Level, Epoch: st.Epoch,
+				Step: st.Step, Seed: st.Seed, LogLik: st.LogLik,
+			}
+		}
+	}
+	return res, nil
 }
 
 // Update refines the fitted embeddings on newly observed cascades

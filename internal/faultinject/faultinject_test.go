@@ -1,0 +1,134 @@
+package faultinject
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestFireErrorAtExactHit(t *testing.T) {
+	inj := NewInjector()
+	want := errors.New("boom")
+	inj.Arm(Fault{Site: "s", Action: Error, Hit: 3, Err: want})
+	defer Activate(inj)()
+	for hit := 1; hit <= 5; hit++ {
+		err := Fire("s")
+		if hit == 3 && !errors.Is(err, want) {
+			t.Fatalf("hit %d: got %v, want boom", hit, err)
+		}
+		if hit != 3 && err != nil {
+			t.Fatalf("hit %d: unexpected error %v", hit, err)
+		}
+	}
+	if inj.Hits("s") != 5 || inj.Fired("s") != 1 {
+		t.Fatalf("hits=%d fired=%d", inj.Hits("s"), inj.Fired("s"))
+	}
+}
+
+func TestFireEveryHitWithTimesBound(t *testing.T) {
+	inj := NewInjector()
+	inj.Arm(Fault{Site: "s", Action: Error, Times: 2, Err: errors.New("x")})
+	defer Activate(inj)()
+	fails := 0
+	for i := 0; i < 6; i++ {
+		if Fire("s") != nil {
+			fails++
+		}
+	}
+	if fails != 2 {
+		t.Fatalf("fired %d times, want 2", fails)
+	}
+}
+
+func TestFirePanicAndCall(t *testing.T) {
+	inj := NewInjector()
+	inj.Arm(Fault{Site: "p", Action: Panic, Hit: 1})
+	called := false
+	inj.Arm(Fault{Site: "c", Action: Call, Hit: 1, Fn: func() { called = true }})
+	defer Activate(inj)()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("no panic")
+			}
+		}()
+		_ = Fire("p")
+	}()
+	if err := Fire("c"); err != nil || !called {
+		t.Fatalf("call action: err=%v called=%v", err, called)
+	}
+}
+
+func TestPoisonFloats(t *testing.T) {
+	inj := NewInjector()
+	inj.Arm(Fault{Site: "g", Action: NaN, Hit: 2})
+	defer Activate(inj)()
+	x := []float64{1, 2, 3, 4}
+	if PoisonFloats("g", x) {
+		t.Fatal("poisoned on hit 1")
+	}
+	if !PoisonFloats("g", x) {
+		t.Fatal("not poisoned on hit 2")
+	}
+	nans := 0
+	for _, v := range x {
+		if math.IsNaN(v) {
+			nans++
+		}
+	}
+	if nans != 1 {
+		t.Fatalf("want exactly one NaN, got %d in %v", nans, x)
+	}
+}
+
+func TestTruncateBy(t *testing.T) {
+	inj := NewInjector()
+	inj.Arm(Fault{Site: "w", Action: Truncate, Hit: 1, Bytes: 17})
+	defer Activate(inj)()
+	if n := TruncateBy("w"); n != 17 {
+		t.Fatalf("got %d, want 17", n)
+	}
+	if n := TruncateBy("w"); n != 0 {
+		t.Fatalf("second hit truncated %d bytes", n)
+	}
+}
+
+func TestProbIsSeedDeterministic(t *testing.T) {
+	pattern := func(seed uint64) []bool {
+		inj := NewInjector()
+		inj.Arm(Fault{Site: "s", Action: Error, Prob: 0.5, Seed: seed, Err: errors.New("x")})
+		deactivate := Activate(inj)
+		defer deactivate()
+		out := make([]bool, 40)
+		for i := range out {
+			out[i] = Fire("s") != nil
+		}
+		return out
+	}
+	a, b := pattern(7), pattern(7)
+	fired := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed, different pattern at %d", i)
+		}
+		if a[i] {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Fatalf("p=0.5 fired %d/%d times", fired, len(a))
+	}
+}
+
+func TestDisabledIsNoop(t *testing.T) {
+	if Enabled() {
+		t.Fatal("injector active at test start")
+	}
+	x := []float64{1}
+	if Fire("s") != nil || PoisonFloats("s", x) || TruncateBy("s") != 0 {
+		t.Fatal("hooks fired with no injector")
+	}
+	if x[0] != 1 {
+		t.Fatal("slice modified")
+	}
+}

@@ -1,6 +1,7 @@
 package infer
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync/atomic"
@@ -8,6 +9,7 @@ import (
 
 	"viralcast/internal/cascade"
 	"viralcast/internal/embed"
+	"viralcast/internal/faultinject"
 	"viralcast/internal/pool"
 	"viralcast/internal/vecmath"
 	"viralcast/internal/xrand"
@@ -91,11 +93,37 @@ func (m *atomicMatrix) snapshot() *vecmath.Matrix {
 	return out
 }
 
+// restore writes a plain matrix back into the atomic storage — the
+// rollback path of the divergence guard.
+func (m *atomicMatrix) restore(src *vecmath.Matrix) {
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			m.store(i, j, src.At(i, j))
+		}
+	}
+}
+
 // Hogwild fits a model with lock-free parallel stochastic gradient
 // ascent over shared matrices.
 func Hogwild(cs []*cascade.Cascade, n int, cfg Config, opts HogwildOptions) (*embed.Model, *Trace, error) {
+	return HogwildCtx(context.Background(), cs, n, cfg, opts, Resilience{})
+}
+
+// HogwildCtx is Hogwild with cancellation and resilience. Epochs are the
+// consistency boundary: cancellation stops before the next epoch (after
+// a final checkpoint, if configured), checkpoints go out every
+// res.CheckpointEvery epochs, and res.Resume continues from a snapshot's
+// matrices and epoch counter. The divergence guard snapshots the
+// matrices at each epoch boundary; an epoch that ends with a non-finite
+// model or likelihood is rolled back and retried with a halved step
+// scale, up to res.MaxBackoffs consecutive times — the same cascades are
+// resampled (same epoch seed), but the smaller steps keep the 1/rate
+// terms bounded. FitState.Step carries the guard's step scale, which
+// multiplies the 1/(1+epoch) decay schedule.
+func HogwildCtx(ctx context.Context, cs []*cascade.Cascade, n int, cfg Config, opts HogwildOptions, res Resilience) (*embed.Model, *Trace, error) {
 	cfg = cfg.WithDefaults()
 	opts = opts.withDefaults()
+	res = res.withDefaults()
 	if err := cfg.Validate(); err != nil {
 		return nil, nil, err
 	}
@@ -109,32 +137,83 @@ func Hogwild(cs []*cascade.Cascade, n int, cfg Config, opts HogwildOptions) (*em
 	k := cfg.K
 	a := newAtomicMatrix(n, k)
 	b := newAtomicMatrix(n, k)
-	init := xrand.New(cfg.Seed)
-	span := cfg.InitHi - cfg.InitLo
-	for i := 0; i < n; i++ {
-		for j := 0; j < k; j++ {
-			a.store(i, j, cfg.InitLo+span*init.Float64())
-			b.store(i, j, cfg.InitLo+span*init.Float64())
+	startEpoch := 0
+	lrScale := 1.0
+	if res.Resume != nil {
+		if err := res.Resume.validate(n, k, cfg.Seed); err != nil {
+			return nil, nil, err
+		}
+		a.restore(res.Resume.Model.A)
+		b.restore(res.Resume.Model.B)
+		startEpoch = res.Resume.Epoch
+		if res.Resume.Step > 0 {
+			lrScale = res.Resume.Step
+		}
+	} else {
+		init := xrand.New(cfg.Seed)
+		span := cfg.InitHi - cfg.InitLo
+		for i := 0; i < n; i++ {
+			for j := 0; j < k; j++ {
+				a.store(i, j, cfg.InitLo+span*init.Float64())
+				b.store(i, j, cfg.InitLo+span*init.Float64())
+			}
 		}
 	}
 	tr := &Trace{}
-	for epoch := 0; epoch < opts.Epochs; epoch++ {
-		lr := cfg.LearnRate / float64(1+epoch)
+	// goodA/goodB is the last epoch-boundary state known to be finite —
+	// the rollback target and the shutdown-checkpoint payload.
+	goodA, goodB := a.snapshot(), b.snapshot()
+	goodLL := math.Inf(-1)
+	backoffs := 0
+	for epoch := startEpoch; epoch < opts.Epochs; epoch++ {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, res.finalCheckpoint(err, FitState{
+				Model: &embed.Model{A: goodA, B: goodB}, Epoch: epoch, Step: lrScale, Seed: cfg.Seed, LogLik: goodLL,
+			})
+		}
+		lr := lrScale * cfg.LearnRate / float64(1+epoch)
 		epochSeed := cfg.Seed ^ uint64(epoch*1000003)
 		// Hogwild's defining property is that the workers share a and b
 		// with no coordination between updates; the pool only bounds how
 		// many run and provides the end-of-epoch barrier.
-		err := pool.Run(opts.Workers, opts.Workers, func(w int) error {
+		err := pool.RunCtx(ctx, opts.Workers, opts.Workers, func(w int) error {
 			hogwildWorker(cs, a, b, k, lr, opts.ClipNorm,
 				xrand.New(epochSeed+uint64(w)+1), len(cs)/opts.Workers+1)
 			return nil
 		})
 		if err != nil {
+			if canceled(err) {
+				return nil, nil, res.finalCheckpoint(err, FitState{
+					Model: &embed.Model{A: goodA, B: goodB}, Epoch: epoch, Step: lrScale, Seed: cfg.Seed, LogLik: goodLL,
+				})
+			}
 			return nil, nil, err
 		}
-		snap := &embed.Model{A: a.snapshot(), B: b.snapshot()}
-		tr.LogLik = append(tr.LogLik, snap.LogLikAll(cs))
+		snapA, snapB := a.snapshot(), b.snapshot()
+		snap := &embed.Model{A: snapA, B: snapB}
+		ll := snap.LogLikAll(cs)
+		if !finite(ll) || !vecmath.AllFinite(snapA.Data) || !vecmath.AllFinite(snapB.Data) {
+			backoffs++
+			if backoffs > res.MaxBackoffs {
+				return nil, nil, fmt.Errorf(
+					"infer: hogwild diverged at epoch %d: non-finite model or likelihood persisted through %d halved-step retries", epoch, res.MaxBackoffs)
+			}
+			a.restore(goodA)
+			b.restore(goodB)
+			lrScale /= 2
+			epoch-- // retry the epoch at the reduced step
+			continue
+		}
+		backoffs = 0
+		goodA, goodB, goodLL = snapA, snapB, ll
+		tr.LogLik = append(tr.LogLik, ll)
 		tr.Iters++
+		if res.Checkpoint != nil && (epoch+1 == opts.Epochs || (epoch+1-startEpoch)%res.CheckpointEvery == 0) {
+			st := FitState{Model: snap, Epoch: epoch + 1, Step: lrScale, Seed: cfg.Seed, LogLik: ll}
+			if err := res.Checkpoint(st); err != nil {
+				return nil, nil, err
+			}
+		}
 	}
 	tr.Elapsed = time.Since(start)
 	return &embed.Model{A: a.snapshot(), B: b.snapshot()}, tr, nil
@@ -163,6 +242,16 @@ func hogwildWorker(cs []*cascade.Cascade, a, b *atomicMatrix, k int, lr, clip fl
 		dA := vecmath.NewMatrix(sz, k)
 		dB := vecmath.NewMatrix(sz, k)
 		local.AccumGrad(lc, dA, dB, ws)
+		// Fault site "infer.hogwild.grad": tests poison stochastic
+		// gradients to exercise the skip guard below.
+		faultinject.PoisonFloats("infer.hogwild.grad", dA.Data)
+		// First line of the divergence defense: a non-finite per-cascade
+		// gradient (a degenerate rate, or an injected fault) is dropped
+		// before it can poison the shared matrices. addClamp would
+		// propagate a single NaN to every later read of that cell.
+		if !vecmath.AllFinite(dA.Data) || !vecmath.AllFinite(dB.Data) {
+			continue
+		}
 		// Clip the joint gradient norm to keep stochastic steps bounded.
 		norm := math.Sqrt(sq(vecmath.Norm2(dA.Data)) + sq(vecmath.Norm2(dB.Data)))
 		scale := lr

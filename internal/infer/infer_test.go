@@ -219,6 +219,54 @@ func TestSplitCascadesDropsSingletons(t *testing.T) {
 	}
 }
 
+func TestSplitCascadesSingleCommunityKeepsCascadeIntact(t *testing.T) {
+	p := slpa.FromMembership([]int{0, 0, 0})
+	c := &cascade.Cascade{ID: 3, Infections: []cascade.Infection{
+		{Node: 1, Time: 0}, {Node: 0, Time: 1}, {Node: 2, Time: 2},
+	}}
+	subs := SplitCascades([]*cascade.Cascade{c}, p)
+	if len(subs) != 1 || len(subs[0]) != 1 {
+		t.Fatalf("want 1 bucket with 1 sub-cascade, got %v", subs)
+	}
+	got := subs[0][0]
+	if got.ID != 3 || got.Size() != 3 {
+		t.Fatalf("sub-cascade = %+v", got)
+	}
+	for i, inf := range got.Infections {
+		if inf != c.Infections[i] {
+			t.Fatalf("infection %d changed: %+v vs %+v", i, inf, c.Infections[i])
+		}
+	}
+}
+
+func TestSplitCascadesEmptyInput(t *testing.T) {
+	subs := SplitCascades(nil, slpa.FromMembership([]int{0, 1, 2}))
+	if len(subs) != 3 {
+		t.Fatalf("want one bucket per community, got %d", len(subs))
+	}
+	for r, bucket := range subs {
+		if len(bucket) != 0 {
+			t.Errorf("community %d bucket not empty: %v", r, bucket)
+		}
+	}
+}
+
+func TestSplitCascadesMixedKeepAndDrop(t *testing.T) {
+	// Community 0 receives a usable pair; community 1's lone node is a
+	// singleton sub-cascade and must be dropped.
+	p := slpa.FromMembership([]int{0, 0, 1})
+	c := &cascade.Cascade{ID: 7, Infections: []cascade.Infection{
+		{Node: 0, Time: 0}, {Node: 2, Time: 1}, {Node: 1, Time: 2},
+	}}
+	subs := SplitCascades([]*cascade.Cascade{c}, p)
+	if len(subs[0]) != 1 || subs[0][0].Size() != 2 {
+		t.Fatalf("community 0 should keep a pair, got %v", subs[0])
+	}
+	if len(subs[1]) != 0 {
+		t.Fatalf("community 1 singleton not dropped: %v", subs[1])
+	}
+}
+
 func TestRunLevelSingleCommunityMatchesSequentialAscend(t *testing.T) {
 	cs, _ := trainingSet(t, 30, 30, 9)
 	cfg := Config{K: 2, MaxIter: 10, Seed: 10}.WithDefaults()
@@ -415,8 +463,8 @@ func TestPipelineEndToEnd(t *testing.T) {
 
 func TestAscendEmptyCascades(t *testing.T) {
 	m := embed.NewModel(5, 2)
-	iters, lls := ascend(m, nil, Config{}.WithDefaults())
-	if iters != 0 || lls != nil {
+	iters, lls, err := ascend(m, nil, Config{}.WithDefaults())
+	if iters != 0 || lls != nil || err != nil {
 		t.Fatal("ascend on empty cascades must be a no-op")
 	}
 }

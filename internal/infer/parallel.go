@@ -1,11 +1,14 @@
 package infer
 
 import (
+	"context"
 	"fmt"
+	"math"
 	"time"
 
 	"viralcast/internal/cascade"
 	"viralcast/internal/embed"
+	"viralcast/internal/faultinject"
 	"viralcast/internal/mergetree"
 	"viralcast/internal/pool"
 	"viralcast/internal/slpa"
@@ -102,6 +105,15 @@ func buildTasks(subs [][]*cascade.Cascade, p *slpa.Partition) []communityTask {
 // needed), with at most workers communities in flight at once. The model
 // is updated in place; the barrier is the WaitGroup at the end.
 func RunLevel(m *embed.Model, cs []*cascade.Cascade, p *slpa.Partition, cfg Config, workers int) error {
+	return RunLevelCtx(context.Background(), m, cs, p, cfg, workers, 0)
+}
+
+// RunLevelCtx is RunLevel with cancellation: once ctx is done no new
+// community tasks are scheduled, the communities already in flight stop
+// at their next epoch boundary, and ctx.Err() is returned after the
+// barrier. maxBackoffs bounds each community's divergence-guard retries
+// (0 means the default).
+func RunLevelCtx(ctx context.Context, m *embed.Model, cs []*cascade.Cascade, p *slpa.Partition, cfg Config, workers, maxBackoffs int) error {
 	cfg = cfg.WithDefaults()
 	if err := cfg.Validate(); err != nil {
 		return err
@@ -122,30 +134,36 @@ func RunLevel(m *embed.Model, cs []*cascade.Cascade, p *slpa.Partition, cfg Conf
 			active = append(active, tasks[r])
 		}
 	}
-	// pool.Run's completion is Algorithm 1's barrier; communities touch
+	// pool.RunCtx's completion is Algorithm 1's barrier; communities touch
 	// disjoint rows of A and B, so the tasks need no other coordination.
-	return pool.Run(workers, len(active), func(i int) error {
-		optimizeCommunity(m, &active[i], cfg)
-		return nil
+	return pool.RunCtx(ctx, workers, len(active), func(i int) error {
+		return optimizeCommunity(ctx, m, &active[i], cfg, maxBackoffs)
 	})
 }
 
 // optimizeCommunity copies the community's rows into a compact local
 // model, runs monotone projected gradient ascent on the community's
 // sub-cascades, and copies the rows back. Reads and writes touch only
-// this community's rows, which no other worker owns.
-func optimizeCommunity(m *embed.Model, task *communityTask, cfg Config) {
+// this community's rows, which no other worker owns. On a divergence
+// error the community's rows are left at their warm-start values; on
+// cancellation the epochs accepted so far are kept — every accepted
+// epoch is a consistent state — and the context error is returned.
+func optimizeCommunity(ctx context.Context, m *embed.Model, task *communityTask, cfg Config, maxBackoffs int) error {
 	k := m.K()
 	local := embed.NewModel(len(task.nodes), k)
 	for li, u := range task.nodes {
 		copy(local.A.Row(li), m.A.Row(u))
 		copy(local.B.Row(li), m.B.Row(u))
 	}
-	ascend(local, task.localCs, cfg)
+	_, _, _, err := ascendCtx(ctx, local, task.localCs, cfg, ascendOpts{maxBackoffs: maxBackoffs})
+	if err != nil && !canceled(err) {
+		return err
+	}
 	for li, u := range task.nodes {
 		copy(m.A.Row(u), local.A.Row(li))
 		copy(m.B.Row(u), local.B.Row(li))
 	}
+	return err
 }
 
 // Hierarchical executes Algorithm 2: starting from the base partition
@@ -154,8 +172,21 @@ func optimizeCommunity(m *embed.Model, task *communityTask, cfg Config) {
 // pairwise between levels and warm-starting each level with the previous
 // level's embeddings.
 func Hierarchical(cs []*cascade.Cascade, n int, base *slpa.Partition, cfg Config, opts ParallelOptions) (*embed.Model, *Trace, error) {
+	return HierarchicalCtx(context.Background(), cs, n, base, cfg, opts, Resilience{})
+}
+
+// HierarchicalCtx is Hierarchical with cancellation and resilience.
+// Checkpoints are taken at level boundaries — the only points where the
+// full model is a globally consistent state of Algorithm 2 — every
+// res.CheckpointEvery completed levels and after the final level. A
+// cancellation mid-level writes a final checkpoint of the last level
+// boundary, so resuming re-runs the interrupted level from its exact
+// warm start and the completed run is bit-identical to an uninterrupted
+// one (community updates are deterministic and order-independent).
+func HierarchicalCtx(ctx context.Context, cs []*cascade.Cascade, n int, base *slpa.Partition, cfg Config, opts ParallelOptions, res Resilience) (*embed.Model, *Trace, error) {
 	cfg = cfg.WithDefaults()
 	opts = opts.withDefaults()
+	res = res.withDefaults()
 	if err := cfg.Validate(); err != nil {
 		return nil, nil, err
 	}
@@ -175,19 +206,55 @@ func Hierarchical(cs []*cascade.Cascade, n int, base *slpa.Partition, cfg Config
 	start := time.Now()
 	m := embed.NewModel(n, cfg.K)
 	m.InitUniform(xrand.New(cfg.Seed), cfg.InitLo, cfg.InitHi)
+	startLevel := 0
+	if res.Resume != nil {
+		if err := res.Resume.validate(n, cfg.K, cfg.Seed); err != nil {
+			return nil, nil, err
+		}
+		m = res.Resume.Model.Clone()
+		startLevel = res.Resume.Level
+		if startLevel > len(levels) {
+			return nil, nil, fmt.Errorf("infer: resume state has %d levels done, hierarchy only has %d — different data or configuration", startLevel, len(levels))
+		}
+	}
 	tr := &Trace{}
-	for _, level := range levels {
+	prevLL := math.Inf(-1)
+	if res.Resume != nil {
+		prevLL = res.Resume.LogLik
+	}
+	for li := startLevel; li < len(levels); li++ {
+		// boundary is the shutdown snapshot: the model exactly as this
+		// level found it, so a resume re-runs the level from scratch.
+		boundary := FitState{Model: m.Clone(), Level: li, Step: cfg.LearnRate, Seed: cfg.Seed, LogLik: prevLL}
+		if err := ctx.Err(); err != nil {
+			return nil, nil, res.finalCheckpoint(err, boundary)
+		}
+		// Fault site "infer.level": tests cancel or fail here to simulate
+		// a SIGINT or crash landing exactly between levels.
+		if err := faultinject.Fire("infer.level"); err != nil {
+			return nil, nil, err
+		}
 		levelStart := time.Now()
-		if err := RunLevel(m, cs, level, cfg, opts.Workers); err != nil {
+		if err := RunLevelCtx(ctx, m, cs, levels[li], cfg, opts.Workers, res.MaxBackoffs); err != nil {
+			if canceled(err) {
+				return nil, nil, res.finalCheckpoint(err, boundary)
+			}
 			return nil, nil, err
 		}
 		ll := m.LogLikAll(cs)
 		tr.Levels = append(tr.Levels, LevelStats{
-			Communities: level.NumCommunities(),
+			Communities: levels[li].NumCommunities(),
 			Elapsed:     time.Since(levelStart),
 			LogLik:      ll,
 		})
 		tr.LogLik = append(tr.LogLik, ll)
+		prevLL = ll
+		if res.Checkpoint != nil && (li+1 == len(levels) || (li+1-startLevel)%res.CheckpointEvery == 0) {
+			st := FitState{Model: m.Clone(), Level: li + 1, Step: cfg.LearnRate, Seed: cfg.Seed, LogLik: ll}
+			if err := res.Checkpoint(st); err != nil {
+				return nil, nil, err
+			}
+		}
 	}
 	tr.Elapsed = time.Since(start)
 	return m, tr, nil

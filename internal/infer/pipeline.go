@@ -1,6 +1,8 @@
 package infer
 
 import (
+	"context"
+
 	"viralcast/internal/cascade"
 	"viralcast/internal/cooccur"
 	"viralcast/internal/embed"
@@ -9,12 +11,14 @@ import (
 )
 
 // PipelineOptions bundles everything the end-to-end inference needs: the
-// co-occurrence construction, the SLPA community detection, and the
-// hierarchical parallel optimization.
+// co-occurrence construction, the SLPA community detection, the
+// hierarchical parallel optimization, and the resilience layer
+// (cancellation checkpoints, resume, divergence backoff budget).
 type PipelineOptions struct {
-	Cooccur  cooccur.Options
-	SLPA     slpa.Options
-	Parallel ParallelOptions
+	Cooccur    cooccur.Options
+	SLPA       slpa.Options
+	Parallel   ParallelOptions
+	Resilience Resilience
 }
 
 // Pipeline runs the paper's full inference stack on raw cascades:
@@ -27,13 +31,26 @@ type PipelineOptions struct {
 // It returns the fitted model, the detected base partition, and the
 // optimization trace.
 func Pipeline(cs []*cascade.Cascade, n int, cfg Config, opts PipelineOptions) (*embed.Model, *slpa.Partition, *Trace, error) {
+	return PipelineCtx(context.Background(), cs, n, cfg, opts)
+}
+
+// PipelineCtx is Pipeline with cancellation and resilience. The graph
+// construction and community detection are deterministic in the seed and
+// cheap relative to the optimization, so they are recomputed rather than
+// checkpointed; on resume they reproduce the exact partition the
+// interrupted run was using, provided the cascades, configuration, and
+// seed are unchanged.
+func PipelineCtx(ctx context.Context, cs []*cascade.Cascade, n int, cfg Config, opts PipelineOptions) (*embed.Model, *slpa.Partition, *Trace, error) {
 	cfg = cfg.WithDefaults()
+	if err := ctx.Err(); err != nil {
+		return nil, nil, nil, err
+	}
 	g, err := cooccur.Build(cs, n, opts.Cooccur)
 	if err != nil {
 		return nil, nil, nil, err
 	}
 	part := slpa.Detect(g, opts.SLPA, xrand.New(cfg.Seed^0x5eed))
-	m, tr, err := Hierarchical(cs, n, part, cfg, opts.Parallel)
+	m, tr, err := HierarchicalCtx(ctx, cs, n, part, cfg, opts.Parallel, opts.Resilience)
 	if err != nil {
 		return nil, nil, nil, err
 	}

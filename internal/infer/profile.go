@@ -1,6 +1,7 @@
 package infer
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -59,7 +60,9 @@ func HierarchicalProfiled(cs []*cascade.Cascade, n int, base *slpa.Partition, cf
 				continue
 			}
 			start := time.Now()
-			optimizeCommunity(m, task, cfg)
+			if err := optimizeCommunity(context.Background(), m, task, cfg, 0); err != nil {
+				return nil, nil, err
+			}
 			prof.TaskDurations = append(prof.TaskDurations, time.Since(start))
 		}
 		profiles = append(profiles, prof)

@@ -1,0 +1,351 @@
+package infer
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"viralcast/internal/checkpoint"
+	"viralcast/internal/embed"
+	"viralcast/internal/faultinject"
+	"viralcast/internal/slpa"
+	"viralcast/internal/vecmath"
+	"viralcast/internal/xrand"
+)
+
+// --- context cancellation ---------------------------------------------------
+
+func TestSequentialCtxPreCanceled(t *testing.T) {
+	cs, _ := trainingSet(t, 30, 30, 21)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := SequentialCtx(ctx, cs, 30, Config{K: 2, Seed: 1}, Resilience{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestSequentialCtxCancelMidRunWritesFinalCheckpoint(t *testing.T) {
+	cs, _ := trainingSet(t, 40, 60, 22)
+	ctx, cancel := context.WithCancel(context.Background())
+	inj := faultinject.NewInjector()
+	inj.Arm(faultinject.Fault{Site: "infer.epoch", Action: faultinject.Call, Hit: 4, Fn: cancel})
+	defer faultinject.Activate(inj)()
+
+	var final *FitState
+	_, _, err := SequentialCtx(ctx, cs, 40, Config{K: 2, MaxIter: 40, Seed: 3}, Resilience{
+		CheckpointEvery: 1000, // periodic snapshots out of the way: only the shutdown one fires
+		Checkpoint:      func(st FitState) error { final = &st; return nil },
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if final == nil {
+		t.Fatal("cancellation did not write a final checkpoint")
+	}
+	// The 4th epoch hit canceled before running, so exactly 3 epochs are done.
+	if final.Epoch != 3 {
+		t.Fatalf("final checkpoint at epoch %d, want 3", final.Epoch)
+	}
+	if err := final.Model.Validate(); err != nil {
+		t.Fatalf("checkpointed model invalid: %v", err)
+	}
+}
+
+func TestRunLevelCtxPreCanceled(t *testing.T) {
+	cs, _ := trainingSet(t, 30, 30, 23)
+	m := embed.NewModel(30, 2)
+	cfg := Config{K: 2, MaxIter: 5, Seed: 1}.WithDefaults()
+	m.InitUniform(xrand.New(cfg.Seed), cfg.InitLo, cfg.InitHi)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := RunLevelCtx(ctx, m, cs, slpa.FromMembership(make([]int, 30)), cfg, 2, 0)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestHogwildCtxCancel(t *testing.T) {
+	cs, _ := trainingSet(t, 30, 40, 24)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var final *FitState
+	_, _, err := HogwildCtx(ctx, cs, 30, Config{K: 2, Seed: 1}, HogwildOptions{Epochs: 5}, Resilience{
+		Checkpoint: func(st FitState) error { final = &st; return nil },
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if final == nil || final.Model == nil {
+		t.Fatal("no shutdown checkpoint from canceled hogwild run")
+	}
+}
+
+// --- checkpoint cadence and resume ------------------------------------------
+
+func TestSequentialCheckpointCadence(t *testing.T) {
+	cs, _ := trainingSet(t, 40, 60, 25)
+	var epochs []int
+	m, tr, err := SequentialCtx(context.Background(), cs, 40, Config{K: 2, MaxIter: 9, Seed: 5}, Resilience{
+		CheckpointEvery: 3,
+		Checkpoint:      func(st FitState) error { epochs = append(epochs, st.Epoch); return nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(epochs) == 0 {
+		t.Fatal("no checkpoints written")
+	}
+	// Every interval boundary plus the final state; the final entry must
+	// match the trace's epoch count.
+	if got := epochs[len(epochs)-1]; got != tr.Iters {
+		t.Fatalf("last checkpoint at epoch %d, fit finished at %d", got, tr.Iters)
+	}
+	for _, e := range epochs[:len(epochs)-1] {
+		if e%3 != 0 {
+			t.Fatalf("off-cadence checkpoint at epoch %d: %v", e, epochs)
+		}
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSequentialResumeRejectsMismatchedState(t *testing.T) {
+	cs, _ := trainingSet(t, 30, 30, 26)
+	wrongN := embed.NewModel(10, 2)
+	_, _, err := SequentialCtx(context.Background(), cs, 30, Config{K: 2, Seed: 1}, Resilience{
+		Resume: &FitState{Model: wrongN, Seed: 1},
+	})
+	if err == nil || !strings.Contains(err.Error(), "resume model") {
+		t.Fatalf("mismatched model accepted: %v", err)
+	}
+	rightM := embed.NewModel(30, 2)
+	rightM.InitUniform(xrand.New(1), 0.1, 0.5)
+	_, _, err = SequentialCtx(context.Background(), cs, 30, Config{K: 2, Seed: 1}, Resilience{
+		Resume: &FitState{Model: rightM, Seed: 99},
+	})
+	if err == nil || !strings.Contains(err.Error(), "seed") {
+		t.Fatalf("mismatched seed accepted: %v", err)
+	}
+}
+
+// TestHierarchicalInterruptResumeMatchesUninterrupted is the headline
+// recovery guarantee: a run killed mid-training (a context cancellation
+// injected at an exact gradient epoch, standing in for SIGINT) leaves a
+// checkpoint behind, and resuming from that file produces a final model
+// bit-identical to a never-interrupted run — so held-out metrics match
+// trivially.
+func TestHierarchicalInterruptResumeMatchesUninterrupted(t *testing.T) {
+	train, _ := trainingSet(t, 60, 120, 27)
+	heldOut, _ := trainingSet(t, 60, 40, 28)
+	base := slpa.FromMembership(blockMembership(60, 20))
+	cfg := Config{K: 2, MaxIter: 12, Seed: 7}
+	opts := ParallelOptions{Workers: 2}
+
+	// Reference: uninterrupted run.
+	want, _, err := Hierarchical(train, 60, base, cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted run: a "SIGINT" lands at the 10th gradient epoch.
+	ckptPath := filepath.Join(t.TempDir(), "train.ckpt")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	inj := faultinject.NewInjector()
+	inj.Arm(faultinject.Fault{Site: "infer.epoch", Action: faultinject.Call, Hit: 10, Fn: cancel})
+	deactivate := faultinject.Activate(inj)
+	saveTo := func(st FitState) error {
+		return checkpoint.Save(ckptPath, &checkpoint.State{
+			Model: st.Model, Level: st.Level, Epoch: st.Epoch,
+			Step: st.Step, Seed: st.Seed, LogLik: st.LogLik,
+		})
+	}
+	_, _, err = HierarchicalCtx(ctx, train, 60, base, cfg, opts, Resilience{Checkpoint: saveTo})
+	deactivate()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted run: err = %v, want context.Canceled", err)
+	}
+
+	// The kill must have left a durable, loadable checkpoint.
+	st, err := checkpoint.Load(ckptPath)
+	if err != nil {
+		t.Fatalf("no usable checkpoint after interruption: %v", err)
+	}
+
+	// Resume and finish.
+	got, _, err := HierarchicalCtx(context.Background(), train, 60, base, cfg, opts, Resilience{
+		Checkpoint: saveTo,
+		Resume: &FitState{
+			Model: st.Model, Level: st.Level, Epoch: st.Epoch,
+			Step: st.Step, Seed: st.Seed, LogLik: st.LogLik,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := want.A.FrobeniusDist(got.A) + want.B.FrobeniusDist(got.B); d != 0 {
+		t.Fatalf("resumed model differs from uninterrupted run: frobenius %v", d)
+	}
+	wantLL, gotLL := want.LogLikAll(heldOut), got.LogLikAll(heldOut)
+	if math.Abs(wantLL-gotLL) > 1e-9*(1+math.Abs(wantLL)) {
+		t.Fatalf("held-out loglik diverged: %v vs %v", wantLL, gotLL)
+	}
+}
+
+func TestHierarchicalResumeFromCompletedRunIsIdentity(t *testing.T) {
+	train, _ := trainingSet(t, 40, 60, 29)
+	base := slpa.FromMembership(blockMembership(40, 20))
+	cfg := Config{K: 2, MaxIter: 6, Seed: 9}
+	var finalState *FitState
+	want, _, err := HierarchicalCtx(context.Background(), train, 40, base, cfg, ParallelOptions{Workers: 2}, Resilience{
+		Checkpoint: func(st FitState) error { finalState = &st; return nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, tr, err := HierarchicalCtx(context.Background(), train, 40, base, cfg, ParallelOptions{Workers: 2}, Resilience{
+		Resume: finalState,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Levels) != 0 {
+		t.Fatalf("fully-trained resume re-ran %d levels", len(tr.Levels))
+	}
+	if want.A.FrobeniusDist(got.A) != 0 || want.B.FrobeniusDist(got.B) != 0 {
+		t.Fatal("resume of a completed run altered the model")
+	}
+}
+
+// --- divergence guards ------------------------------------------------------
+
+// TestDivergenceGuardRecoversFromInjectedNaN is the second acceptance
+// criterion: NaNs injected into the gradient trigger rollback plus
+// step-size backoff, and the fit still converges on the synthetic SBM
+// fixture instead of emitting garbage.
+func TestDivergenceGuardRecoversFromInjectedNaN(t *testing.T) {
+	cs, _ := trainingSet(t, 60, 100, 30)
+	inj := faultinject.NewInjector()
+	// Three transient NaN hits spread across the run.
+	for _, hit := range []int{2, 5, 9} {
+		inj.Arm(faultinject.Fault{Site: "infer.grad", Action: faultinject.NaN, Hit: hit})
+	}
+	defer faultinject.Activate(inj)()
+	m, tr, err := Sequential(cs, 60, Config{K: 2, MaxIter: 25, Seed: 11})
+	if err != nil {
+		t.Fatalf("fit failed despite recoverable faults: %v", err)
+	}
+	if inj.Fired("infer.grad") != 3 {
+		t.Fatalf("injected %d NaNs, want 3", inj.Fired("infer.grad"))
+	}
+	if !vecmath.AllFinite(m.A.Data) || !vecmath.AllFinite(m.B.Data) {
+		t.Fatal("NaN leaked into the fitted embeddings")
+	}
+	if len(tr.LogLik) < 2 || tr.LogLik[len(tr.LogLik)-1] <= tr.LogLik[0] {
+		t.Fatalf("fit did not converge under fault injection: %v", tr.LogLik)
+	}
+	for i := 1; i < len(tr.LogLik); i++ {
+		if tr.LogLik[i] < tr.LogLik[i-1] {
+			t.Fatalf("monotonicity lost at %d: %v", i, tr.LogLik)
+		}
+	}
+}
+
+func TestDivergenceGuardGivesUpWithDescriptiveError(t *testing.T) {
+	cs, _ := trainingSet(t, 40, 50, 31)
+	inj := faultinject.NewInjector()
+	inj.Arm(faultinject.Fault{Site: "infer.grad", Action: faultinject.NaN}) // every epoch
+	defer faultinject.Activate(inj)()
+	_, _, err := Sequential(cs, 40, Config{K: 2, MaxIter: 25, Seed: 12})
+	if err == nil {
+		t.Fatal("permanently poisoned gradient did not fail the fit")
+	}
+	if !strings.Contains(err.Error(), "diverged") || !strings.Contains(err.Error(), "non-finite") {
+		t.Fatalf("undescriptive divergence error: %v", err)
+	}
+}
+
+func TestDivergenceGuardBacksOffStepSize(t *testing.T) {
+	cs, _ := trainingSet(t, 40, 50, 32)
+	inj := faultinject.NewInjector()
+	inj.Arm(faultinject.Fault{Site: "infer.grad", Action: faultinject.NaN, Hit: 2})
+	defer faultinject.Activate(inj)()
+	var steps []float64
+	_, _, err := SequentialCtx(context.Background(), cs, 40, Config{K: 2, MaxIter: 8, Seed: 13}, Resilience{
+		Checkpoint: func(st FitState) error { steps = append(steps, st.Step); return nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Config{}.WithDefaults().LearnRate
+	halved := false
+	for _, s := range steps {
+		if s < base {
+			halved = true
+		}
+	}
+	if !halved {
+		t.Fatalf("step size never backed off after a NaN epoch: %v", steps)
+	}
+}
+
+func TestHogwildSkipsInjectedNaNGradients(t *testing.T) {
+	cs, _ := trainingSet(t, 40, 60, 33)
+	inj := faultinject.NewInjector()
+	// Poison roughly a quarter of all stochastic gradients, reproducibly.
+	inj.Arm(faultinject.Fault{Site: "infer.hogwild.grad", Action: faultinject.NaN, Prob: 0.25, Seed: 99})
+	defer faultinject.Activate(inj)()
+	m, tr, err := Hogwild(cs, 40, Config{K: 2, Seed: 14}, HogwildOptions{Workers: 1, Epochs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inj.Fired("infer.hogwild.grad") == 0 {
+		t.Fatal("fault never fired — test is vacuous")
+	}
+	if !vecmath.AllFinite(m.A.Data) || !vecmath.AllFinite(m.B.Data) {
+		t.Fatal("NaN leaked into the hogwild embeddings")
+	}
+	if tr.LogLik[len(tr.LogLik)-1] <= tr.LogLik[0] {
+		t.Fatalf("hogwild made no progress under fault injection: %v", tr.LogLik)
+	}
+}
+
+func TestRefineCtxCheckpointAndCancel(t *testing.T) {
+	cs, _ := trainingSet(t, 40, 60, 34)
+	m, _, err := Sequential(cs[:30], 40, Config{K: 2, MaxIter: 5, Seed: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	inj := faultinject.NewInjector()
+	inj.Arm(faultinject.Fault{Site: "infer.epoch", Action: faultinject.Call, Hit: 3, Fn: cancel})
+	defer faultinject.Activate(inj)()
+	var final *FitState
+	_, err = RefineCtx(ctx, m.Clone(), cs[30:], Config{K: 2, MaxIter: 20, Seed: 15}, Resilience{
+		Checkpoint: func(st FitState) error { final = &st; return nil },
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if final == nil || final.Epoch != 2 {
+		t.Fatalf("refine shutdown checkpoint missing or wrong: %+v", final)
+	}
+}
+
+// A checkpoint callback that fails must abort the fit loudly.
+func TestCheckpointErrorAbortsFit(t *testing.T) {
+	cs, _ := trainingSet(t, 30, 40, 35)
+	boom := fmt.Errorf("disk full")
+	_, _, err := SequentialCtx(context.Background(), cs, 30, Config{K: 2, MaxIter: 10, Seed: 16}, Resilience{
+		Checkpoint: func(FitState) error { return boom },
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("checkpoint failure swallowed: %v", err)
+	}
+}

@@ -7,7 +7,9 @@
 package pool
 
 import (
+	"context"
 	"fmt"
+	"runtime/debug"
 	"sync"
 )
 
@@ -17,8 +19,18 @@ import (
 // the caller never observes a half-synchronized state. A panicking task
 // is converted into an error rather than tearing down the process.
 func Run(workers, n int, task func(i int) error) error {
+	return RunCtx(context.Background(), workers, n, task)
+}
+
+// RunCtx is Run with cancellation: once ctx is done, no new tasks are
+// scheduled; tasks already in flight run to completion (they observe ctx
+// themselves if they want to stop early), and the barrier still holds.
+// If the context caused the early stop, ctx.Err() is returned even when
+// a task also failed — the caller asked to stop, and that decision
+// outranks whatever the doomed tasks reported on the way down.
+func RunCtx(ctx context.Context, workers, n int, task func(i int) error) error {
 	if n <= 0 {
-		return nil
+		return ctx.Err()
 	}
 	if workers < 1 {
 		workers = 1
@@ -42,21 +54,40 @@ func Run(workers, n int, task func(i int) error) error {
 		mu.Unlock()
 	}
 	sem := make(chan struct{}, workers)
+	canceled := false
 	for i := 0; i < n; i++ {
+		if ctx.Err() != nil {
+			canceled = true
+			break
+		}
+		// Block for a worker slot, but wake up if the run is canceled
+		// while every slot is busy.
+		select {
+		case <-ctx.Done():
+			canceled = true
+		case sem <- struct{}{}:
+		}
+		if canceled {
+			break
+		}
 		wg.Add(1)
-		sem <- struct{}{}
 		go func(i int) {
 			defer wg.Done()
 			defer func() { <-sem }()
 			defer func() {
 				if r := recover(); r != nil {
-					record(fmt.Errorf("pool: task %d panicked: %v", i, r))
+					// The stack makes a worker crash diagnosable after the
+					// goroutine that produced it is long gone.
+					record(fmt.Errorf("pool: task %d panicked: %v\n%s", i, r, debug.Stack()))
 				}
 			}()
 			record(task(i))
 		}(i)
 	}
 	wg.Wait()
+	if canceled || ctx.Err() != nil {
+		return ctx.Err()
+	}
 	return firstErr
 }
 
@@ -64,8 +95,14 @@ func Run(workers, n int, task func(i int) error) error {
 // in index order, so output placement is deterministic regardless of
 // scheduling. On error the partial results are discarded.
 func Map[T any](workers, n int, task func(i int) (T, error)) ([]T, error) {
+	return MapCtx(context.Background(), workers, n, task)
+}
+
+// MapCtx is Map with RunCtx's cancellation semantics: on a done context
+// the partial results are discarded and ctx.Err() is returned.
+func MapCtx[T any](ctx context.Context, workers, n int, task func(i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
-	err := Run(workers, n, func(i int) error {
+	err := RunCtx(ctx, workers, n, func(i int) error {
 		v, err := task(i)
 		if err != nil {
 			return err

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# ci.sh — the repo's verification gate: static checks, build, the full
+# test suite, and the race detector on the packages that exercise
+# concurrency (the worker pool, the parallel/Hogwild optimizers, SLPA).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test ./..."
+go test ./...
+
+echo "== go test -race (concurrent packages)"
+go test -race ./internal/pool/ ./internal/infer/ ./internal/slpa/
+
+echo "ci.sh: all checks passed"

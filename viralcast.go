@@ -19,6 +19,7 @@
 package viralcast
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -66,6 +67,14 @@ type NewsCorpus = gdelt.Dataset
 // hierarchical community-parallel projected gradient ascent.
 func Train(cs []*Cascade, n int, cfg TrainConfig) (*System, error) {
 	return core.Train(cs, n, cfg)
+}
+
+// TrainCtx is Train with cancellation and fault tolerance: canceling ctx
+// stops the fit at the next consistency boundary (writing a final
+// snapshot when cfg.CheckpointPath is set), and cfg.Resume continues an
+// interrupted run from its checkpoint file.
+func TrainCtx(ctx context.Context, cs []*Cascade, n int, cfg TrainConfig) (*System, error) {
+	return core.TrainCtx(ctx, cs, n, cfg)
 }
 
 // LoadSystem rebuilds a fitted System from embeddings previously saved
