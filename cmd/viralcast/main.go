@@ -31,6 +31,16 @@
 //	viralcast gdelt -sites 2000 -events 1500 -out-sites sites.csv -out-events events.csv
 //	    Generate a synthetic GDELT-like news corpus and export its two
 //	    tables (site metadata and event reporting cascades).
+//
+//	viralcast serve -addr :8080 -model model.txt -cascades cascades.txt
+//	    Run viralcastd, the online model-serving daemon: stream cascade
+//	    events in over HTTP, answer virality predictions for live
+//	    cascades, and expose rates/influencers/seeds behind a TTL cache.
+//	    SIGHUP or POST /v1/reload hot-swaps the model from disk with
+//	    zero downtime; SIGINT/SIGTERM drains gracefully.
+//
+//	viralcast version
+//	    Report build information (also: viralcast -version).
 package main
 
 import (
@@ -80,6 +90,10 @@ func main() {
 		err = cmdGdelt(os.Args[2:])
 	case "cluster":
 		err = cmdCluster(os.Args[2:])
+	case "serve":
+		err = cmdServe(ctx, os.Args[2:])
+	case "version", "-version", "--version":
+		err = cmdVersion()
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -130,7 +144,7 @@ func reportInterrupted(err error, path string) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: viralcast <simulate|infer|influencers|predict|analyze|gdelt|cluster> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: viralcast <simulate|infer|influencers|predict|analyze|gdelt|cluster|serve|version> [flags]")
 	fmt.Fprintln(os.Stderr, "run 'viralcast <subcommand> -h' for subcommand flags")
 }
 
@@ -241,7 +255,9 @@ func cmdInfer(ctx context.Context, args []string) error {
 			return err
 		}
 		defer f.Close()
-		return sys.Embeddings.Write(f)
+		// The versioned envelope lets `serve` and LoadSystem reject
+		// foreign or truncated files instead of decoding garbage.
+		return sys.SaveEmbeddings(f)
 	}
 	return nil
 }

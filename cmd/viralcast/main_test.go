@@ -3,11 +3,14 @@ package main
 import (
 	"context"
 	"errors"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
+	"viralcast/internal/core"
 	"viralcast/internal/faultinject"
 )
 
@@ -46,13 +49,30 @@ func TestCmdInferWritesModel(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.HasPrefix(string(data), "node,kind,topic0,topic1") {
+	// Since PR 2 the CSV body travels inside the versioned integrity
+	// envelope so serving and resuming reject foreign/truncated files.
+	if !strings.HasPrefix(string(data), "viralcast-embeddings v1\n") {
 		t.Fatalf("model header wrong: %q", strings.SplitN(string(data), "\n", 2)[0])
 	}
-	// 200 nodes x 2 kinds + header.
+	if !strings.Contains(string(data), "node,kind,topic0,topic1") {
+		t.Fatalf("model body missing CSV header")
+	}
+	// envelope (2 lines) + CSV header + 200 nodes x 2 kinds.
 	lines := strings.Count(strings.TrimSpace(string(data)), "\n") + 1
-	if lines != 401 {
-		t.Fatalf("model file has %d lines, want 401", lines)
+	if lines != 403 {
+		t.Fatalf("model file has %d lines, want 403", lines)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sys, err := core.LoadSystem(f, core.TrainConfig{})
+	if err != nil {
+		t.Fatalf("LoadSystem rejected infer output: %v", err)
+	}
+	if sys.N != 200 || sys.Embeddings.K() != 2 {
+		t.Fatalf("loaded system is %d nodes x %d topics, want 200 x 2", sys.N, sys.Embeddings.K())
 	}
 }
 
@@ -246,5 +266,103 @@ func TestCmdInferResumeRequiresCheckpoint(t *testing.T) {
 	err := cmdInfer(context.Background(), []string{"-in", path, "-topics", "2", "-iters", "2", "-resume"})
 	if err == nil || !strings.Contains(err.Error(), "Resume requires CheckpointPath") {
 		t.Fatalf("-resume without -checkpoint: err = %v", err)
+	}
+}
+
+func TestCmdVersion(t *testing.T) {
+	if err := cmdVersion(); err != nil {
+		t.Fatal(err)
+	}
+	if v := buildVersion(); v == "" {
+		t.Fatal("buildVersion returned empty string")
+	}
+}
+
+func TestCmdServeRejectsBadFlags(t *testing.T) {
+	// No model source at all.
+	if err := cmdServe(context.Background(), []string{"-addr", "127.0.0.1:0"}); err == nil {
+		t.Error("serve without -model/-checkpoint accepted")
+	}
+	// Both sources at once.
+	err := cmdServe(context.Background(), []string{"-model", "a", "-checkpoint", "b"})
+	if err == nil {
+		t.Error("serve with both -model and -checkpoint accepted")
+	}
+	// A missing model file fails at startup, not at first request.
+	err = cmdServe(context.Background(), []string{
+		"-addr", "127.0.0.1:0", "-model", filepath.Join(t.TempDir(), "nope.txt"),
+	})
+	if err == nil {
+		t.Error("serve with missing model file accepted")
+	}
+}
+
+// TestCmdServeEndToEnd boots the daemon through the real subcommand
+// against files produced by the real training subcommands, exactly as
+// an operator would, and drives one prediction through it.
+func TestCmdServeEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	cascades := simulateFixture(t)
+	model := filepath.Join(dir, "model.txt")
+	err := cmdInfer(context.Background(), []string{
+		"-in", cascades, "-topics", "2", "-iters", "5", "-out", model,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrFile := filepath.Join(dir, "addr")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		done <- cmdServe(ctx, []string{
+			"-addr", "127.0.0.1:0", "-addr-file", addrFile,
+			"-model", model, "-cascades", cascades,
+			"-flush-every", "0", "-drain", "5s",
+		})
+	}()
+	var addr string
+	for i := 0; i < 100; i++ {
+		if data, err := os.ReadFile(addrFile); err == nil && len(data) > 0 {
+			addr = string(data)
+			break
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("daemon exited during startup: %v", err)
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+	if addr == "" {
+		t.Fatal("daemon never wrote its address file")
+	}
+	base := "http://" + addr
+
+	body := strings.NewReader(`{"events":[{"cascade":5,"node":1,"time":0.1},{"cascade":5,"node":2,"time":0.2}]}`)
+	resp, err := http.Post(base+"/v1/events", "application/json", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /v1/events = %d", resp.StatusCode)
+	}
+	resp, err = http.Get(base + "/v1/cascades/5/predict")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/cascades/5/predict = %d", resp.StatusCode)
+	}
+
+	cancel() // SIGINT path: the daemon must drain and return nil
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("graceful shutdown returned %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not drain")
 	}
 }

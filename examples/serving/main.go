@@ -1,0 +1,202 @@
+// Serving shows viralcastd end to end, in one process: train a model,
+// persist it the way a production job would, start the serving daemon on
+// a loopback port, and then act as a pure HTTP client — stream a
+// cascade's events in as they "happen", watch the virality prediction
+// evolve, pull influencer rankings from the cache, hot-reload the model
+// mid-traffic, and read the metrics the whole time.
+//
+// Run with: go run ./examples/serving
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"path/filepath"
+	"time"
+
+	"viralcast"
+	"viralcast/internal/core"
+	"viralcast/internal/serve"
+)
+
+func main() {
+	const (
+		nodes  = 250
+		window = 8.0
+	)
+
+	// --- the offline part: train and persist, like a nightly job ---
+	cs, err := viralcast.SimulateSBM(nodes, 500, window, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := viralcast.Train(cs, nodes, viralcast.TrainConfig{
+		Topics: 3, MaxIter: 10, Workers: 4, Seed: 7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	dir, err := os.MkdirTemp("", "viralcastd-example-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	modelPath := filepath.Join(dir, "model.txt")
+	cascadePath := filepath.Join(dir, "cascades.txt")
+	mf, err := os.Create(modelPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.SaveEmbeddings(mf); err != nil {
+		log.Fatal(err)
+	}
+	mf.Close()
+	cf, err := os.Create(cascadePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := viralcast.WriteCascades(cf, cs); err != nil {
+		log.Fatal(err)
+	}
+	cf.Close()
+	fmt.Printf("trained and saved model for %d nodes\n", nodes)
+
+	// --- the online part: viralcastd ---
+	loader, err := serve.FileLoader(serve.FileLoaderConfig{
+		ModelPath: modelPath,
+		TrainPath: cascadePath,
+		Train:     core.TrainConfig{Seed: 7},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := serve.New(serve.Config{Loader: loader, CacheTTL: 5 * time.Second})
+	if err != nil {
+		log.Fatal(err)
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, stop := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ctx) }()
+	base := "http://" + addr.String()
+	fmt.Printf("viralcastd listening on %s\n\n", base)
+
+	// A breaking story starts spreading: replay a real simulated cascade
+	// event by event and ask for the prediction as it grows.
+	var story *viralcast.Cascade
+	for _, c := range cs {
+		if c.Size() >= 8 {
+			story = c
+			break
+		}
+	}
+	if story == nil {
+		log.Fatal("no suitably large cascade in the workload")
+	}
+	const liveID = 424242
+	for i, inf := range story.Infections {
+		if i >= 6 {
+			break
+		}
+		post(base+"/v1/events", map[string]any{
+			"cascade": liveID, "node": inf.Node, "time": inf.Time,
+		})
+		if i >= 1 { // predictions need at least one early adopter
+			var p struct {
+				Viral  bool    `json:"viral"`
+				Margin float64 `json:"margin"`
+				Size   int     `json:"size"`
+			}
+			get(base+fmt.Sprintf("/v1/cascades/%d/predict", liveID), &p)
+			fmt.Printf("after %d events: viral=%v margin=%+.2f\n", p.Size, p.Viral, p.Margin)
+		}
+	}
+	fmt.Printf("(the story actually reached %d nodes)\n\n", story.Size())
+
+	// Ranked influencers come from the TTL cache: the second call is free.
+	var inf struct {
+		Cached      bool `json:"cached"`
+		Influencers []struct {
+			Node  int     `json:"Node"`
+			Score float64 `json:"Score"`
+		} `json:"influencers"`
+	}
+	get(base+"/v1/influencers?k=3", &inf)
+	fmt.Println("top influencers:")
+	for i, r := range inf.Influencers {
+		fmt.Printf("  %d. node %d (influence %.3f)\n", i+1, r.Node, r.Score)
+	}
+	get(base+"/v1/influencers?k=3", &inf)
+	fmt.Printf("second call served from cache: %v\n\n", inf.Cached)
+
+	// Hot reload: zero downtime, new generation.
+	var rl struct {
+		Generation int `json:"generation"`
+	}
+	post(base+"/v1/reload", nil, &rl)
+	fmt.Printf("hot-reloaded model from disk (generation %d)\n", rl.Generation)
+
+	// Fold the live cascade back into the model (online refinement).
+	var fl struct {
+		Flushed int `json:"flushed"`
+	}
+	post(base+"/v1/flush", nil, &fl)
+	fmt.Printf("flushed %d live cascades into the model\n\n", fl.Flushed)
+
+	var metrics map[string]any
+	get(base+"/metrics", &metrics)
+	fmt.Printf("metrics: requests=%v events=%v generation=%v cache_hit_ratio=%.2f\n",
+		metrics["requests"], metrics["events_ingested"], metrics["model_generation"],
+		metrics["cache_hit_ratio"])
+
+	stop()
+	if err := <-done; err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("daemon drained cleanly")
+}
+
+// post sends JSON and optionally decodes the response into out[0].
+func post(url string, body any, out ...any) {
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			log.Fatal(err)
+		}
+	}
+	resp, err := http.Post(url, "application/json", &buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	decode(url, resp, out...)
+}
+
+func get(url string, out ...any) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	decode(url, resp, out...)
+}
+
+func decode(url string, resp *http.Response, out ...any) {
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e map[string]any
+		json.NewDecoder(resp.Body).Decode(&e)
+		log.Fatalf("%s -> %d: %v", url, resp.StatusCode, e)
+	}
+	if len(out) > 0 {
+		if err := json.NewDecoder(resp.Body).Decode(out[0]); err != nil {
+			log.Fatalf("%s: bad response: %v", url, err)
+		}
+	}
+}

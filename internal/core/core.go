@@ -159,18 +159,22 @@ func (s *System) Update(newCascades []*cascade.Cascade) error {
 	return err
 }
 
-// SaveEmbeddings writes the fitted model in the library's CSV format.
+// SaveEmbeddings writes the fitted model in the library's versioned
+// format: a magic + checksum envelope around the CSV body, so loaders
+// can tell a genuine embeddings file from a foreign or truncated one.
 func (s *System) SaveEmbeddings(w io.Writer) error {
-	return s.Embeddings.Write(w)
+	return s.Embeddings.WriteSigned(w)
 }
 
-// LoadSystem rebuilds a System from saved embeddings. The community
+// LoadSystem rebuilds a System from saved embeddings, verifying the
+// envelope checksum when present (files from before the envelope existed
+// — bare CSV starting with "node,kind" — still load). The community
 // partition is not persisted (it is a training-time artifact); the
 // loaded system supports every inference-time operation — influencers,
 // features, predictors, updates.
 func LoadSystem(r io.Reader, cfg TrainConfig) (*System, error) {
 	cfg = cfg.withDefaults()
-	m, err := embed.Read(r)
+	m, err := embed.ReadSigned(r)
 	if err != nil {
 		return nil, err
 	}
@@ -178,6 +182,29 @@ func LoadSystem(r io.Reader, cfg TrainConfig) (*System, error) {
 		cfg.Topics = m.K()
 	}
 	return &System{N: m.N(), Embeddings: m, cfg: cfg}, nil
+}
+
+// NewSystem wraps an already-decoded embedding model as a servable
+// System — the entry point for callers that obtain a model from a
+// source other than SaveEmbeddings, such as a training checkpoint.
+func NewSystem(m *embed.Model, cfg TrainConfig) *System {
+	cfg = cfg.withDefaults()
+	cfg.Topics = m.K()
+	return &System{N: m.N(), Embeddings: m, cfg: cfg}
+}
+
+// Fork deep-copies the system's mutable state (the embeddings), so the
+// copy can be refined with Update while the original keeps serving reads
+// concurrently — the swap-under-load pattern a serving daemon needs.
+// The training-time artifacts (partition, trace) are shared read-only.
+func (s *System) Fork() *System {
+	return &System{
+		N:          s.N,
+		Embeddings: s.Embeddings.Clone(),
+		Partition:  s.Partition,
+		Trace:      s.Trace,
+		cfg:        s.cfg,
+	}
 }
 
 // Influence returns node u's influence vector (a copy).
@@ -314,6 +341,10 @@ func (s *System) TrainPredictor(cs []*cascade.Cascade, earlyCutoff float64, size
 
 // Threshold returns the size threshold the predictor was trained for.
 func (p *Predictor) Threshold() int { return p.threshold }
+
+// EarlyCutoff returns the early-adopter time cutoff the predictor reads
+// cascades up to.
+func (p *Predictor) EarlyCutoff() float64 { return p.early }
 
 // PredictViral reports whether the cascade's early prefix (everything up
 // to the predictor's early cutoff) signals a final size at or above the

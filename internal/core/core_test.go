@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"strings"
 	"testing"
 
 	"viralcast/internal/cascade"
@@ -266,5 +267,85 @@ func TestSelectSeeds(t *testing.T) {
 	}
 	if cov <= worstCov {
 		t.Errorf("greedy coverage %v <= bottom-influencer coverage %v", cov, worstCov)
+	}
+}
+
+func TestSaveEmbeddingsIsVersioned(t *testing.T) {
+	cs := workload(t, 60, 120, 16)
+	sys, err := Train(cs, 60, TrainConfig{Topics: 2, MaxIter: 4, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sys.SaveEmbeddings(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), embed.SignedMagic+"\n") {
+		t.Fatalf("SaveEmbeddings output lacks the version envelope: %q",
+			strings.SplitN(buf.String(), "\n", 2)[0])
+	}
+
+	// Foreign files are rejected with a clear error.
+	if _, err := LoadSystem(strings.NewReader("%PDF-1.4 not a model\n"), TrainConfig{}); err == nil ||
+		!strings.Contains(err.Error(), "not a viralcast embeddings file") {
+		t.Errorf("foreign load err = %v", err)
+	}
+	// So are truncated ones.
+	trunc := buf.Bytes()[:buf.Len()-25]
+	if _, err := LoadSystem(bytes.NewReader(trunc), TrainConfig{}); err == nil ||
+		!strings.Contains(err.Error(), "truncated") {
+		t.Errorf("truncated load err = %v", err)
+	}
+	// Legacy bare-CSV files from before the envelope still load.
+	var legacy bytes.Buffer
+	if err := sys.Embeddings.Write(&legacy); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadSystem(&legacy, TrainConfig{})
+	if err != nil {
+		t.Fatalf("legacy CSV rejected: %v", err)
+	}
+	if loaded.N != 60 {
+		t.Fatalf("legacy load N = %d", loaded.N)
+	}
+}
+
+func TestForkIsolatesEmbeddings(t *testing.T) {
+	cs := workload(t, 60, 140, 21)
+	sys, err := Train(cs, 60, TrainConfig{Topics: 2, MaxIter: 4, Seed: 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := sys.Embeddings.Clone()
+	fork := sys.Fork()
+	if fork.N != sys.N || fork.Embeddings == sys.Embeddings {
+		t.Fatal("Fork must copy the embeddings into a distinct model")
+	}
+	if err := fork.Update(cs[:40]); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Embeddings.A.FrobeniusDist(before.A) != 0 ||
+		sys.Embeddings.B.FrobeniusDist(before.B) != 0 {
+		t.Fatal("updating the fork mutated the original system")
+	}
+	if fork.Embeddings.A.FrobeniusDist(before.A) == 0 &&
+		fork.Embeddings.B.FrobeniusDist(before.B) == 0 {
+		t.Fatal("Update on the fork changed nothing")
+	}
+}
+
+func TestNewSystemWrapsModel(t *testing.T) {
+	m := embed.NewModel(5, 3)
+	rng := xrand.New(1)
+	m.InitUniform(rng, 0.1, 0.5)
+	sys := NewSystem(m, TrainConfig{Seed: 9})
+	if sys.N != 5 || sys.Embeddings.K() != 3 {
+		t.Fatalf("NewSystem = %d nodes x %d topics", sys.N, sys.Embeddings.K())
+	}
+	if sys.Rate(0, 1) <= 0 {
+		t.Fatal("wrapped system cannot serve rates")
+	}
+	if top := sys.TopInfluencers(2); len(top) != 2 {
+		t.Fatal("wrapped system cannot rank influencers")
 	}
 }

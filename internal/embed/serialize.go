@@ -2,7 +2,9 @@ package embed
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"strconv"
 	"strings"
@@ -134,4 +136,82 @@ func missing(okA bool) string {
 		return "selectivity (kind 1)"
 	}
 	return "influence (kind 0)"
+}
+
+// SignedMagic is the first line of an embeddings file written by
+// WriteSigned. It identifies the file type and format version.
+const SignedMagic = "viralcast-embeddings v1"
+
+// WriteSigned encodes the model with an integrity envelope around the
+// CSV body:
+//
+//	viralcast-embeddings v1
+//	payload bytes=<n> crc32=<hex>
+//	<model CSV>
+//
+// The declared byte length and CRC-32 let ReadSigned reject truncated or
+// bit-rotted files with a clear error instead of decoding a garbage
+// matrix, and the magic line rejects foreign files outright.
+func (m *Model) WriteSigned(w io.Writer) error {
+	var payload bytes.Buffer
+	if err := m.Write(&payload); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s\npayload bytes=%d crc32=%08x\n",
+		SignedMagic, payload.Len(), crc32.ChecksumIEEE(payload.Bytes())); err != nil {
+		return err
+	}
+	_, err := w.Write(payload.Bytes())
+	return err
+}
+
+// ReadSigned decodes a model written by WriteSigned, verifying the
+// declared payload length and checksum. For compatibility with files
+// saved before the envelope existed, a stream that starts with the bare
+// CSV header ("node,kind,...") is accepted and decoded as legacy,
+// unverified CSV. Anything else fails with a descriptive error.
+func ReadSigned(r io.Reader) (*Model, error) {
+	br := bufio.NewReader(r)
+	head, err := br.Peek(len(SignedMagic))
+	if err != nil && len(head) == 0 {
+		return nil, fmt.Errorf("embed: empty model file")
+	}
+	if string(head) != SignedMagic {
+		if bytes.HasPrefix(head, []byte("node,kind")) {
+			return Read(br) // legacy pre-envelope CSV
+		}
+		line := head
+		if i := bytes.IndexByte(line, '\n'); i >= 0 {
+			line = line[:i]
+		}
+		return nil, fmt.Errorf("embed: not a viralcast embeddings file (starts %q)", string(line))
+	}
+	// Consume the magic line (Peek left it in the buffer).
+	if _, err := br.ReadString('\n'); err != nil {
+		return nil, fmt.Errorf("embed: truncated after magic: %w", err)
+	}
+	header, err := br.ReadString('\n')
+	if err != nil {
+		return nil, fmt.Errorf("embed: truncated envelope header: %w", err)
+	}
+	var wantLen int
+	var wantCRC uint32
+	if _, err := fmt.Sscanf(strings.TrimRight(header, "\n"),
+		"payload bytes=%d crc32=%x", &wantLen, &wantCRC); err != nil {
+		return nil, fmt.Errorf("embed: bad envelope header %q: %v", strings.TrimRight(header, "\n"), err)
+	}
+	if wantLen < 0 {
+		return nil, fmt.Errorf("embed: negative payload length %d", wantLen)
+	}
+	payload := make([]byte, wantLen)
+	if _, err := io.ReadFull(br, payload); err != nil {
+		return nil, fmt.Errorf("embed: truncated embeddings file (want %d payload bytes): %w", wantLen, err)
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("embed: trailing bytes after %d-byte payload", wantLen)
+	}
+	if got := crc32.ChecksumIEEE(payload); got != wantCRC {
+		return nil, fmt.Errorf("embed: corrupt embeddings file: payload crc32 %08x, header says %08x", got, wantCRC)
+	}
+	return Read(bytes.NewReader(payload))
 }

@@ -89,3 +89,82 @@ func TestRoundtripProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// --- signed envelope (WriteSigned / ReadSigned) ---
+
+func signedFixtureModel(t *testing.T) *Model {
+	t.Helper()
+	m := NewModel(3, 2)
+	for i := range m.A.Data {
+		m.A.Data[i] = float64(i) * 0.25
+	}
+	for i := range m.B.Data {
+		m.B.Data[i] = float64(i) * 0.5
+	}
+	return m
+}
+
+func TestSignedRoundtrip(t *testing.T) {
+	m := signedFixtureModel(t)
+	var buf bytes.Buffer
+	if err := m.WriteSigned(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), SignedMagic+"\n") {
+		t.Fatalf("missing magic: %q", strings.SplitN(buf.String(), "\n", 2)[0])
+	}
+	got, err := ReadSigned(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.A.FrobeniusDist(got.A) != 0 || m.B.FrobeniusDist(got.B) != 0 {
+		t.Fatal("signed roundtrip not exact")
+	}
+}
+
+func TestReadSignedAcceptsLegacyCSV(t *testing.T) {
+	m := signedFixtureModel(t)
+	var buf bytes.Buffer
+	if err := m.Write(&buf); err != nil { // pre-envelope format
+		t.Fatal(err)
+	}
+	got, err := ReadSigned(&buf)
+	if err != nil {
+		t.Fatalf("legacy CSV rejected: %v", err)
+	}
+	if m.A.FrobeniusDist(got.A) != 0 {
+		t.Fatal("legacy decode wrong")
+	}
+}
+
+func TestReadSignedRejectsGarbage(t *testing.T) {
+	m := signedFixtureModel(t)
+	var buf bytes.Buffer
+	if err := m.WriteSigned(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+
+	cases := []struct {
+		name string
+		data []byte
+		want string
+	}{
+		{"foreign", []byte("GIF89a not a model\n"), "not a viralcast embeddings file"},
+		{"empty", nil, "empty model file"},
+		{"truncated payload", full[:len(full)-10], "truncated"},
+		{"trailing bytes", append(append([]byte(nil), full...), "extra"...), "trailing bytes"},
+	}
+	for _, tc := range cases {
+		if _, err := ReadSigned(bytes.NewReader(tc.data)); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+
+	// Any payload bit flip breaks the checksum.
+	flipped := append([]byte(nil), full...)
+	flipped[len(flipped)-2] ^= 0x04
+	if _, err := ReadSigned(bytes.NewReader(flipped)); err == nil || !strings.Contains(err.Error(), "crc32") {
+		t.Errorf("bit flip: err = %v, want crc32 mismatch", err)
+	}
+}

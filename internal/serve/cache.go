@@ -1,0 +1,96 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// ttlCache memoizes expensive read endpoints (influencer rankings, seed
+// selection) for a bounded time, with singleflight-style deduplication:
+// when many requests miss on the same key at once, exactly one computes
+// the value and the rest block on its result instead of burning an
+// O(n·k) computation each. Keys embed the model generation, so a hot
+// reload or flush naturally invalidates everything cached against the
+// previous model.
+type ttlCache struct {
+	ttl time.Duration
+	now func() time.Time // injectable clock for tests
+
+	mu      sync.Mutex
+	entries map[string]cacheEntry
+	calls   map[string]*cacheCall
+}
+
+type cacheEntry struct {
+	value   any
+	expires time.Time
+}
+
+type cacheCall struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// maxCacheEntries triggers an expired-entry sweep; the working set of
+// distinct (endpoint, params, generation) keys is tiny, so this only
+// guards against unbounded growth from adversarial query strings.
+const maxCacheEntries = 4096
+
+func newTTLCache(ttl time.Duration) *ttlCache {
+	return &ttlCache{
+		ttl:     ttl,
+		now:     time.Now,
+		entries: make(map[string]cacheEntry),
+		calls:   make(map[string]*cacheCall),
+	}
+}
+
+// Do returns the cached value for key, or computes it with fn. The
+// second result reports whether the value was served from cache (a
+// singleflight wait counts as a hit: the work was shared). Errors are
+// returned but never cached, so a transient failure does not poison the
+// key for a full TTL.
+func (c *ttlCache) Do(key string, fn func() (any, error)) (any, bool, error) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok && c.now().Before(e.expires) {
+		c.mu.Unlock()
+		return e.value, true, nil
+	}
+	if call, ok := c.calls[key]; ok {
+		c.mu.Unlock()
+		<-call.done
+		return call.val, true, call.err
+	}
+	call := &cacheCall{done: make(chan struct{})}
+	c.calls[key] = call
+	c.mu.Unlock()
+
+	call.val, call.err = fn()
+
+	c.mu.Lock()
+	delete(c.calls, key)
+	if call.err == nil {
+		if len(c.entries) >= maxCacheEntries {
+			c.sweepLocked()
+		}
+		c.entries[key] = cacheEntry{value: call.val, expires: c.now().Add(c.ttl)}
+	}
+	c.mu.Unlock()
+	close(call.done)
+	return call.val, false, call.err
+}
+
+// sweepLocked drops expired entries; if everything is still live the
+// whole map is reset (the cache is a performance aid, not a store).
+func (c *ttlCache) sweepLocked() {
+	now := c.now()
+	for k, e := range c.entries {
+		if !now.Before(e.expires) {
+			delete(c.entries, k)
+		}
+	}
+	if len(c.entries) >= maxCacheEntries {
+		c.entries = make(map[string]cacheEntry)
+	}
+}

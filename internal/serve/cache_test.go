@@ -1,0 +1,115 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestCacheHitMissAndTTL(t *testing.T) {
+	c := newTTLCache(time.Minute)
+	now := time.Unix(1000, 0)
+	c.now = func() time.Time { return now }
+
+	calls := 0
+	fn := func() (any, error) { calls++; return calls, nil }
+
+	v, hit, err := c.Do("k", fn)
+	if err != nil || hit || v.(int) != 1 {
+		t.Fatalf("first Do = (%v, hit=%v, %v), want miss computing 1", v, hit, err)
+	}
+	v, hit, _ = c.Do("k", fn)
+	if !hit || v.(int) != 1 {
+		t.Fatalf("second Do = (%v, hit=%v), want cached 1", v, hit)
+	}
+	// Past the TTL the value is recomputed.
+	now = now.Add(time.Minute + time.Second)
+	v, hit, _ = c.Do("k", fn)
+	if hit || v.(int) != 2 {
+		t.Fatalf("post-TTL Do = (%v, hit=%v), want fresh 2", v, hit)
+	}
+	// Distinct keys don't share entries.
+	if v, _, _ := c.Do("other", fn); v.(int) != 3 {
+		t.Fatalf("distinct key served %v", v)
+	}
+}
+
+func TestCacheErrorsNotCached(t *testing.T) {
+	c := newTTLCache(time.Minute)
+	calls := 0
+	_, _, err := c.Do("k", func() (any, error) { calls++; return nil, fmt.Errorf("boom") })
+	if err == nil {
+		t.Fatal("error swallowed")
+	}
+	v, hit, err := c.Do("k", func() (any, error) { calls++; return "ok", nil })
+	if err != nil || hit || v != "ok" {
+		t.Fatalf("after error Do = (%v, hit=%v, %v); errors must not be cached", v, hit, err)
+	}
+	if calls != 2 {
+		t.Fatalf("fn ran %d times, want 2", calls)
+	}
+}
+
+// TestCacheSingleflight proves that concurrent misses on one key share a
+// single computation instead of stampeding.
+func TestCacheSingleflight(t *testing.T) {
+	c := newTTLCache(time.Minute)
+	var running atomic.Int32
+	var calls atomic.Int32
+	release := make(chan struct{})
+	fn := func() (any, error) {
+		calls.Add(1)
+		running.Add(1)
+		<-release
+		running.Add(-1)
+		return "shared", nil
+	}
+	const waiters = 16
+	var wg sync.WaitGroup
+	results := make([]any, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, _, err := c.Do("hot", fn)
+			if err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+			}
+			results[i] = v
+		}(i)
+	}
+	// Let every goroutine reach Do, then release the one computation.
+	for running.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("fn ran %d times for %d concurrent waiters, want 1", got, waiters)
+	}
+	for i, v := range results {
+		if v != "shared" {
+			t.Fatalf("waiter %d got %v", i, v)
+		}
+	}
+}
+
+func TestCacheSweepBoundsGrowth(t *testing.T) {
+	c := newTTLCache(time.Millisecond)
+	now := time.Unix(1000, 0)
+	c.now = func() time.Time { return now }
+	for i := 0; i < maxCacheEntries+10; i++ {
+		key := fmt.Sprintf("k%d", i)
+		c.Do(key, func() (any, error) { return i, nil })
+		now = now.Add(time.Millisecond) // everything before is expired
+	}
+	c.mu.Lock()
+	n := len(c.entries)
+	c.mu.Unlock()
+	if n > maxCacheEntries {
+		t.Fatalf("cache grew to %d entries, cap is %d", n, maxCacheEntries)
+	}
+}

@@ -1,0 +1,336 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+)
+
+// strictUnmarshal decodes JSON rejecting unknown fields, so the batch
+// and single-event body shapes are unambiguous.
+func strictUnmarshal(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+// maxBodyBytes bounds an ingestion request body.
+const maxBodyBytes = 8 << 20
+
+// routes builds the daemon's mux. Every /v1 endpoint and the health
+// probes are wrapped with metrics instrumentation under a stable
+// endpoint label.
+func (s *Server) routes() http.Handler {
+	mux := http.NewServeMux()
+	add := func(pattern, label string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, s.metrics.instrument(label, h))
+	}
+	add("POST /v1/events", "events", s.handleEvents)
+	add("GET /v1/cascades/{id}", "cascade", s.handleCascade)
+	add("GET /v1/cascades/{id}/predict", "predict", s.handlePredict)
+	add("GET /v1/rate", "rate", s.handleRate)
+	add("GET /v1/influencers", "influencers", s.handleInfluencers)
+	add("GET /v1/seeds", "seeds", s.handleSeeds)
+	add("POST /v1/reload", "reload", s.handleReload)
+	add("POST /v1/flush", "flush", s.handleFlush)
+	add("GET /healthz", "healthz", s.handleHealthz)
+	add("GET /readyz", "readyz", s.handleReadyz)
+	mux.HandleFunc("GET /metrics", s.metrics.handler)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // the response is already committed
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// queryInt parses an integer query parameter with a default.
+func queryInt(r *http.Request, name string, def int) (int, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return def, nil
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, fmt.Errorf("parameter %q: %q is not an integer", name, raw)
+	}
+	return v, nil
+}
+
+func queryFloat(r *http.Request, name string, def float64) (float64, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return def, nil
+	}
+	v, err := strconv.ParseFloat(raw, 64)
+	if err != nil {
+		return 0, fmt.Errorf("parameter %q: %q is not a number", name, raw)
+	}
+	return v, nil
+}
+
+// eventReject reports one event of a batch that was not ingested.
+type eventReject struct {
+	Index int    `json:"index"`
+	Error string `json:"error"`
+}
+
+// handleEvents ingests a batch of infection events. The body is either
+// {"events": [{cascade, node, time}, ...]} or a single bare event
+// object. Structurally valid events are appended even when siblings are
+// rejected; per-event failures come back in "rejected".
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusRequestEntityTooLarge, "body too large or unreadable: %v", err)
+		return
+	}
+	var batch struct {
+		Events []Event `json:"events"`
+	}
+	if err := strictUnmarshal(body, &batch); err != nil || batch.Events == nil {
+		// Not a batch envelope; retry as a single bare event.
+		var one Event
+		if err2 := strictUnmarshal(body, &one); err2 != nil {
+			writeError(w, http.StatusBadRequest,
+				"body must be {\"events\": [...]} or a single {cascade, node, time} object")
+			return
+		}
+		batch.Events = []Event{one}
+	}
+	if len(batch.Events) == 0 {
+		writeError(w, http.StatusBadRequest, "empty event batch")
+		return
+	}
+	n := s.current().sys.Sys.N
+	accepted := 0
+	var rejected []eventReject
+	sizes := make(map[string]int)
+	for i, ev := range batch.Events {
+		size, err := s.store.Append(ev, n)
+		if err != nil {
+			rejected = append(rejected, eventReject{Index: i, Error: err.Error()})
+			continue
+		}
+		accepted++
+		sizes[strconv.Itoa(ev.Cascade)] = size
+	}
+	s.metrics.events.Add(int64(accepted))
+	writeJSON(w, http.StatusOK, map[string]any{
+		"accepted": accepted,
+		"rejected": rejected,
+		"sizes":    sizes,
+	})
+}
+
+// pathCascadeID parses the {id} path segment.
+func pathCascadeID(r *http.Request) (int, error) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		return 0, fmt.Errorf("cascade id %q is not an integer", r.PathValue("id"))
+	}
+	return id, nil
+}
+
+// handleCascade reports a live cascade's current shape.
+func (s *Server) handleCascade(w http.ResponseWriter, r *http.Request) {
+	id, err := pathCascadeID(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	c, ok := s.store.Snapshot(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no live cascade %d", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"cascade":    c.ID,
+		"size":       c.Size(),
+		"duration":   c.Duration(),
+		"first_time": c.Infections[0].Time,
+		"last_time":  c.Infections[len(c.Infections)-1].Time,
+		"nodes":      c.Nodes(),
+	})
+}
+
+// handlePredict answers the paper's core online question: given what
+// this live cascade has done so far, will it go viral?
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	id, err := pathCascadeID(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	cur := s.current()
+	pred := cur.sys.Pred
+	if pred == nil {
+		writeError(w, http.StatusServiceUnavailable,
+			"no predictor configured (start the daemon with training cascades)")
+		return
+	}
+	c, ok := s.store.Snapshot(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no live cascade %d", id)
+		return
+	}
+	if mx := maxNode(c.Nodes()); mx >= cur.sys.Sys.N {
+		writeError(w, http.StatusUnprocessableEntity,
+			"cascade %d contains node %d outside the current model's universe [0,%d)", id, mx, cur.sys.Sys.N)
+		return
+	}
+	viral, margin, err := pred.PredictViral(c)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"cascade":      id,
+		"viral":        viral,
+		"margin":       margin,
+		"size":         c.Size(),
+		"early_cutoff": pred.EarlyCutoff(),
+		"threshold":    pred.Threshold(),
+		"generation":   cur.gen,
+	})
+}
+
+// handleRate reports the inferred hazard rate of u infecting v.
+func (s *Server) handleRate(w http.ResponseWriter, r *http.Request) {
+	u, errU := queryInt(r, "u", -1)
+	v, errV := queryInt(r, "v", -1)
+	if errU != nil || errV != nil || u < 0 || v < 0 {
+		writeError(w, http.StatusBadRequest, "parameters u and v must be non-negative integers")
+		return
+	}
+	cur := s.current()
+	n := cur.sys.Sys.N
+	if u >= n || v >= n {
+		writeError(w, http.StatusBadRequest, "nodes must be in [0,%d)", n)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"u": u, "v": v,
+		"rate":       cur.sys.Sys.Rate(u, v),
+		"generation": cur.gen,
+	})
+}
+
+// handleInfluencers serves the top-k influencer ranking from the TTL
+// cache; the O(n·K) scan plus sort runs once per (k, generation) per
+// TTL window however many clients ask.
+func (s *Server) handleInfluencers(w http.ResponseWriter, r *http.Request) {
+	k, err := queryInt(r, "k", 10)
+	if err != nil || k <= 0 {
+		writeError(w, http.StatusBadRequest, "parameter k must be a positive integer")
+		return
+	}
+	cur := s.current()
+	key := fmt.Sprintf("influencers:k=%d:gen=%d", k, cur.gen)
+	val, hit, err := s.cache.Do(key, func() (any, error) {
+		return cur.sys.Sys.TopInfluencers(k), nil
+	})
+	s.countCache(hit)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"influencers": val,
+		"cached":      hit,
+		"generation":  cur.gen,
+	})
+}
+
+// handleSeeds serves influence-maximization seed sets (lazy greedy,
+// O(n·k) coverage evaluations) from the TTL cache.
+func (s *Server) handleSeeds(w http.ResponseWriter, r *http.Request) {
+	k, errK := queryInt(r, "k", 5)
+	horizon, errH := queryFloat(r, "horizon", 1)
+	if errK != nil || k <= 0 {
+		writeError(w, http.StatusBadRequest, "parameter k must be a positive integer")
+		return
+	}
+	if errH != nil || horizon <= 0 {
+		writeError(w, http.StatusBadRequest, "parameter horizon must be a positive number")
+		return
+	}
+	cur := s.current()
+	key := fmt.Sprintf("seeds:k=%d:h=%g:gen=%d", k, horizon, cur.gen)
+	val, hit, err := s.cache.Do(key, func() (any, error) {
+		return cur.sys.Sys.SelectSeeds(k, horizon)
+	})
+	s.countCache(hit)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"seeds":      val,
+		"horizon":    horizon,
+		"cached":     hit,
+		"generation": cur.gen,
+	})
+}
+
+func (s *Server) countCache(hit bool) {
+	if hit {
+		s.metrics.cacheHits.Add(1)
+	} else {
+		s.metrics.cacheMiss.Add(1)
+	}
+}
+
+// handleReload swaps in a freshly loaded model without interrupting
+// traffic.
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	gen, err := s.Reload()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"generation": gen})
+}
+
+// handleFlush triggers one online-refinement pass on demand.
+func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
+	n, err := s.Flush()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"flushed":    n,
+		"generation": s.Generation(),
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz reports whether a model is loaded and the daemon can
+// answer predictions; load balancers should gate traffic on this.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	cur := s.current()
+	if cur == nil || cur.sys == nil || cur.sys.Sys == nil {
+		writeError(w, http.StatusServiceUnavailable, "model not loaded")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":     "ready",
+		"nodes":      cur.sys.Sys.N,
+		"predictor":  cur.sys.Pred != nil,
+		"generation": cur.gen,
+	})
+}

@@ -1,0 +1,124 @@
+package serve
+
+import (
+	"expvar"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// latencyBuckets are the upper bounds (milliseconds) of the request
+// latency histogram; the last bucket is unbounded.
+var latencyBuckets = []float64{1, 5, 25, 100, 500}
+
+// Metrics is the daemon's observability surface, backed by expvar types
+// but kept off the global expvar registry so multiple servers (tests,
+// embedded uses) never collide on published names. The /metrics endpoint
+// renders the whole tree as JSON via expvar.Map's String method.
+type Metrics struct {
+	root *expvar.Map
+
+	requests  *expvar.Map // per-endpoint request counts
+	status    *expvar.Map // response counts by status class (2xx/4xx/5xx)
+	latency   *expvar.Map // latency histogram buckets, all endpoints
+	events    *expvar.Int // total ingested infection events
+	cacheHits *expvar.Int
+	cacheMiss *expvar.Int
+	reloads   *expvar.Int // successful model reloads (incl. flush swaps)
+	flushes   *expvar.Int // background flush passes that refined the model
+}
+
+// newMetrics wires the metric tree. liveCascades and generation are read
+// live at render time through expvar.Func, so the gauges never go stale.
+func newMetrics(liveCascades func() int, generation func() uint64, started time.Time) *Metrics {
+	m := &Metrics{
+		root:      new(expvar.Map).Init(),
+		requests:  new(expvar.Map).Init(),
+		status:    new(expvar.Map).Init(),
+		latency:   new(expvar.Map).Init(),
+		events:    new(expvar.Int),
+		cacheHits: new(expvar.Int),
+		cacheMiss: new(expvar.Int),
+		reloads:   new(expvar.Int),
+		flushes:   new(expvar.Int),
+	}
+	for _, b := range latencyBuckets {
+		m.latency.Set(fmt.Sprintf("le_%gms", b), new(expvar.Int))
+	}
+	m.latency.Set("inf", new(expvar.Int))
+	m.root.Set("requests", m.requests)
+	m.root.Set("responses_by_status", m.status)
+	m.root.Set("latency_ms", m.latency)
+	m.root.Set("events_ingested", m.events)
+	m.root.Set("cache_hits", m.cacheHits)
+	m.root.Set("cache_misses", m.cacheMiss)
+	m.root.Set("model_reloads", m.reloads)
+	m.root.Set("model_flushes", m.flushes)
+	m.root.Set("live_cascades", expvar.Func(func() any { return liveCascades() }))
+	m.root.Set("model_generation", expvar.Func(func() any { return generation() }))
+	m.root.Set("cache_hit_ratio", expvar.Func(func() any {
+		h, ms := m.cacheHits.Value(), m.cacheMiss.Value()
+		if h+ms == 0 {
+			return 0.0
+		}
+		return float64(h) / float64(h+ms)
+	}))
+	m.root.Set("uptime_seconds", expvar.Func(func() any {
+		return time.Since(started).Seconds()
+	}))
+	return m
+}
+
+// observe records one completed request: endpoint counter, status class,
+// and the latency histogram bucket.
+func (m *Metrics) observe(endpoint string, status int, elapsed time.Duration) {
+	m.requests.Add(endpoint, 1)
+	m.status.Add(fmt.Sprintf("%dxx", status/100), 1)
+	ms := float64(elapsed) / float64(time.Millisecond)
+	for _, b := range latencyBuckets {
+		if ms < b {
+			m.latency.Add(fmt.Sprintf("le_%gms", b), 1)
+			return
+		}
+	}
+	m.latency.Add("inf", 1)
+}
+
+// handler serves the metric tree as JSON.
+func (m *Metrics) handler(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	fmt.Fprintln(w, m.root.String())
+}
+
+// statusRecorder captures the status code a handler writes so the
+// middleware can label the response-class counter.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	return r.ResponseWriter.Write(b)
+}
+
+// instrument wraps a handler with request accounting under the given
+// endpoint label.
+func (m *Metrics) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w}
+		h(rec, r)
+		if rec.status == 0 {
+			rec.status = http.StatusOK
+		}
+		m.observe(endpoint, rec.status, time.Since(start))
+	}
+}

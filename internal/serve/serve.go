@@ -1,0 +1,259 @@
+// Package serve is viralcastd: a long-running HTTP daemon that serves a
+// fitted viralcast model online. It ingests cascade events as they
+// stream in (POST /v1/events), answers early-virality predictions for
+// live cascades in milliseconds (GET /v1/cascades/{id}/predict), and
+// exposes the model's inference surface (pairwise rates, influencer
+// rankings, seed selection) behind a TTL cache with singleflight
+// deduplication. The model is held behind an atomic pointer: hot reloads
+// (SIGHUP, POST /v1/reload) and periodic online refinement (flushing
+// live cascades into System.Update) swap in a fresh generation without
+// dropping in-flight requests. /healthz, /readyz, and an expvar-backed
+// /metrics make it operable.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// Config configures a Server. Loader is required; everything else has a
+// serving-friendly default.
+type Config struct {
+	// Loader produces the initial model and every reloaded generation.
+	Loader Loader
+	// CacheTTL bounds staleness of the cached expensive endpoints
+	// (influencers, seeds). Default 5s.
+	CacheTTL time.Duration
+	// FlushEvery is the cadence of the background pass that feeds grown
+	// live cascades into System.Update and swaps in the refined model.
+	// Zero disables the periodic pass (Flush can still be called).
+	FlushEvery time.Duration
+	// DrainTimeout bounds how long Serve waits for in-flight requests
+	// after its context is canceled. Default 10s.
+	DrainTimeout time.Duration
+	// Logf receives operational log lines; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// model is one immutable serving generation; the Server's atomic pointer
+// swaps between these.
+type model struct {
+	sys     *LoadedModel
+	gen     uint64
+	swapped time.Time
+}
+
+// Server is the daemon state. Create with New, wire into an HTTP server
+// via Handler, or run the full lifecycle with Listen + Serve.
+type Server struct {
+	cfg     Config
+	cur     atomic.Pointer[model]
+	gen     atomic.Uint64
+	store   *Store
+	cache   *ttlCache
+	metrics *Metrics
+
+	// reloadCh serializes generation swaps (reload and flush) without
+	// blocking request handlers: a buffered-channel mutex.
+	reloadCh chan struct{}
+
+	ln      net.Listener
+	handler http.Handler
+}
+
+// New builds a Server and performs the initial model load; a broken
+// model file fails fast here rather than at first request.
+func New(cfg Config) (*Server, error) {
+	if cfg.Loader == nil {
+		return nil, fmt.Errorf("serve: Config.Loader is required")
+	}
+	if cfg.CacheTTL <= 0 {
+		cfg.CacheTTL = 5 * time.Second
+	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = 10 * time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	s := &Server{
+		cfg:      cfg,
+		store:    NewStore(),
+		cache:    newTTLCache(cfg.CacheTTL),
+		reloadCh: make(chan struct{}, 1),
+	}
+	s.metrics = newMetrics(s.store.Len, s.Generation, time.Now())
+	lm, err := cfg.Loader()
+	if err != nil {
+		return nil, fmt.Errorf("serve: initial model load: %w", err)
+	}
+	s.swap(lm)
+	s.handler = s.routes()
+	return s, nil
+}
+
+// current returns the live generation. It is never nil after New.
+func (s *Server) current() *model { return s.cur.Load() }
+
+// Generation returns the monotonically increasing model generation;
+// every reload and every refining flush bumps it.
+func (s *Server) Generation() uint64 { return s.gen.Load() }
+
+// swap publishes lm as the next generation.
+func (s *Server) swap(lm *LoadedModel) uint64 {
+	gen := s.gen.Add(1)
+	s.cur.Store(&model{sys: lm, gen: gen, swapped: time.Now()})
+	return gen
+}
+
+// lockGenerations serializes reload/flush; returns an unlock func.
+func (s *Server) lockGenerations() func() {
+	s.reloadCh <- struct{}{}
+	return func() { <-s.reloadCh }
+}
+
+// Reload re-invokes the Loader and atomically swaps the fresh model in.
+// In-flight requests keep the generation they started with; a failed
+// load leaves the current generation serving (zero downtime either way).
+func (s *Server) Reload() (uint64, error) {
+	defer s.lockGenerations()()
+	lm, err := s.cfg.Loader()
+	if err != nil {
+		return s.Generation(), fmt.Errorf("serve: reload: %w", err)
+	}
+	gen := s.swap(lm)
+	s.metrics.reloads.Add(1)
+	s.cfg.Logf("serve: reloaded model (generation %d, %d nodes)", gen, lm.Sys.N)
+	return gen, nil
+}
+
+// Flush feeds every live cascade that grew since the last pass into
+// System.Update on a fork of the current system, retrains the predictor
+// against the refined embeddings when possible, and swaps the result in
+// as a new generation. Returns how many cascades were absorbed.
+func (s *Server) Flush() (int, error) {
+	defer s.lockGenerations()()
+	cur := s.current()
+	dirty := s.store.FlushDirty()
+	// A reload may have shrunk the node universe below ids already
+	// ingested; those cascades cannot refine this model.
+	usable := dirty[:0]
+	for _, c := range dirty {
+		if maxNode(c.Nodes()) < cur.sys.Sys.N {
+			usable = append(usable, c)
+		}
+	}
+	if len(usable) == 0 {
+		return 0, nil
+	}
+	next := cur.sys.Sys.Fork()
+	if err := next.Update(usable); err != nil {
+		return 0, fmt.Errorf("serve: online update: %w", err)
+	}
+	lm := &LoadedModel{Sys: next, Pred: cur.sys.Pred, Retrain: cur.sys.Retrain}
+	if lm.Retrain != nil {
+		if pred, err := lm.Retrain(next); err == nil {
+			lm.Pred = pred
+		} else {
+			s.cfg.Logf("serve: keeping previous predictor, retrain failed: %v", err)
+		}
+	}
+	gen := s.swap(lm)
+	s.metrics.flushes.Add(1)
+	s.cfg.Logf("serve: flushed %d live cascades into the model (generation %d)", len(usable), gen)
+	return len(usable), nil
+}
+
+func maxNode(nodes []int) int {
+	m := -1
+	for _, u := range nodes {
+		if u > m {
+			m = u
+		}
+	}
+	return m
+}
+
+// Handler returns the daemon's HTTP handler, for embedding in an
+// existing server or an httptest harness.
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// Listen binds addr (host:port; port 0 picks a free port) and returns
+// the bound address. Call before Serve.
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	s.ln = ln
+	return ln.Addr(), nil
+}
+
+// Serve runs the daemon on the listener from Listen until ctx is
+// canceled, then drains gracefully: the listener closes, in-flight
+// requests get up to DrainTimeout to finish, and a final Flush absorbs
+// what the live cascades learned. Returns nil on a clean drain.
+func (s *Server) Serve(ctx context.Context) error {
+	if s.ln == nil {
+		return fmt.Errorf("serve: Serve called before Listen")
+	}
+	hs := &http.Server{Handler: s.handler}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(s.ln) }()
+
+	var flushDone chan struct{}
+	if s.cfg.FlushEvery > 0 {
+		flushDone = make(chan struct{})
+		go s.flushLoop(ctx, flushDone)
+	}
+
+	select {
+	case err := <-serveErr:
+		return fmt.Errorf("serve: %w", err)
+	case <-ctx.Done():
+	}
+	drainCtx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+	defer cancel()
+	err := hs.Shutdown(drainCtx)
+	if flushDone != nil {
+		<-flushDone
+	}
+	if _, ferr := s.Flush(); ferr != nil {
+		s.cfg.Logf("serve: final flush: %v", ferr)
+	}
+	if err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return fmt.Errorf("serve: shutdown: %w", err)
+	}
+	s.cfg.Logf("serve: drained")
+	return nil
+}
+
+// Run is Listen + Serve in one call for fixed addresses.
+func (s *Server) Run(ctx context.Context, addr string) error {
+	if _, err := s.Listen(addr); err != nil {
+		return err
+	}
+	return s.Serve(ctx)
+}
+
+// flushLoop periodically refines the model from live cascades.
+func (s *Server) flushLoop(ctx context.Context, done chan<- struct{}) {
+	defer close(done)
+	t := time.NewTicker(s.cfg.FlushEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			if _, err := s.Flush(); err != nil {
+				s.cfg.Logf("serve: periodic flush: %v", err)
+			}
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"viralcast/internal/cascade"
+)
+
+// storeShards is the number of lock shards in the live-cascade store. A
+// power of two so the shard index is a cheap mask; 64 keeps lock
+// contention negligible up to hundreds of concurrent ingest streams.
+const storeShards = 64
+
+// Event is one streamed infection report: node reported/adopted the
+// story of cascade Cascade at time Time (cascade-relative clock, same
+// units as training data).
+type Event struct {
+	Cascade int     `json:"cascade"`
+	Node    int     `json:"node"`
+	Time    float64 `json:"time"`
+}
+
+// liveCascade is a cascade under construction plus ingest bookkeeping.
+type liveCascade struct {
+	c       cascade.Cascade
+	nodes   map[int]bool // duplicate-infection guard (SI process)
+	flushed int          // size at the last background flush
+}
+
+type storeShard struct {
+	mu   sync.RWMutex
+	live map[int]*liveCascade
+}
+
+// Store holds the live cascades the daemon is ingesting, sharded by
+// cascade ID with per-shard locking so parallel POST /v1/events streams
+// for different cascades never serialize on one mutex.
+type Store struct {
+	shards [storeShards]storeShard
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	s := &Store{}
+	for i := range s.shards {
+		s.shards[i].live = make(map[int]*liveCascade)
+	}
+	return s
+}
+
+func (s *Store) shard(id int) *storeShard {
+	// Hash negative IDs too; uint conversion keeps the mask in range.
+	return &s.shards[uint(id)%storeShards]
+}
+
+// Append validates ev and appends it to its live cascade, creating the
+// cascade on first sight. n bounds valid node ids (the current model's
+// universe). Events may arrive slightly out of time order; the infection
+// list is kept time-sorted by insertion. Returns the cascade's new size.
+func (s *Store) Append(ev Event, n int) (int, error) {
+	if ev.Cascade < 0 {
+		return 0, fmt.Errorf("negative cascade id %d", ev.Cascade)
+	}
+	if ev.Node < 0 || ev.Node >= n {
+		return 0, fmt.Errorf("node %d outside the model's universe [0,%d)", ev.Node, n)
+	}
+	if math.IsNaN(ev.Time) || math.IsInf(ev.Time, 0) || ev.Time < 0 {
+		return 0, fmt.Errorf("bad event time %v", ev.Time)
+	}
+	sh := s.shard(ev.Cascade)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	lc, ok := sh.live[ev.Cascade]
+	if !ok {
+		lc = &liveCascade{c: cascade.Cascade{ID: ev.Cascade}, nodes: make(map[int]bool)}
+		sh.live[ev.Cascade] = lc
+	}
+	if lc.nodes[ev.Node] {
+		return len(lc.c.Infections), fmt.Errorf("node %d already infected in cascade %d (SI process forbids re-infection)", ev.Node, ev.Cascade)
+	}
+	lc.nodes[ev.Node] = true
+	inf := cascade.Infection{Node: ev.Node, Time: ev.Time}
+	infs := lc.c.Infections
+	// Insert keeping time order; the common case is an in-order append.
+	i := len(infs)
+	for i > 0 && infs[i-1].Time > ev.Time {
+		i--
+	}
+	infs = append(infs, cascade.Infection{})
+	copy(infs[i+1:], infs[i:])
+	infs[i] = inf
+	lc.c.Infections = infs
+	return len(infs), nil
+}
+
+// Snapshot returns a deep copy of the live cascade, safe to read while
+// ingestion continues, or false if the cascade is unknown.
+func (s *Store) Snapshot(id int) (*cascade.Cascade, bool) {
+	sh := s.shard(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	lc, ok := sh.live[id]
+	if !ok {
+		return nil, false
+	}
+	return &cascade.Cascade{
+		ID:         lc.c.ID,
+		Infections: append([]cascade.Infection(nil), lc.c.Infections...),
+	}, true
+}
+
+// Len returns the number of live cascades.
+func (s *Store) Len() int {
+	total := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		total += len(sh.live)
+		sh.mu.RUnlock()
+	}
+	return total
+}
+
+// FlushDirty snapshots every cascade that has at least two infections
+// and has grown since its last flush, marking them flushed. These are
+// the cascades worth feeding to System.Update for online refinement
+// (singletons carry no likelihood signal). Results are ordered by
+// cascade ID for determinism.
+func (s *Store) FlushDirty() []*cascade.Cascade {
+	var out []*cascade.Cascade
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for _, lc := range sh.live {
+			if len(lc.c.Infections) >= 2 && len(lc.c.Infections) > lc.flushed {
+				lc.flushed = len(lc.c.Infections)
+				out = append(out, &cascade.Cascade{
+					ID:         lc.c.ID,
+					Infections: append([]cascade.Infection(nil), lc.c.Infections...),
+				})
+			}
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}
+
+// Evict removes a live cascade (e.g. after its story has gone cold),
+// reporting whether it existed.
+func (s *Store) Evict(id int) bool {
+	sh := s.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	_, ok := sh.live[id]
+	delete(sh.live, id)
+	return ok
+}

@@ -1,0 +1,168 @@
+package serve
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"viralcast/internal/cascade"
+)
+
+func TestStoreAppendAndSnapshot(t *testing.T) {
+	s := NewStore()
+	for i, ev := range []Event{
+		{Cascade: 1, Node: 3, Time: 0.3},
+		{Cascade: 1, Node: 1, Time: 0.1}, // arrives late: must sort in
+		{Cascade: 1, Node: 2, Time: 0.2},
+	} {
+		if _, err := s.Append(ev, 10); err != nil {
+			t.Fatalf("event %d: %v", i, err)
+		}
+	}
+	c, ok := s.Snapshot(1)
+	if !ok {
+		t.Fatal("cascade 1 missing")
+	}
+	if got := c.Nodes(); got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("infections not time-sorted: %v", got)
+	}
+	if err := c.Validate(10); err != nil {
+		t.Fatalf("snapshot is not a valid cascade: %v", err)
+	}
+	// The snapshot is isolated from later appends.
+	if _, err := s.Append(Event{Cascade: 1, Node: 4, Time: 0.4}, 10); err != nil {
+		t.Fatal(err)
+	}
+	if c.Size() != 3 {
+		t.Fatalf("snapshot mutated by later append: size %d", c.Size())
+	}
+	if _, ok := s.Snapshot(2); ok {
+		t.Fatal("snapshot of unknown cascade succeeded")
+	}
+}
+
+func TestStoreAppendRejections(t *testing.T) {
+	s := NewStore()
+	if _, err := s.Append(Event{Cascade: 1, Node: 2, Time: 0.5}, 10); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		ev   Event
+	}{
+		{"negative cascade", Event{Cascade: -1, Node: 0, Time: 0}},
+		{"negative node", Event{Cascade: 1, Node: -1, Time: 0}},
+		{"node beyond universe", Event{Cascade: 1, Node: 10, Time: 0}},
+		{"duplicate node", Event{Cascade: 1, Node: 2, Time: 0.9}},
+		{"negative time", Event{Cascade: 1, Node: 3, Time: -0.1}},
+		{"NaN time", Event{Cascade: 1, Node: 3, Time: math.NaN()}},
+		{"Inf time", Event{Cascade: 1, Node: 3, Time: math.Inf(1)}},
+	}
+	for _, tc := range cases {
+		if _, err := s.Append(tc.ev, 10); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	if c, _ := s.Snapshot(1); c.Size() != 1 {
+		t.Fatalf("rejected events leaked into the cascade: size %d", c.Size())
+	}
+}
+
+func TestStoreFlushDirty(t *testing.T) {
+	s := NewStore()
+	add := func(id, node int, tm float64) {
+		t.Helper()
+		if _, err := s.Append(Event{Cascade: id, Node: node, Time: tm}, 100); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add(1, 0, 0.1)
+	add(1, 1, 0.2)
+	add(2, 0, 0.1) // singleton: never flushed
+	add(3, 0, 0.1)
+	add(3, 1, 0.3)
+
+	got := s.FlushDirty()
+	if len(got) != 2 || got[0].ID != 1 || got[1].ID != 3 {
+		t.Fatalf("first flush = %v cascades, want ids [1 3]", ids(got))
+	}
+	// Nothing grew: nothing to flush.
+	if got := s.FlushDirty(); len(got) != 0 {
+		t.Fatalf("idle flush returned %v", ids(got))
+	}
+	// Only the cascade that grew comes back, with its full history.
+	add(1, 2, 0.5)
+	got = s.FlushDirty()
+	if len(got) != 1 || got[0].ID != 1 || got[0].Size() != 3 {
+		t.Fatalf("growth flush = %v, want full cascade 1 of size 3", ids(got))
+	}
+}
+
+func TestStoreEvictAndLen(t *testing.T) {
+	s := NewStore()
+	for id := 0; id < 200; id++ { // spread across every shard
+		if _, err := s.Append(Event{Cascade: id, Node: 0, Time: 0}, 5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Len() != 200 {
+		t.Fatalf("Len = %d, want 200", s.Len())
+	}
+	if !s.Evict(7) || s.Evict(7) {
+		t.Fatal("Evict semantics wrong")
+	}
+	if s.Len() != 199 {
+		t.Fatalf("Len after evict = %d, want 199", s.Len())
+	}
+}
+
+// TestStoreConcurrentAppend hammers the store from parallel writers and
+// readers; run under -race this proves the shard locking sound.
+func TestStoreConcurrentAppend(t *testing.T) {
+	s := NewStore()
+	const writers = 8
+	const perWriter = 200
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				// Distinct (cascade, node) per event; many writers share
+				// cascades so shard locks genuinely contend.
+				ev := Event{Cascade: i % 16, Node: w*perWriter + i, Time: float64(i)}
+				if _, err := s.Append(ev, writers*perWriter); err != nil {
+					t.Errorf("append: %v", err)
+					return
+				}
+				if i%10 == 0 {
+					s.Snapshot(ev.Cascade)
+					s.Len()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := 0
+	for id := 0; id < 16; id++ {
+		c, ok := s.Snapshot(id)
+		if !ok {
+			t.Fatalf("cascade %d missing", id)
+		}
+		if err := c.Validate(writers * perWriter); err != nil {
+			t.Fatalf("cascade %d invalid after concurrent ingest: %v", id, err)
+		}
+		total += c.Size()
+	}
+	if total != writers*perWriter {
+		t.Fatalf("ingested %d infections, want %d", total, writers*perWriter)
+	}
+}
+
+func ids(cs []*cascade.Cascade) []int {
+	out := make([]int, len(cs))
+	for i, c := range cs {
+		out[i] = c.ID
+	}
+	return out
+}

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # ci.sh — the repo's verification gate: static checks, build, the full
-# test suite, and the race detector on the packages that exercise
-# concurrency (the worker pool, the parallel/Hogwild optimizers, SLPA).
+# test suite, the race detector on the packages that exercise
+# concurrency (the worker pool, the parallel/Hogwild optimizers, SLPA,
+# the serving daemon), and a live smoke test of viralcastd.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -15,6 +16,52 @@ echo "== go test ./..."
 go test ./...
 
 echo "== go test -race (concurrent packages)"
-go test -race ./internal/pool/ ./internal/infer/ ./internal/slpa/
+go test -race ./internal/pool/ ./internal/infer/ ./internal/slpa/ ./internal/serve/
+
+echo "== viralcastd smoke test"
+tmp="$(mktemp -d)"
+daemon_pid=""
+cleanup() {
+  if [[ -n "$daemon_pid" ]] && kill -0 "$daemon_pid" 2>/dev/null; then
+    kill -9 "$daemon_pid" 2>/dev/null || true
+  fi
+  rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+go build -o "$tmp/viralcast" ./cmd/viralcast
+"$tmp/viralcast" version
+"$tmp/viralcast" simulate -n 150 -cascades 300 -window 8 -seed 7 -out "$tmp/cascades.txt"
+"$tmp/viralcast" infer -in "$tmp/cascades.txt" -topics 2 -iters 6 -seed 7 -out "$tmp/model.txt"
+
+# Start the daemon on a random port; it writes the bound address once
+# it is listening.
+"$tmp/viralcast" serve -addr 127.0.0.1:0 -addr-file "$tmp/addr" \
+  -model "$tmp/model.txt" -cascades "$tmp/cascades.txt" -seed 7 \
+  -flush-every 0 2>"$tmp/daemon.log" &
+daemon_pid=$!
+
+for _ in $(seq 1 100); do
+  [[ -s "$tmp/addr" ]] && break
+  if ! kill -0 "$daemon_pid" 2>/dev/null; then
+    echo "daemon died during startup:" >&2
+    cat "$tmp/daemon.log" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+[[ -s "$tmp/addr" ]] || { echo "daemon never published its address" >&2; exit 1; }
+
+go run ./scripts/smoke -base "http://$(cat "$tmp/addr")"
+
+# Graceful shutdown: SIGTERM must drain and exit 0.
+kill -TERM "$daemon_pid"
+if ! wait "$daemon_pid"; then
+  echo "daemon did not shut down cleanly:" >&2
+  cat "$tmp/daemon.log" >&2
+  exit 1
+fi
+daemon_pid=""
+echo "smoke test passed (daemon drained cleanly)"
 
 echo "ci.sh: all checks passed"

@@ -1,0 +1,120 @@
+// Command smoke is the CI client for the viralcastd smoke test: given a
+// running daemon's base URL, it checks the health probes, streams a
+// small cascade in, asserts a 200 prediction, exercises a hot reload,
+// and verifies the metrics counters moved. Exits non-zero on the first
+// failed expectation; scripts/ci.sh drives it against a daemon on a
+// random port.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+)
+
+func main() {
+	base := flag.String("base", "", "daemon base URL, e.g. http://127.0.0.1:43321 (required)")
+	flag.Parse()
+	if *base == "" {
+		log.Fatal("smoke: -base is required")
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	expect(client, "GET", *base+"/healthz", nil, 200, nil)
+	var ready struct {
+		Predictor bool `json:"predictor"`
+	}
+	expect(client, "GET", *base+"/readyz", nil, 200, &ready)
+	if !ready.Predictor {
+		log.Fatal("smoke: daemon is ready but has no predictor")
+	}
+
+	// Stream a fixture cascade: five early adopters, timestamps well
+	// inside any sensible early cutoff.
+	events := map[string]any{"events": []map[string]any{
+		{"cascade": 31337, "node": 1, "time": 0.05},
+		{"cascade": 31337, "node": 2, "time": 0.10},
+		{"cascade": 31337, "node": 3, "time": 0.20},
+		{"cascade": 31337, "node": 4, "time": 0.35},
+		{"cascade": 31337, "node": 5, "time": 0.50},
+	}}
+	var ingested struct {
+		Accepted int `json:"accepted"`
+	}
+	expect(client, "POST", *base+"/v1/events", events, 200, &ingested)
+	if ingested.Accepted != 5 {
+		log.Fatalf("smoke: ingested %d of 5 events", ingested.Accepted)
+	}
+
+	var pred struct {
+		Viral      *bool   `json:"viral"`
+		Margin     float64 `json:"margin"`
+		Size       int     `json:"size"`
+		Generation int     `json:"generation"`
+	}
+	expect(client, "GET", *base+"/v1/cascades/31337/predict", nil, 200, &pred)
+	if pred.Viral == nil || pred.Size != 5 {
+		log.Fatalf("smoke: malformed prediction: %+v", pred)
+	}
+	fmt.Printf("smoke: prediction ok (viral=%v margin=%+.3f, generation %d)\n",
+		*pred.Viral, pred.Margin, pred.Generation)
+
+	// Hot reload must succeed and bump the generation without breaking
+	// the next prediction.
+	var rl struct {
+		Generation int `json:"generation"`
+	}
+	expect(client, "POST", *base+"/v1/reload", nil, 200, &rl)
+	if rl.Generation <= pred.Generation {
+		log.Fatalf("smoke: reload did not advance the generation (%d -> %d)",
+			pred.Generation, rl.Generation)
+	}
+	expect(client, "GET", *base+"/v1/cascades/31337/predict", nil, 200, &pred)
+
+	var metrics struct {
+		Requests map[string]float64 `json:"requests"`
+		Events   float64            `json:"events_ingested"`
+	}
+	expect(client, "GET", *base+"/metrics", nil, 200, &metrics)
+	if metrics.Requests["predict"] < 2 || metrics.Requests["events"] < 1 || metrics.Events != 5 {
+		log.Fatalf("smoke: metrics did not move: %+v", metrics)
+	}
+	fmt.Println("smoke: all checks passed")
+	os.Exit(0)
+}
+
+// expect performs one request and requires the given status, optionally
+// decoding the JSON response.
+func expect(client *http.Client, method, url string, body any, wantStatus int, out any) {
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			log.Fatalf("smoke: encoding body for %s: %v", url, err)
+		}
+	}
+	req, err := http.NewRequest(method, url, &buf)
+	if err != nil {
+		log.Fatalf("smoke: %v", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		log.Fatalf("smoke: %s %s: %v", method, url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		var e map[string]any
+		json.NewDecoder(resp.Body).Decode(&e)
+		log.Fatalf("smoke: %s %s = %d, want %d (%v)", method, url, resp.StatusCode, wantStatus, e)
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			log.Fatalf("smoke: %s %s: undecodable response: %v", method, url, err)
+		}
+	}
+}
