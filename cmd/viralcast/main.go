@@ -37,7 +37,14 @@
 //	    events in over HTTP, answer virality predictions for live
 //	    cascades, and expose rates/influencers/seeds behind a TTL cache.
 //	    SIGHUP or POST /v1/reload hot-swaps the model from disk with
-//	    zero downtime; SIGINT/SIGTERM drains gracefully.
+//	    zero downtime; SIGINT/SIGTERM drains gracefully. With -wal-dir,
+//	    ingestion is durable: events are group-committed to a write-ahead
+//	    log before they are acknowledged, and a restart replays the log.
+//
+//	viralcast wal <inspect|verify|replay> -dir wal/
+//	    Read-only tools for a daemon's write-ahead log directory:
+//	    per-segment health, torn-tail detection, and export of the
+//	    logged events as a cascade file.
 //
 //	viralcast version
 //	    Report build information (also: viralcast -version).
@@ -92,6 +99,8 @@ func main() {
 		err = cmdCluster(os.Args[2:])
 	case "serve":
 		err = cmdServe(ctx, os.Args[2:])
+	case "wal":
+		err = cmdWAL(os.Args[2:])
 	case "version", "-version", "--version":
 		err = cmdVersion()
 	case "-h", "--help", "help":
@@ -144,7 +153,7 @@ func reportInterrupted(err error, path string) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: viralcast <simulate|infer|influencers|predict|analyze|gdelt|cluster|serve|version> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: viralcast <simulate|infer|influencers|predict|analyze|gdelt|cluster|serve|wal|version> [flags]")
 	fmt.Fprintln(os.Stderr, "run 'viralcast <subcommand> -h' for subcommand flags")
 }
 

@@ -33,6 +33,9 @@ func cmdServe(ctx context.Context, args []string) error {
 	cacheTTL := fs.Duration("cache-ttl", 5*time.Second, "TTL for cached influencer/seed responses")
 	flushEvery := fs.Duration("flush-every", time.Minute, "cadence of online model refinement from live cascades (0 disables)")
 	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+	walDir := fs.String("wal-dir", "", "write-ahead log directory: make ingestion durable across crashes (empty disables)")
+	walSync := fs.Duration("wal-sync", 0, "group-commit gather window (0 = fsync-paced batching, the usual choice)")
+	walMaxSegment := fs.Int64("wal-max-segment", 0, "rotate WAL segments at this many bytes (0 = default 64MiB)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -49,11 +52,14 @@ func cmdServe(ctx context.Context, args []string) error {
 	}
 	logger := log.New(os.Stderr, "viralcastd: ", log.LstdFlags)
 	srv, err := serve.New(serve.Config{
-		Loader:       loader,
-		CacheTTL:     *cacheTTL,
-		FlushEvery:   *flushEvery,
-		DrainTimeout: *drain,
-		Logf:         func(format string, a ...any) { logger.Printf(format, a...) },
+		Loader:        loader,
+		CacheTTL:      *cacheTTL,
+		FlushEvery:    *flushEvery,
+		DrainTimeout:  *drain,
+		WALDir:        *walDir,
+		WALSync:       *walSync,
+		WALMaxSegment: *walMaxSegment,
+		Logf:          func(format string, a ...any) { logger.Printf(format, a...) },
 	})
 	if err != nil {
 		return err

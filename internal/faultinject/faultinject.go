@@ -17,6 +17,7 @@ package faultinject
 
 import (
 	"math"
+	"os"
 	"sync"
 	"sync/atomic"
 
@@ -39,6 +40,13 @@ const (
 	// Truncate makes TruncateBy return the fault's Bytes, telling the
 	// caller to chop that many bytes off whatever it just wrote.
 	Truncate
+	// Exit makes Fire terminate the process immediately with the
+	// fault's Code — a simulated SIGKILL at an exact site. Nothing
+	// deferred runs and no buffers flush, which is the point: crash
+	// recovery tests re-exec the test binary, arm an Exit fault at a
+	// durability boundary (e.g. "wal.committed"), and assert the
+	// restarted process recovers everything acknowledged before it.
+	Exit
 )
 
 // Fault describes one armed failure at one site.
@@ -65,6 +73,8 @@ type Fault struct {
 	Fn func()
 	// Bytes is returned by TruncateBy for the Truncate action.
 	Bytes int
+	// Code is the process exit status used by the Exit action.
+	Code int
 }
 
 type armed struct {
@@ -184,6 +194,8 @@ func Fire(site string) error {
 		if f.Fn != nil {
 			f.Fn()
 		}
+	case Exit:
+		os.Exit(f.Code)
 	}
 	return nil
 }

@@ -7,6 +7,8 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+
+	"viralcast/internal/wal"
 )
 
 // strictUnmarshal decodes JSON rejecting unknown fields, so the batch
@@ -115,6 +117,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	n := s.current().sys.Sys.N
 	accepted := 0
 	var rejected []eventReject
+	var durable []wal.Event
 	sizes := make(map[string]int)
 	for i, ev := range batch.Events {
 		size, err := s.store.Append(ev, n)
@@ -124,6 +127,23 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		}
 		accepted++
 		sizes[strconv.Itoa(ev.Cascade)] = size
+		if s.wal != nil {
+			durable = append(durable, wal.Event{Cascade: ev.Cascade, Node: ev.Node, Time: ev.Time})
+		}
+	}
+	// With a WAL configured, the 200 below is a durability contract:
+	// the whole accepted batch rides one group commit, and a client is
+	// only told "accepted" after the fsync. On commit failure the
+	// events sit in memory but are NOT durable, so the response is an
+	// error — a crash would lose them, exactly as if the request had
+	// never completed.
+	if len(durable) > 0 {
+		if err := s.wal.AppendBatch(durable); err != nil {
+			s.cfg.Logf("serve: WAL append failed: %v", err)
+			writeError(w, http.StatusInternalServerError,
+				"events not durable (write-ahead log failure): %v", err)
+			return
+		}
 	}
 	s.metrics.events.Add(int64(accepted))
 	writeJSON(w, http.StatusOK, map[string]any{

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"net/http"
 	"time"
+
+	"viralcast/internal/wal"
 )
 
 // latencyBuckets are the upper bounds (milliseconds) of the request
@@ -28,9 +30,14 @@ type Metrics struct {
 	flushes   *expvar.Int // background flush passes that refined the model
 }
 
-// newMetrics wires the metric tree. liveCascades and generation are read
-// live at render time through expvar.Func, so the gauges never go stale.
-func newMetrics(liveCascades func() int, generation func() uint64, started time.Time) *Metrics {
+// newMetrics wires the metric tree. liveCascades, generation, and
+// walStats are read live at render time through expvar.Func, so the
+// gauges never go stale. The wal_* counters are always published (zero
+// when the WAL is disabled) so dashboards and the smoke client never
+// see the key set change shape; wal_replayed_records counts events
+// actually restored into the store at startup, net of the duplicates a
+// compaction overlap replays.
+func newMetrics(liveCascades func() int, generation func() uint64, started time.Time, walStats func() (wal.Stats, bool)) *Metrics {
 	m := &Metrics{
 		root:      new(expvar.Map).Init(),
 		requests:  new(expvar.Map).Init(),
@@ -66,6 +73,23 @@ func newMetrics(liveCascades func() int, generation func() uint64, started time.
 	m.root.Set("uptime_seconds", expvar.Func(func() any {
 		return time.Since(started).Seconds()
 	}))
+	m.root.Set("wal_enabled", expvar.Func(func() any {
+		_, on := walStats()
+		return on
+	}))
+	walGauge := func(pick func(wal.Stats) uint64) expvar.Func {
+		return func() any {
+			st, _ := walStats()
+			return pick(st)
+		}
+	}
+	m.root.Set("wal_appends", walGauge(func(st wal.Stats) uint64 { return st.Appends }))
+	m.root.Set("wal_fsyncs", walGauge(func(st wal.Stats) uint64 { return st.Fsyncs }))
+	m.root.Set("wal_bytes", walGauge(func(st wal.Stats) uint64 { return st.Bytes }))
+	m.root.Set("wal_replayed_records", walGauge(func(st wal.Stats) uint64 { return st.Replayed }))
+	m.root.Set("wal_compactions", walGauge(func(st wal.Stats) uint64 { return st.Compactions }))
+	m.root.Set("wal_torn_tail_truncations", walGauge(func(st wal.Stats) uint64 { return st.TornTruncations }))
+	m.root.Set("wal_segments", walGauge(func(st wal.Stats) uint64 { return st.Segments }))
 	return m
 }
 

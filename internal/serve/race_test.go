@@ -110,4 +110,3 @@ func TestServeConcurrentHammer(t *testing.T) {
 		t.Errorf("generation %d after concurrent reloads/flushes, want >= 2", srv.Generation())
 	}
 }
-

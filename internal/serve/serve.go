@@ -8,7 +8,11 @@
 // (SIGHUP, POST /v1/reload) and periodic online refinement (flushing
 // live cascades into System.Update) swap in a fresh generation without
 // dropping in-flight requests. /healthz, /readyz, and an expvar-backed
-// /metrics make it operable.
+// /metrics make it operable. With Config.WALDir set, ingestion is
+// durable: acknowledged events are group-committed to a write-ahead
+// log (internal/wal) before the response goes out, startup replays the
+// log back into the live store, and each model flush compacts the log
+// down to the still-live state.
 package serve
 
 import (
@@ -19,6 +23,8 @@ import (
 	"net/http"
 	"sync/atomic"
 	"time"
+
+	"viralcast/internal/wal"
 )
 
 // Config configures a Server. Loader is required; everything else has a
@@ -36,6 +42,22 @@ type Config struct {
 	// DrainTimeout bounds how long Serve waits for in-flight requests
 	// after its context is canceled. Default 10s.
 	DrainTimeout time.Duration
+	// WALDir enables durable ingestion: every acknowledged event is
+	// group-committed to a write-ahead log under this directory before
+	// the POST /v1/events response is sent, and on startup the log is
+	// replayed into the store — so a crash between model flushes loses
+	// nothing acknowledged. Empty disables the WAL (PR-2 behavior:
+	// live cascades are memory-only).
+	WALDir string
+	// WALSync is the group-commit gather window: how long a commit
+	// waits for more concurrent appends before fsyncing. 0 (the
+	// default) is fsync-paced batching — lowest latency, still shares
+	// fsyncs under load; larger values buy bigger batches at up to
+	// that much extra ingest latency.
+	WALSync time.Duration
+	// WALMaxSegment rotates WAL segments above this size. 0 uses the
+	// wal package default (64 MiB).
+	WALMaxSegment int64
 	// Logf receives operational log lines; nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -57,6 +79,13 @@ type Server struct {
 	store   *Store
 	cache   *ttlCache
 	metrics *Metrics
+
+	// wal is the durable ingestion log, nil unless Config.WALDir is
+	// set. Ingest handlers append to it before acknowledging; Flush
+	// compacts it after each generation swap.
+	wal         *wal.Log
+	walReplayed atomic.Uint64
+	walSkipped  atomic.Uint64
 
 	// reloadCh serializes generation swaps (reload and flush) without
 	// blocking request handlers: a buffered-channel mutex.
@@ -87,14 +116,67 @@ func New(cfg Config) (*Server, error) {
 		cache:    newTTLCache(cfg.CacheTTL),
 		reloadCh: make(chan struct{}, 1),
 	}
-	s.metrics = newMetrics(s.store.Len, s.Generation, time.Now())
+	if cfg.WALDir != "" {
+		// Recover before anything serves: replay every intact record
+		// back into the store. Replay is idempotent — compaction
+		// snapshots overlap post-snapshot appends, and the SI
+		// duplicate guard drops the overlap — so per-event rejects
+		// are bookkeeping, not errors. Node-universe bounds are not
+		// re-checked: the log only ever holds events that passed
+		// validation when first acknowledged.
+		w, err := wal.Open(cfg.WALDir, wal.Options{
+			GroupWindow:     cfg.WALSync,
+			MaxSegmentBytes: cfg.WALMaxSegment,
+			Logf:            cfg.Logf,
+		}, func(ev wal.Event) error {
+			if _, err := s.store.Append(Event{Cascade: ev.Cascade, Node: ev.Node, Time: ev.Time}, maxInt); err != nil {
+				s.walSkipped.Add(1)
+				return nil
+			}
+			s.walReplayed.Add(1)
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("serve: opening WAL: %w", err)
+		}
+		s.wal = w
+		cfg.Logf("serve: WAL %s: replayed %d events into %d live cascades (%d duplicates skipped)",
+			cfg.WALDir, s.walReplayed.Load(), s.store.Len(), s.walSkipped.Load())
+	}
+	s.metrics = newMetrics(s.store.Len, s.Generation, time.Now(), s.walStats)
 	lm, err := cfg.Loader()
 	if err != nil {
+		s.Close()
 		return nil, fmt.Errorf("serve: initial model load: %w", err)
 	}
 	s.swap(lm)
 	s.handler = s.routes()
 	return s, nil
+}
+
+// maxInt disables node-universe bounds on replay: logged events were
+// validated against the model that was live when they were acknowledged.
+const maxInt = int(^uint(0) >> 1)
+
+// walStats feeds the wal_* metrics; all-zero when the WAL is disabled.
+func (s *Server) walStats() (wal.Stats, bool) {
+	if s.wal == nil {
+		return wal.Stats{}, false
+	}
+	st := s.wal.Stats()
+	st.Replayed = s.walReplayed.Load()
+	return st, true
+}
+
+// Close releases the WAL (committing anything still queued). It does
+// not stop an in-flight Serve — Serve calls it itself after the final
+// flush. Callers embedding Handler directly (tests, custom servers)
+// should Close when done. Idempotent.
+func (s *Server) Close() error {
+	if s.wal == nil {
+		return nil
+	}
+	return s.wal.Close()
 }
 
 // current returns the live generation. It is never nil after New.
@@ -166,6 +248,25 @@ func (s *Server) Flush() (int, error) {
 	gen := s.swap(lm)
 	s.metrics.flushes.Add(1)
 	s.cfg.Logf("serve: flushed %d live cascades into the model (generation %d)", len(usable), gen)
+	if s.wal != nil {
+		// Generation-tied compaction: everything the new generation
+		// absorbed no longer needs its raw log entries. The snapshot
+		// callback runs under the WAL's write lock, so it sees every
+		// event whose segment is about to be deleted.
+		removed, err := s.wal.Compact(func() []wal.Event {
+			evs := s.store.AllEvents()
+			out := make([]wal.Event, len(evs))
+			for i, ev := range evs {
+				out[i] = wal.Event{Cascade: ev.Cascade, Node: ev.Node, Time: ev.Time}
+			}
+			return out
+		})
+		if err != nil {
+			s.cfg.Logf("serve: WAL compaction after generation %d: %v", gen, err)
+		} else if removed > 0 {
+			s.cfg.Logf("serve: WAL compaction dropped %d sealed segments (generation %d)", removed, gen)
+		}
+	}
 	return len(usable), nil
 }
 
@@ -225,6 +326,9 @@ func (s *Server) Serve(ctx context.Context) error {
 	}
 	if _, ferr := s.Flush(); ferr != nil {
 		s.cfg.Logf("serve: final flush: %v", ferr)
+	}
+	if cerr := s.Close(); cerr != nil {
+		s.cfg.Logf("serve: closing WAL: %v", cerr)
 	}
 	if err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		return fmt.Errorf("serve: shutdown: %w", err)

@@ -149,6 +149,31 @@ func (s *Store) FlushDirty() []*cascade.Cascade {
 	return out
 }
 
+// AllEvents returns every infection of every live cascade as ingestion
+// events, ordered by cascade id and then by time. It is the WAL
+// compaction snapshot: replaying the result through Append rebuilds the
+// store's exact live state.
+func (s *Store) AllEvents() []Event {
+	var out []Event
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for id, lc := range sh.live {
+			for _, inf := range lc.c.Infections {
+				out = append(out, Event{Cascade: id, Node: inf.Node, Time: inf.Time})
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Cascade != out[b].Cascade {
+			return out[a].Cascade < out[b].Cascade
+		}
+		return out[a].Time < out[b].Time
+	})
+	return out
+}
+
 // Evict removes a live cascade (e.g. after its story has gone cold),
 // reporting whether it existed.
 func (s *Store) Evict(id int) bool {

@@ -1,0 +1,124 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"viralcast/internal/faultinject"
+)
+
+// TestFsyncFailurePoisonsLog: after a failed fsync nothing further may
+// be acknowledged — a later append could land beyond an unsynced region
+// and be silently unrecoverable, so the log must fail stop.
+func TestFsyncFailurePoisonsLog(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := l.Append(Event{Cascade: 1, Node: i, Time: float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	inj := faultinject.NewInjector()
+	boom := fmt.Errorf("disk on fire")
+	inj.Arm(faultinject.Fault{Site: "wal.fsync", Action: faultinject.Error, Hit: 1, Err: boom})
+	deactivate := faultinject.Activate(inj)
+	err = l.Append(Event{Cascade: 1, Node: 99, Time: 99})
+	deactivate()
+	if !errors.Is(err, boom) {
+		t.Fatalf("append during fsync failure: got %v, want the injected error", err)
+	}
+	// Poisoned: even with the disk "healthy" again, appends must fail.
+	if err := l.Append(Event{Cascade: 1, Node: 100, Time: 100}); err == nil ||
+		!strings.Contains(err.Error(), "disabled") {
+		t.Fatalf("append after failure: got %v, want log-disabled error", err)
+	}
+	if _, err := l.Compact(func() []Event { return nil }); err == nil {
+		t.Fatal("compaction succeeded on a poisoned log")
+	}
+	l.Close()
+
+	// Only the five acknowledged events may recover; the unacked sixth
+	// may or may not be on disk but was applied before the failed sync,
+	// so recovery keeping it out depends on the tail truncation — here
+	// the frame is intact but unsynced, which a real crash may or may
+	// not persist. What recovery must guarantee is the acked prefix.
+	got := collect(t, dir)
+	if len(got) < 5 {
+		t.Fatalf("recovered %d events, want at least the 5 acknowledged", len(got))
+	}
+	for i := 0; i < 5; i++ {
+		if got[i] != (Event{Cascade: 1, Node: i, Time: float64(i)}) {
+			t.Fatalf("acked event %d not recovered intact: %+v", i, got[i])
+		}
+	}
+}
+
+// TestInjectedTornWrite: a crash between write and fsync leaves a
+// partial frame; the commit must not ack, and recovery must truncate
+// the torn tail and keep every previously acknowledged record.
+func TestInjectedTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if err := l.Append(Event{Cascade: 3, Node: i, Time: float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	inj := faultinject.NewInjector()
+	inj.Arm(faultinject.Fault{Site: "wal.commit", Action: faultinject.Truncate, Hit: 1, Bytes: 7})
+	deactivate := faultinject.Activate(inj)
+	err = l.Append(Event{Cascade: 3, Node: 999, Time: 999})
+	deactivate()
+	if err == nil || !strings.Contains(err.Error(), "torn") {
+		t.Fatalf("torn commit acked: err=%v", err)
+	}
+	l.Close()
+
+	var got []Event
+	l2, err := Open(dir, Options{}, func(ev Event) error { got = append(got, ev); return nil })
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	defer l2.Close()
+	if len(got) != 8 {
+		t.Fatalf("recovered %d events, want the 8 acknowledged", len(got))
+	}
+	if st := l2.Stats(); st.TornTruncations != 1 {
+		t.Fatalf("TornTruncations = %d, want 1", st.TornTruncations)
+	}
+}
+
+// TestRotateFaultLeavesLogWritable: a failed rotation (e.g. ENOSPC on
+// the new segment) must not tear anything — the current segment stays
+// sealed-but-active and the error propagates to the appender.
+func TestRotateFaultSurfacesError(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{MaxSegmentBytes: 128}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	inj := faultinject.NewInjector()
+	boom := fmt.Errorf("no space for a new segment")
+	inj.Arm(faultinject.Fault{Site: "wal.rotate", Action: faultinject.Error, Hit: 1, Err: boom})
+	deactivate := faultinject.Activate(inj)
+	defer deactivate()
+	var rotateErr error
+	for i := 0; i < 50; i++ {
+		if err := l.Append(Event{Cascade: 1, Node: i, Time: float64(i)}); err != nil {
+			rotateErr = err
+			break
+		}
+	}
+	if !errors.Is(rotateErr, boom) {
+		t.Fatalf("rotation fault never surfaced: %v", rotateErr)
+	}
+}

@@ -1,0 +1,108 @@
+package wal
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// SegmentScan reports what a read pass over one segment found.
+type SegmentScan struct {
+	Path    string
+	Seq     uint64
+	Size    int64 // file size at scan time
+	Records int   // intact records read
+	// GoodBytes is the offset just past the last intact frame — equal
+	// to Size when the segment is clean. Recovery truncates the file
+	// here.
+	GoodBytes int64
+	// Torn is set when the segment ends in an unreadable frame; TornErr
+	// says why.
+	Torn    bool
+	TornErr error
+}
+
+// countingReader tracks how many bytes have been pulled from the
+// underlying file, so the consumed offset can be recovered from behind
+// a bufio.Reader (consumed = read - buffered).
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// ScanSegment reads every intact record of one segment file in order,
+// calling fn (which may be nil) for each. It never modifies the file:
+// a torn tail is reported in the result, not repaired — Open does the
+// truncation, the `viralcast wal` subcommands only look. A file that
+// does not start with the WAL magic is a hard error, not a torn tail;
+// truncating a foreign file would destroy someone else's data.
+func ScanSegment(path string, fn func(Event) error) (SegmentScan, error) {
+	seq, ok := parseSegmentName(filepath.Base(path))
+	if !ok {
+		return SegmentScan{}, fmt.Errorf("wal: %q is not a segment file name", path)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return SegmentScan{}, fmt.Errorf("wal: %w", err)
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return SegmentScan{}, fmt.Errorf("wal: %w", err)
+	}
+	res := SegmentScan{Path: path, Seq: seq, Size: st.Size()}
+
+	cr := &countingReader{r: f}
+	br := bufio.NewReader(cr)
+	magic := make([]byte, len(segMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		// Shorter than the magic line: unreadable from byte 0.
+		res.Torn = true
+		res.TornErr = fmt.Errorf("%w: segment shorter than its magic line", ErrTorn)
+		return res, nil
+	}
+	if string(magic) != segMagic {
+		return SegmentScan{}, fmt.Errorf("wal: %s is not a viralcast WAL segment (starts %q)", path, firstLine(magic))
+	}
+	res.GoodBytes = int64(len(segMagic))
+	for {
+		ev, err := readRecord(br)
+		if err == io.EOF {
+			return res, nil
+		}
+		if err != nil {
+			if errors.Is(err, ErrTorn) {
+				res.Torn = true
+				res.TornErr = err
+				return res, nil
+			}
+			return res, err
+		}
+		if fn != nil {
+			if err := fn(ev); err != nil {
+				return res, err
+			}
+		}
+		res.Records++
+		res.GoodBytes = cr.n - int64(br.Buffered())
+	}
+}
+
+// firstLine trims b at the first newline for error messages.
+func firstLine(b []byte) string {
+	for i, c := range b {
+		if c == '\n' {
+			return string(b[:i])
+		}
+	}
+	return string(b)
+}

@@ -1,0 +1,114 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// segMagic is the first line of every segment file. Like the embeddings
+// envelope's magic, it lets a reader reject a foreign file outright
+// instead of misparsing it as frames.
+const segMagic = "viralcast-wal v1\n"
+
+// segmentName formats the file name of segment seq; the zero-padded
+// fixed width makes lexical order equal numeric order.
+func segmentName(seq uint64) string {
+	return fmt.Sprintf("wal-%016d.log", seq)
+}
+
+// parseSegmentName extracts the sequence number from a segment file
+// name, reporting false for anything that is not a WAL segment.
+func parseSegmentName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".log") {
+		return 0, false
+	}
+	digits := strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".log")
+	if len(digits) != 16 {
+		return 0, false
+	}
+	seq, err := strconv.ParseUint(digits, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// SegmentInfo identifies one on-disk segment file.
+type SegmentInfo struct {
+	Path string
+	Seq  uint64
+	Size int64
+}
+
+// ListSegments returns the WAL segments under dir in sequence order.
+// Non-segment files are ignored, so a stray editor backup or an
+// operator's notes never break recovery.
+func ListSegments(dir string) ([]SegmentInfo, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	var segs []SegmentInfo
+	for _, e := range entries {
+		seq, ok := parseSegmentName(e.Name())
+		if !ok || e.IsDir() {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			return nil, fmt.Errorf("wal: %w", err)
+		}
+		segs = append(segs, SegmentInfo{Path: filepath.Join(dir, e.Name()), Seq: seq, Size: info.Size()})
+	}
+	sort.Slice(segs, func(a, b int) bool { return segs[a].Seq < segs[b].Seq })
+	return segs, nil
+}
+
+// segment is the active segment file the committer appends to.
+type segment struct {
+	f    *os.File
+	seq  uint64
+	size int64
+}
+
+// createSegment creates segment seq in dir, writes the magic line, and
+// fsyncs both the file and the directory so the new name survives a
+// crash.
+func createSegment(dir string, seq uint64) (*segment, error) {
+	path := filepath.Join(dir, segmentName(seq))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	if _, err := f.WriteString(segMagic); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	if err := syncDir(dir); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &segment{f: f, seq: seq, size: int64(len(segMagic))}, nil
+}
+
+// syncDir fsyncs a directory, making renames/creates/removals within it
+// durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("wal: sync %s: %w", dir, err)
+	}
+	return nil
+}

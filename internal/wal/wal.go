@@ -1,0 +1,501 @@
+// Package wal is the durable ingestion layer under viralcastd: a
+// segmented, append-only write-ahead log of cascade events. Every event
+// the daemon acknowledges is first framed (length prefix + CRC-32, the
+// same envelope discipline as the embeddings files), appended to the
+// active segment, and fsynced — so a SIGKILL, OOM, or pulled plug
+// between the daemon's periodic model flushes loses nothing that was
+// acknowledged.
+//
+// Three design points carry the package:
+//
+//   - Group commit. A dedicated committer goroutine batches concurrent
+//     Appends into a single write+fsync. Batching is fsync-paced by
+//     default — while one fsync runs, the next batch accumulates — and
+//     an optional gather window (Options.GroupWindow) trades bounded
+//     extra latency for even larger batches. Per-event fsync throughput
+//     collapses at a few thousand events/s; group commit amortizes the
+//     fsync across every concurrent producer.
+//
+//   - Crash recovery. Open replays every intact record of every segment
+//     in sequence order and truncates each segment at its first bad
+//     frame (torn header, short payload, CRC mismatch) instead of
+//     failing: a torn tail is the expected signature of a crash mid
+//     write, not an error. Appends after recovery go to a fresh
+//     segment; recovered segments are never written again.
+//
+//   - Generation-tied compaction. Once the serving layer folds the live
+//     cascades into a flushed model generation, Compact rewrites the
+//     still-live state as a snapshot into a fresh segment and deletes
+//     every older one, bounding the log to roughly one generation of
+//     events.
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"viralcast/internal/faultinject"
+)
+
+// ErrClosed is returned by Append and Compact after Close.
+var ErrClosed = errors.New("wal: log is closed")
+
+// Options tunes a Log; the zero value is a sane serving default.
+type Options struct {
+	// GroupWindow is how long a commit waits to gather more appends
+	// after its first before fsyncing. 0 — the default — is pure
+	// fsync-paced group commit: a batch is whatever queued while the
+	// previous fsync ran, and a lone appender waits only for its own
+	// fsync. Positive values add up to that much latency per commit in
+	// exchange for larger batches (fewer fsyncs) under light
+	// concurrency.
+	GroupWindow time.Duration
+	// SyncBytes caps how many frame bytes a single commit batches
+	// before it stops gathering and fsyncs. Default 1 MiB.
+	SyncBytes int
+	// MaxSegmentBytes rotates the active segment once it exceeds this
+	// size. Default 64 MiB.
+	MaxSegmentBytes int64
+	// NoGroupCommit makes every Append write and fsync synchronously on
+	// the caller's goroutine — the naive baseline. Durability is
+	// identical; only throughput differs. Exists for benchmarks and
+	// durability-equivalence tests.
+	NoGroupCommit bool
+	// Logf receives operational log lines (recovery, truncation,
+	// compaction); nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// Stats is a snapshot of the log's counters, the source of the daemon's
+// wal_* metrics.
+type Stats struct {
+	Appends         uint64 // records durably appended (acknowledged)
+	Fsyncs          uint64 // fsync calls on segment files
+	Bytes           uint64 // frame bytes written
+	Replayed        uint64 // records replayed into the store at Open
+	Compactions     uint64 // completed Compact passes
+	TornTruncations uint64 // segments truncated at a torn tail during Open
+	Segments        uint64 // segment files currently on disk
+}
+
+// appendReq is one AppendBatch call in flight to the committer.
+type appendReq struct {
+	frames  []byte
+	records int
+	done    chan error
+}
+
+// Log is an open write-ahead log. All methods are safe for concurrent
+// use.
+type Log struct {
+	dir string
+	opt Options
+
+	// mu guards the active segment's file state; the committer holds it
+	// across each write+fsync and Compact holds it across the
+	// rotate+snapshot+delete sequence.
+	mu  sync.Mutex
+	seg *segment
+	// failed is set on the first disk error and poisons the log: a
+	// partial or unsynced write leaves a region later appends would
+	// land *after*, and replay truncates at the first bad frame — so
+	// continuing to acknowledge appends after a failure could lose
+	// acknowledged data. Fail-stop keeps "acked implies recoverable"
+	// an invariant; the operator restarts the daemon to recover.
+	failed error
+
+	// sendMu lets Close fence out new Appends without racing the ones
+	// already enqueueing.
+	sendMu sync.RWMutex
+	closed bool
+
+	reqCh     chan *appendReq
+	quit      chan struct{}
+	done      chan struct{}
+	closeOnce sync.Once
+	closeErr  error
+
+	appends, fsyncs, bytes    atomic.Uint64
+	replayed, compactions     atomic.Uint64
+	tornTruncations, segments atomic.Uint64
+}
+
+// Open opens (creating if needed) the WAL in dir, replays every intact
+// record through replay (nil skips replay), truncates torn tails, and
+// starts the committer. Appends after Open go to a fresh segment.
+func Open(dir string, opt Options, replay func(Event) error) (*Log, error) {
+	if opt.SyncBytes <= 0 {
+		opt.SyncBytes = 1 << 20
+	}
+	if opt.MaxSegmentBytes <= 0 {
+		opt.MaxSegmentBytes = 64 << 20
+	}
+	if opt.Logf == nil {
+		opt.Logf = func(string, ...any) {}
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	l := &Log{
+		dir:   dir,
+		opt:   opt,
+		reqCh: make(chan *appendReq, 1024),
+		quit:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	segs, err := ListSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	nextSeq := uint64(1)
+	for _, si := range segs {
+		scan, err := ScanSegment(si.Path, replay)
+		if err != nil {
+			return nil, err
+		}
+		l.replayed.Add(uint64(scan.Records))
+		if scan.Torn {
+			// The tail after the last intact frame is unreadable —
+			// chop it so the segment verifies clean from here on. Only
+			// a crash mid-write (or real bit rot) produces this.
+			if err := os.Truncate(si.Path, scan.GoodBytes); err != nil {
+				return nil, fmt.Errorf("wal: truncating torn tail of %s: %w", si.Path, err)
+			}
+			l.tornTruncations.Add(1)
+			opt.Logf("wal: %s: truncated torn tail at byte %d (%d intact records kept): %v",
+				si.Path, scan.GoodBytes, scan.Records, scan.TornErr)
+		}
+		if si.Seq >= nextSeq {
+			nextSeq = si.Seq + 1
+		}
+	}
+	if len(segs) > 0 {
+		if err := syncDir(dir); err != nil {
+			return nil, err
+		}
+		opt.Logf("wal: recovered %d records from %d segments in %s", l.replayed.Load(), len(segs), dir)
+	}
+	seg, err := createSegment(dir, nextSeq)
+	if err != nil {
+		return nil, err
+	}
+	l.seg = seg
+	l.segments.Store(uint64(len(segs) + 1))
+	if !opt.NoGroupCommit {
+		go l.commitLoop()
+	} else {
+		close(l.done)
+	}
+	return l, nil
+}
+
+// Dir returns the log's directory.
+func (l *Log) Dir() string { return l.dir }
+
+// Stats returns a snapshot of the log's counters.
+func (l *Log) Stats() Stats {
+	return Stats{
+		Appends:         l.appends.Load(),
+		Fsyncs:          l.fsyncs.Load(),
+		Bytes:           l.bytes.Load(),
+		Replayed:        l.replayed.Load(),
+		Compactions:     l.compactions.Load(),
+		TornTruncations: l.tornTruncations.Load(),
+		Segments:        l.segments.Load(),
+	}
+}
+
+// Append durably logs one event: it returns only after the record has
+// been written and fsynced (possibly sharing the fsync with concurrent
+// appends). An error means the event is NOT durable and must not be
+// acknowledged upstream.
+func (l *Log) Append(ev Event) error {
+	return l.AppendBatch([]Event{ev})
+}
+
+// AppendBatch durably logs a batch of events under a single commit.
+func (l *Log) AppendBatch(evs []Event) error {
+	if len(evs) == 0 {
+		return nil
+	}
+	var frames []byte
+	for _, ev := range evs {
+		frames = appendFrame(frames, appendEventPayload(nil, ev))
+	}
+	if l.opt.NoGroupCommit {
+		l.sendMu.RLock()
+		defer l.sendMu.RUnlock()
+		if l.closed {
+			return ErrClosed
+		}
+		req := appendReq{frames: frames, records: len(evs)}
+		return l.commit([]*appendReq{&req})
+	}
+	req := &appendReq{frames: frames, records: len(evs), done: make(chan error, 1)}
+	l.sendMu.RLock()
+	if l.closed {
+		l.sendMu.RUnlock()
+		return ErrClosed
+	}
+	l.reqCh <- req
+	l.sendMu.RUnlock()
+	return <-req.done
+}
+
+// commitLoop is the group-commit writer: it gathers queued appends into
+// a batch, commits them under one fsync, and acknowledges the whole
+// batch at once.
+func (l *Log) commitLoop() {
+	defer close(l.done)
+	for {
+		var first *appendReq
+		select {
+		case first = <-l.reqCh:
+		case <-l.quit:
+			l.drainAndCommit()
+			return
+		}
+		batch := []*appendReq{first}
+		size := len(first.frames)
+		// Fsync-paced batching: take everything already queued.
+	drain:
+		for size < l.opt.SyncBytes {
+			select {
+			case r := <-l.reqCh:
+				batch = append(batch, r)
+				size += len(r.frames)
+			default:
+				break drain
+			}
+		}
+		// Optional gather window: trade latency for batch size.
+		if l.opt.GroupWindow > 0 && size < l.opt.SyncBytes {
+			timer := time.NewTimer(l.opt.GroupWindow)
+		gather:
+			for size < l.opt.SyncBytes {
+				select {
+				case r := <-l.reqCh:
+					batch = append(batch, r)
+					size += len(r.frames)
+				case <-timer.C:
+					break gather
+				case <-l.quit:
+					break gather
+				}
+			}
+			timer.Stop()
+		}
+		err := l.commit(batch)
+		for _, r := range batch {
+			r.done <- err
+		}
+	}
+}
+
+// drainAndCommit flushes whatever was enqueued before Close fenced the
+// senders, so no Append is left waiting on a dead committer.
+func (l *Log) drainAndCommit() {
+	for {
+		select {
+		case r := <-l.reqCh:
+			err := l.commit([]*appendReq{r})
+			r.done <- err
+		default:
+			return
+		}
+	}
+}
+
+// commit writes a batch of frames to the active segment and fsyncs
+// once, rotating first if the segment is full. The faultinject sites
+// let tests fail the fsync ("wal.fsync"), tear the write
+// ("wal.commit"), or hard-kill the process right after durability
+// ("wal.committed").
+func (l *Log) commit(batch []*appendReq) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.usableLocked(); err != nil {
+		return err
+	}
+	var total int64
+	for _, r := range batch {
+		total += int64(len(r.frames))
+	}
+	if l.seg.size+total > l.opt.MaxSegmentBytes && l.seg.size > int64(len(segMagic)) {
+		if err := l.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	written := int64(0)
+	for _, r := range batch {
+		n, err := l.seg.f.Write(r.frames)
+		written += int64(n)
+		if err != nil {
+			l.seg.size += written
+			return l.failLocked(fmt.Errorf("wal: append: %w", err))
+		}
+	}
+	l.seg.size += written
+	if k := faultinject.TruncateBy("wal.commit"); k > 0 {
+		// Simulated crash mid-write: tear the last k bytes off before
+		// they are synced and fail the commit, exactly as if the
+		// process had died between write and fsync. The torn tail stays
+		// on disk for recovery to truncate.
+		if l.seg.size-int64(k) < int64(len(segMagic)) {
+			k = int(l.seg.size) - len(segMagic)
+		}
+		l.seg.size -= int64(k)
+		if err := l.seg.f.Truncate(l.seg.size); err != nil {
+			return l.failLocked(fmt.Errorf("wal: injected tear: %w", err))
+		}
+		return l.failLocked(fmt.Errorf("wal: injected torn write (%d bytes)", k))
+	}
+	if err := faultinject.Fire("wal.fsync"); err != nil {
+		return l.failLocked(fmt.Errorf("wal: fsync: %w", err))
+	}
+	if err := l.seg.f.Sync(); err != nil {
+		return l.failLocked(fmt.Errorf("wal: fsync: %w", err))
+	}
+	l.fsyncs.Add(1)
+	l.bytes.Add(uint64(written))
+	for _, r := range batch {
+		l.appends.Add(uint64(r.records))
+	}
+	// The batch is durable but not yet acknowledged — the hard-kill
+	// site for kill-and-recover tests: everything committed so far must
+	// survive, everything after must look like it never happened.
+	_ = faultinject.Fire("wal.committed")
+	return nil
+}
+
+// usableLocked reports whether the log can accept writes.
+func (l *Log) usableLocked() error {
+	if l.seg == nil {
+		return ErrClosed
+	}
+	if l.failed != nil {
+		return fmt.Errorf("wal: log disabled after earlier failure: %w", l.failed)
+	}
+	return nil
+}
+
+// failLocked poisons the log after a disk error and returns the error.
+func (l *Log) failLocked(err error) error {
+	l.failed = err
+	l.opt.Logf("wal: disabling log after failure: %v", err)
+	return err
+}
+
+// rotateLocked seals the active segment (fsync + close) and opens the
+// next one. The old segment is closed only after its replacement
+// exists, so a failed create leaves the log still writable. Callers
+// hold l.mu.
+func (l *Log) rotateLocked() error {
+	if err := faultinject.Fire("wal.rotate"); err != nil {
+		return fmt.Errorf("wal: rotate: %w", err)
+	}
+	if err := l.seg.f.Sync(); err != nil {
+		return l.failLocked(fmt.Errorf("wal: sealing segment %d: %w", l.seg.seq, err))
+	}
+	l.fsyncs.Add(1)
+	seg, err := createSegment(l.dir, l.seg.seq+1)
+	if err != nil {
+		return err
+	}
+	if err := l.seg.f.Close(); err != nil {
+		l.opt.Logf("wal: closing sealed segment %d: %v", l.seg.seq, err)
+	}
+	l.seg = seg
+	l.segments.Add(1)
+	return nil
+}
+
+// Compact bounds the log after the serving layer has folded the live
+// cascades into a flushed model generation: it rotates to a fresh
+// segment, writes the still-live state returned by snapshot into it as
+// ordinary event records, fsyncs, and deletes every older segment. The
+// snapshot callback runs under the log's write lock, after the rotate —
+// so any event committed to a doomed segment is already visible to the
+// snapshot (its store apply happens before its WAL commit), and any
+// event not in the snapshot commits to the surviving segment. Replay
+// after Compact reconstructs exactly the snapshot plus whatever was
+// appended since.
+func (l *Log) Compact(snapshot func() []Event) (removed int, err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.usableLocked(); err != nil {
+		return 0, err
+	}
+	if err := l.rotateLocked(); err != nil {
+		return 0, err
+	}
+	keepSeq := l.seg.seq
+	evs := snapshot()
+	var frames []byte
+	for _, ev := range evs {
+		frames = appendFrame(frames, appendEventPayload(nil, ev))
+	}
+	if len(frames) > 0 {
+		n, err := l.seg.f.Write(frames)
+		l.seg.size += int64(n)
+		if err != nil {
+			return 0, l.failLocked(fmt.Errorf("wal: compaction snapshot: %w", err))
+		}
+		if err := l.seg.f.Sync(); err != nil {
+			return 0, l.failLocked(fmt.Errorf("wal: compaction snapshot: %w", err))
+		}
+		l.fsyncs.Add(1)
+		l.bytes.Add(uint64(n))
+	}
+	segs, err := ListSegments(l.dir)
+	if err != nil {
+		return 0, err
+	}
+	for _, si := range segs {
+		if si.Seq >= keepSeq {
+			continue
+		}
+		if err := os.Remove(si.Path); err != nil {
+			return removed, fmt.Errorf("wal: compaction: %w", err)
+		}
+		removed++
+	}
+	if removed > 0 {
+		if err := syncDir(l.dir); err != nil {
+			return removed, err
+		}
+	}
+	l.segments.Store(uint64(len(segs) - removed))
+	l.compactions.Add(1)
+	l.opt.Logf("wal: compacted %d sealed segments (snapshot of %d events into segment %d)",
+		removed, len(evs), keepSeq)
+	return removed, nil
+}
+
+// Close fences out new appends, commits everything already enqueued,
+// seals the active segment, and releases it. Idempotent.
+func (l *Log) Close() error {
+	l.closeOnce.Do(func() {
+		l.sendMu.Lock()
+		l.closed = true
+		l.sendMu.Unlock()
+		close(l.quit)
+		<-l.done
+		l.mu.Lock()
+		defer l.mu.Unlock()
+		if l.seg != nil {
+			if err := l.seg.f.Sync(); err != nil {
+				l.closeErr = fmt.Errorf("wal: close: %w", err)
+			}
+			if err := l.seg.f.Close(); err != nil && l.closeErr == nil {
+				l.closeErr = fmt.Errorf("wal: close: %w", err)
+			}
+			l.seg = nil
+		}
+	})
+	return l.closeErr
+}

@@ -2,7 +2,10 @@
 # ci.sh — the repo's verification gate: static checks, build, the full
 # test suite, the race detector on the packages that exercise
 # concurrency (the worker pool, the parallel/Hogwild optimizers, SLPA,
-# the serving daemon), and a live smoke test of viralcastd.
+# the serving daemon, the write-ahead log), and a live smoke test of
+# viralcastd including crash replay: the daemon is SIGKILLed mid-stream
+# and restarted on the same WAL directory, which must restore the
+# ingested cascade.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -16,7 +19,7 @@ echo "== go test ./..."
 go test ./...
 
 echo "== go test -race (concurrent packages)"
-go test -race ./internal/pool/ ./internal/infer/ ./internal/slpa/ ./internal/serve/
+go test -race ./internal/pool/ ./internal/infer/ ./internal/slpa/ ./internal/serve/ ./internal/wal/
 
 echo "== viralcastd smoke test"
 tmp="$(mktemp -d)"
@@ -34,31 +37,48 @@ go build -o "$tmp/viralcast" ./cmd/viralcast
 "$tmp/viralcast" simulate -n 150 -cascades 300 -window 8 -seed 7 -out "$tmp/cascades.txt"
 "$tmp/viralcast" infer -in "$tmp/cascades.txt" -topics 2 -iters 6 -seed 7 -out "$tmp/model.txt"
 
-# Start the daemon on a random port; it writes the bound address once
-# it is listening.
-"$tmp/viralcast" serve -addr 127.0.0.1:0 -addr-file "$tmp/addr" \
-  -model "$tmp/model.txt" -cascades "$tmp/cascades.txt" -seed 7 \
-  -flush-every 0 2>"$tmp/daemon.log" &
-daemon_pid=$!
+# start_daemon LOGFILE: launch viralcastd with durable ingestion on a
+# random port and wait for the bound address file.
+start_daemon() {
+  rm -f "$tmp/addr"
+  "$tmp/viralcast" serve -addr 127.0.0.1:0 -addr-file "$tmp/addr" \
+    -model "$tmp/model.txt" -cascades "$tmp/cascades.txt" -seed 7 \
+    -flush-every 0 -wal-dir "$tmp/wal" 2>"$1" &
+  daemon_pid=$!
+  for _ in $(seq 1 100); do
+    [[ -s "$tmp/addr" ]] && break
+    if ! kill -0 "$daemon_pid" 2>/dev/null; then
+      echo "daemon died during startup:" >&2
+      cat "$1" >&2
+      exit 1
+    fi
+    sleep 0.1
+  done
+  [[ -s "$tmp/addr" ]] || { echo "daemon never published its address" >&2; exit 1; }
+}
 
-for _ in $(seq 1 100); do
-  [[ -s "$tmp/addr" ]] && break
-  if ! kill -0 "$daemon_pid" 2>/dev/null; then
-    echo "daemon died during startup:" >&2
-    cat "$tmp/daemon.log" >&2
-    exit 1
-  fi
-  sleep 0.1
-done
-[[ -s "$tmp/addr" ]] || { echo "daemon never published its address" >&2; exit 1; }
+start_daemon "$tmp/daemon.log"
+go run ./scripts/smoke -base "http://$(cat "$tmp/addr")" -wal
 
-go run ./scripts/smoke -base "http://$(cat "$tmp/addr")"
+# Crash replay: the smoke cascade above only ever lived in the daemon's
+# memory, so a hard kill (no drain, no flush) would have lost it before
+# the WAL. A restart on the same -wal-dir must bring it back.
+kill -9 "$daemon_pid"
+wait "$daemon_pid" 2>/dev/null || true
+daemon_pid=""
+
+start_daemon "$tmp/daemon2.log"
+go run ./scripts/smoke -base "http://$(cat "$tmp/addr")" -post-crash
+echo "crash-replay smoke passed (cascade survived SIGKILL)"
+
+"$tmp/viralcast" wal inspect -dir "$tmp/wal"
+"$tmp/viralcast" wal verify -dir "$tmp/wal"
 
 # Graceful shutdown: SIGTERM must drain and exit 0.
 kill -TERM "$daemon_pid"
 if ! wait "$daemon_pid"; then
   echo "daemon did not shut down cleanly:" >&2
-  cat "$tmp/daemon.log" >&2
+  cat "$tmp/daemon2.log" >&2
   exit 1
 fi
 daemon_pid=""
