@@ -36,6 +36,13 @@ func cmdServe(ctx context.Context, args []string) error {
 	walDir := fs.String("wal-dir", "", "write-ahead log directory: make ingestion durable across crashes (empty disables)")
 	walSync := fs.Duration("wal-sync", 0, "group-commit gather window (0 = fsync-paced batching, the usual choice)")
 	walMaxSegment := fs.Int64("wal-max-segment", 0, "rotate WAL segments at this many bytes (0 = default 64MiB)")
+	maxInflight := fs.Int("max-inflight", 0, "concurrent requests allowed on the compute endpoints (predict/influencers/seeds); 0 = default 16, -1 = unlimited")
+	queue := fs.Int("queue", 0, "requests beyond -max-inflight that may wait for a compute slot before 429s; 0 = default 64, -1 = no queue")
+	requestTimeout := fs.Duration("request-timeout", 0, "per-request budget on the /v1 data plane; exceeded requests answer 503 (0 disables)")
+	retryAfter := fs.Duration("retry-after", time.Second, "backoff hint sent with 429 shed responses")
+	readHeaderTimeout := fs.Duration("read-header-timeout", 0, "slowloris guard: close connections whose headers dribble past this (0 = default 5s, -1ns disables)")
+	readTimeout := fs.Duration("read-timeout", 0, "bound on reading a whole request including its body (0 = default 30s, -1ns disables)")
+	idleTimeout := fs.Duration("idle-timeout", 0, "bound on idle keep-alive connections (0 = default 2m, -1ns disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -52,14 +59,22 @@ func cmdServe(ctx context.Context, args []string) error {
 	}
 	logger := log.New(os.Stderr, "viralcastd: ", log.LstdFlags)
 	srv, err := serve.New(serve.Config{
-		Loader:        loader,
-		CacheTTL:      *cacheTTL,
-		FlushEvery:    *flushEvery,
-		DrainTimeout:  *drain,
-		WALDir:        *walDir,
-		WALSync:       *walSync,
-		WALMaxSegment: *walMaxSegment,
-		Logf:          func(format string, a ...any) { logger.Printf(format, a...) },
+		Loader:         loader,
+		CacheTTL:       *cacheTTL,
+		FlushEvery:     *flushEvery,
+		DrainTimeout:   *drain,
+		WALDir:         *walDir,
+		WALSync:        *walSync,
+		WALMaxSegment:  *walMaxSegment,
+		RequestTimeout: *requestTimeout,
+		Admission: serve.AdmissionConfig{
+			Compute:    serve.ClassLimit{MaxInflight: *maxInflight, MaxQueue: *queue},
+			RetryAfter: *retryAfter,
+		},
+		ReadHeaderTimeout: *readHeaderTimeout,
+		ReadTimeout:       *readTimeout,
+		IdleTimeout:       *idleTimeout,
+		Logf:              func(format string, a ...any) { logger.Printf(format, a...) },
 	})
 	if err != nil {
 		return err

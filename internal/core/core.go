@@ -231,8 +231,25 @@ type Influencer struct {
 // TopInfluencers ranks nodes by total inferred influence — the paper's
 // "identification of the significant influencers" application.
 func (s *System) TopInfluencers(k int) []Influencer {
+	out, _ := s.TopInfluencersCtx(context.Background(), k)
+	return out
+}
+
+// influencerCheckStride is how many node rows the influencer scan
+// processes between cancellation checks.
+const influencerCheckStride = 1024
+
+// TopInfluencersCtx is TopInfluencers with cancellation, for serving
+// paths that must honor a request deadline: the O(n·K) scan checks ctx
+// periodically and abandons the ranking with ctx.Err() once canceled.
+func (s *System) TopInfluencersCtx(ctx context.Context, k int) ([]Influencer, error) {
 	out := make([]Influencer, 0, s.N)
 	for u := 0; u < s.N; u++ {
+		if u%influencerCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		row := s.Embeddings.A.Row(u)
 		var sum, best float64
 		bestK := 0
@@ -253,7 +270,7 @@ func (s *System) TopInfluencers(k int) []Influencer {
 	if k < len(out) {
 		out = out[:k]
 	}
-	return out
+	return out, nil
 }
 
 // Seed describes one node chosen by SelectSeeds with its marginal and
@@ -267,6 +284,13 @@ type Seed = inflmax.Result
 // parameters.
 func (s *System) SelectSeeds(k int, horizon float64) ([]Seed, error) {
 	return inflmax.Greedy(s.Embeddings, horizon, k, nil)
+}
+
+// SelectSeedsCtx is SelectSeeds with cancellation threaded into the
+// greedy loop, so a serving request deadline (or a disconnected client)
+// stops the O(n²·K) selection instead of burning CPU to completion.
+func (s *System) SelectSeedsCtx(ctx context.Context, k int, horizon float64) ([]Seed, error) {
+	return inflmax.GreedyCtx(ctx, s.Embeddings, horizon, k, nil)
 }
 
 // ExpectedCoverage evaluates the same objective for an explicit seed set.

@@ -16,10 +16,12 @@
 package faultinject
 
 import (
+	"io"
 	"math"
 	"os"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"viralcast/internal/xrand"
 )
@@ -47,6 +49,13 @@ const (
 	// durability boundary (e.g. "wal.committed"), and assert the
 	// restarted process recovers everything acknowledged before it.
 	Exit
+	// Sleep makes Fire block for the fault's Delay before returning nil
+	// — latency injection. A Delay longer than the caller's deadline is
+	// a stall: the chaos tests use it to simulate a hung disk (armed at
+	// "wal.fsync") or a slow compute path (armed at "inflmax.greedy")
+	// and assert that request deadlines, not the stalled operation,
+	// bound how long a client waits.
+	Sleep
 )
 
 // Fault describes one armed failure at one site.
@@ -75,6 +84,8 @@ type Fault struct {
 	Bytes int
 	// Code is the process exit status used by the Exit action.
 	Code int
+	// Delay is how long the Sleep action blocks.
+	Delay time.Duration
 }
 
 type armed struct {
@@ -196,8 +207,70 @@ func Fire(site string) error {
 		}
 	case Exit:
 		os.Exit(f.Code)
+	case Sleep:
+		time.Sleep(f.Delay)
 	}
 	return nil
+}
+
+// SlowReader wraps r so every Read returns at most chunk bytes after
+// sleeping delay — a slow client dripping a request at the server, or a
+// slow disk dripping a file at a loader. It is plain test plumbing (no
+// injector needed): the slowloris and slow-body tests build adversarial
+// clients from it.
+func SlowReader(r io.Reader, chunk int, delay time.Duration) io.Reader {
+	if chunk < 1 {
+		chunk = 1
+	}
+	return &slowReader{r: r, chunk: chunk, delay: delay}
+}
+
+type slowReader struct {
+	r     io.Reader
+	chunk int
+	delay time.Duration
+}
+
+func (s *slowReader) Read(p []byte) (int, error) {
+	time.Sleep(s.delay)
+	if len(p) > s.chunk {
+		p = p[:s.chunk]
+	}
+	return s.r.Read(p)
+}
+
+// SlowWriter wraps w so every Write trickles out in chunk-byte slices
+// with delay between them — a client that reads (and thus lets the
+// server write) painfully slowly, or a test server stalling a response.
+func SlowWriter(w io.Writer, chunk int, delay time.Duration) io.Writer {
+	if chunk < 1 {
+		chunk = 1
+	}
+	return &slowWriter{w: w, chunk: chunk, delay: delay}
+}
+
+type slowWriter struct {
+	w     io.Writer
+	chunk int
+	delay time.Duration
+}
+
+func (s *slowWriter) Write(p []byte) (int, error) {
+	total := 0
+	for len(p) > 0 {
+		time.Sleep(s.delay)
+		n := s.chunk
+		if n > len(p) {
+			n = len(p)
+		}
+		k, err := s.w.Write(p[:n])
+		total += k
+		if err != nil {
+			return total, err
+		}
+		p = p[n:]
+	}
+	return total, nil
 }
 
 // PoisonFloats counts a hit at the site and, if a NaN fault triggers,

@@ -1,9 +1,13 @@
 package faultinject
 
 import (
+	"bytes"
 	"errors"
+	"io"
 	"math"
+	"strings"
 	"testing"
+	"time"
 )
 
 func TestFireErrorAtExactHit(t *testing.T) {
@@ -131,4 +135,66 @@ func TestDisabledIsNoop(t *testing.T) {
 	if x[0] != 1 {
 		t.Fatal("slice modified")
 	}
+}
+
+func TestSleepActionDelaysFire(t *testing.T) {
+	inj := NewInjector()
+	inj.Arm(Fault{Site: "z", Action: Sleep, Hit: 2, Delay: 30 * time.Millisecond})
+	defer Activate(inj)()
+	start := time.Now()
+	if err := Fire("z"); err != nil {
+		t.Fatalf("hit 1: %v", err)
+	}
+	if d := time.Since(start); d > 20*time.Millisecond {
+		t.Fatalf("unarmed hit slept %v", d)
+	}
+	start = time.Now()
+	if err := Fire("z"); err != nil {
+		t.Fatalf("hit 2: %v", err)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Fatalf("armed hit returned after %v, want >= 30ms", d)
+	}
+}
+
+func TestSlowReaderDrips(t *testing.T) {
+	src := strings.NewReader("abcdefgh")
+	r := SlowReader(src, 3, time.Millisecond)
+	got, err := io.ReadAll(r)
+	if err != nil || string(got) != "abcdefgh" {
+		t.Fatalf("ReadAll = %q, %v", got, err)
+	}
+	// Each Read is capped at the chunk size even with a bigger buffer.
+	r = SlowReader(strings.NewReader("abcdefgh"), 3, 0)
+	buf := make([]byte, 8)
+	n, err := r.Read(buf)
+	if err != nil || n != 3 {
+		t.Fatalf("Read = %d, %v, want 3 bytes", n, err)
+	}
+}
+
+func TestSlowWriterTrickles(t *testing.T) {
+	var sink bytes.Buffer
+	counts := &writeCounter{w: &sink}
+	w := SlowWriter(counts, 2, 0)
+	n, err := w.Write([]byte("abcdefg"))
+	if err != nil || n != 7 {
+		t.Fatalf("Write = %d, %v", n, err)
+	}
+	if sink.String() != "abcdefg" {
+		t.Fatalf("wrote %q", sink.String())
+	}
+	if counts.calls != 4 { // 2+2+2+1
+		t.Fatalf("underlying writes = %d, want 4", counts.calls)
+	}
+}
+
+type writeCounter struct {
+	w     io.Writer
+	calls int
+}
+
+func (c *writeCounter) Write(p []byte) (int, error) {
+	c.calls++
+	return c.w.Write(p)
 }

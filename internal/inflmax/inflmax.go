@@ -21,10 +21,12 @@ package inflmax
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math"
 
 	"viralcast/internal/embed"
+	"viralcast/internal/faultinject"
 )
 
 // Result describes one selected seed.
@@ -56,6 +58,20 @@ func (q *celfQueue) Pop() any          { old := *q; n := len(old); it := old[n-1
 // direct-coverage objective at the given horizon. Candidates may
 // restrict the eligible seed nodes (nil means all nodes).
 func Greedy(m *embed.Model, horizon float64, k int, candidates []int) ([]Result, error) {
+	return GreedyCtx(context.Background(), m, horizon, k, candidates)
+}
+
+// gainCheckStride bounds how much work runs between cancellation
+// checks inside the greedy loops: one check per this many O(n·K) gain
+// evaluations keeps the overhead unmeasurable while a canceled caller
+// (request deadline hit, client gone) stops within a few milliseconds
+// of real compute instead of finishing an O(n²·K) selection.
+const gainCheckStride = 64
+
+// GreedyCtx is Greedy with cancellation: the selection checks ctx
+// between gain evaluations and returns ctx.Err() as soon as it is
+// canceled, so a serving deadline bounds the CPU a request can burn.
+func GreedyCtx(ctx context.Context, m *embed.Model, horizon float64, k int, candidates []int) ([]Result, error) {
 	if m == nil {
 		return nil, fmt.Errorf("inflmax: nil model")
 	}
@@ -106,7 +122,12 @@ func Greedy(m *embed.Model, horizon float64, k int, candidates []int) ([]Result,
 		return g
 	}
 	q := make(celfQueue, 0, len(candidates))
-	for _, u := range candidates {
+	for i, u := range candidates {
+		if i%gainCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		q = append(q, &celfItem{node: u, gain: gainOf(u), round: 0})
 	}
 	heap.Init(&q)
@@ -114,6 +135,14 @@ func Greedy(m *embed.Model, horizon float64, k int, candidates []int) ([]Result,
 	total := 0.0
 	chosen := make(map[int]bool, k)
 	for len(out) < k && q.Len() > 0 {
+		// Chaos hook: lets tests stall or fail the greedy loop mid
+		// selection ("inflmax.greedy" armed with Sleep or Error).
+		if err := faultinject.Fire("inflmax.greedy"); err != nil {
+			return nil, err
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		top := q[0]
 		if chosen[top.node] {
 			heap.Pop(&q)

@@ -1,11 +1,14 @@
 package inflmax
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
 
 	"viralcast/internal/embed"
+	"viralcast/internal/faultinject"
 	"viralcast/internal/xrand"
 )
 
@@ -167,5 +170,57 @@ func BenchmarkGreedy(b *testing.B) {
 		if _, err := Greedy(m, 2.0, 10, nil); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+func TestGreedyCtxCancellation(t *testing.T) {
+	m := starModel(400)
+	// Already-canceled context: the selection must not run at all.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := GreedyCtx(ctx, m, 1, 5, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled GreedyCtx err = %v, want context.Canceled", err)
+	}
+	// Cancellation mid-selection: arm a Call fault that cancels the
+	// context at the second CELF iteration; the loop must notice.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	inj := faultinject.NewInjector()
+	inj.Arm(faultinject.Fault{Site: "inflmax.greedy", Action: faultinject.Call, Hit: 2, Fn: cancel2})
+	defer faultinject.Activate(inj)()
+	out, err := GreedyCtx(ctx2, m, 1, 50, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-selection GreedyCtx = (%d seeds, %v), want context.Canceled", len(out), err)
+	}
+}
+
+func TestGreedyCtxUncanceledMatchesGreedy(t *testing.T) {
+	m := starModel(60)
+	a, err := Greedy(m, 1.5, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GreedyCtx(context.Background(), m, 1.5, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Node != b[i].Node || a[i].Gain != b[i].Gain {
+			t.Fatalf("seed %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestGreedyInjectedError(t *testing.T) {
+	m := starModel(30)
+	boom := errors.New("injected greedy failure")
+	inj := faultinject.NewInjector()
+	inj.Arm(faultinject.Fault{Site: "inflmax.greedy", Action: faultinject.Error, Hit: 1, Err: boom})
+	defer faultinject.Activate(inj)()
+	if _, err := Greedy(m, 1, 3, nil); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want injected failure", err)
 	}
 }

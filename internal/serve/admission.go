@@ -1,0 +1,176 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// Admission control: the daemon classifies its routes by cost — cheap
+// point reads, expensive model compute (prediction feature extraction,
+// influencer scans, greedy seed selection), and ingestion (store append
+// plus WAL fsync) — and bounds each class independently. A request
+// first tries for an execution slot; if the class is saturated it waits
+// in a small bounded queue (its context deadline keeps the wait
+// honest); once the queue is full the request is shed immediately with
+// 429 and a Retry-After hint. Shedding the excess keeps the admitted
+// requests inside their latency budget instead of letting every client
+// time out together — the classic overload-collapse failure mode.
+
+// ClassLimit bounds one route class. Zero values take the class
+// default; MaxInflight < 0 disables limiting for the class entirely.
+type ClassLimit struct {
+	// MaxInflight is the number of requests of this class allowed to
+	// execute concurrently.
+	MaxInflight int
+	// MaxQueue is how many requests beyond MaxInflight may wait for a
+	// slot before new arrivals are shed with 429. 0 keeps the class
+	// default; < 0 means no queue (shed as soon as saturated).
+	MaxQueue int
+}
+
+// AdmissionConfig carries the per-class limits and the shed-response
+// hint. The zero value enables admission control with serving-friendly
+// defaults generous enough that only genuine overload sheds.
+type AdmissionConfig struct {
+	// Read bounds the cheap read endpoints (cascade lookup, rate).
+	Read ClassLimit
+	// Compute bounds the expensive endpoints (predict, influencers,
+	// seeds) — the ones an overload turns into CPU fires.
+	Compute ClassLimit
+	// Ingest bounds POST /v1/events.
+	Ingest ClassLimit
+	// RetryAfter is the backoff hint sent with 429 responses. Default
+	// 1s.
+	RetryAfter time.Duration
+}
+
+// Route-class names; also the metric labels under overload_*.
+const (
+	classRead    = "read"
+	classCompute = "compute"
+	classIngest  = "ingest"
+)
+
+func (c AdmissionConfig) withDefaults() AdmissionConfig {
+	def := func(l, d ClassLimit) ClassLimit {
+		if l.MaxInflight == 0 {
+			l.MaxInflight = d.MaxInflight
+		}
+		if l.MaxQueue == 0 {
+			l.MaxQueue = d.MaxQueue
+		}
+		return l
+	}
+	c.Read = def(c.Read, ClassLimit{MaxInflight: 256, MaxQueue: 512})
+	c.Compute = def(c.Compute, ClassLimit{MaxInflight: 16, MaxQueue: 64})
+	c.Ingest = def(c.Ingest, ClassLimit{MaxInflight: 128, MaxQueue: 256})
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	return c
+}
+
+// errShed is returned by limiter.acquire when both the slots and the
+// wait queue are full: the caller must answer 429.
+var errShed = errors.New("serve: admission queue full")
+
+// limiter is one class's concurrency gate: a buffered-channel
+// semaphore for the execution slots plus a counter-bounded wait queue.
+type limiter struct {
+	class    string
+	slots    chan struct{}
+	maxQueue int64
+	queued   atomic.Int64
+	shed     atomic.Uint64
+	admitted atomic.Uint64
+}
+
+func newLimiter(class string, lim ClassLimit) *limiter {
+	if lim.MaxInflight < 0 {
+		return nil // unlimited: no gate at all
+	}
+	l := &limiter{class: class, slots: make(chan struct{}, lim.MaxInflight)}
+	if lim.MaxQueue > 0 {
+		l.maxQueue = int64(lim.MaxQueue)
+	}
+	return l
+}
+
+// acquire admits one request. It returns a release func on success,
+// errShed when the class is saturated and the queue is full, or the
+// context's error when the deadline fires while queued.
+func (l *limiter) acquire(ctx context.Context) (release func(), err error) {
+	select {
+	case l.slots <- struct{}{}:
+		l.admitted.Add(1)
+		return func() { <-l.slots }, nil
+	default:
+	}
+	if q := l.queued.Add(1); q > l.maxQueue {
+		l.queued.Add(-1)
+		l.shed.Add(1)
+		return nil, errShed
+	}
+	defer l.queued.Add(-1)
+	select {
+	case l.slots <- struct{}{}:
+		l.admitted.Add(1)
+		return func() { <-l.slots }, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// admissionSnapshot is one class's live counters, for /metrics.
+type admissionSnapshot struct {
+	Inflight int    `json:"inflight"`
+	Queued   int    `json:"queued"`
+	Shed     uint64 `json:"shed"`
+	Admitted uint64 `json:"admitted"`
+}
+
+// admission is the daemon's full set of class limiters.
+type admission struct {
+	retryAfter time.Duration
+	limiters   map[string]*limiter
+}
+
+func newAdmission(cfg AdmissionConfig) *admission {
+	cfg = cfg.withDefaults()
+	return &admission{
+		retryAfter: cfg.RetryAfter,
+		limiters: map[string]*limiter{
+			classRead:    newLimiter(classRead, cfg.Read),
+			classCompute: newLimiter(classCompute, cfg.Compute),
+			classIngest:  newLimiter(classIngest, cfg.Ingest),
+		},
+	}
+}
+
+// snapshot feeds the overload_* metrics.
+func (a *admission) snapshot() map[string]admissionSnapshot {
+	out := make(map[string]admissionSnapshot, len(a.limiters))
+	for class, l := range a.limiters {
+		if l == nil {
+			continue
+		}
+		out[class] = admissionSnapshot{
+			Inflight: len(l.slots),
+			Queued:   int(l.queued.Load()),
+			Shed:     l.shed.Load(),
+			Admitted: l.admitted.Load(),
+		}
+	}
+	return out
+}
+
+// retryAfterSeconds is the integer Retry-After header value (>= 1).
+func (a *admission) retryAfterSeconds() int {
+	secs := int((a.retryAfter + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}

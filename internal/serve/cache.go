@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"sync"
 	"time"
 )
@@ -52,6 +53,17 @@ func newTTLCache(ttl time.Duration) *ttlCache {
 // returned but never cached, so a transient failure does not poison the
 // key for a full TTL.
 func (c *ttlCache) Do(key string, fn func() (any, error)) (any, bool, error) {
+	return c.DoCtx(context.Background(), key, fn)
+}
+
+// DoCtx is Do with a deadline on the wait: a caller that joins an
+// in-flight computation stops waiting when its ctx expires (the
+// computation itself continues for the callers still interested; fn is
+// responsible for honoring its own context). The singleflight leader's
+// ctx governs the computation, so a leader with a short budget can
+// fail followers that joined it — errors are never cached, and the
+// next request simply recomputes.
+func (c *ttlCache) DoCtx(ctx context.Context, key string, fn func() (any, error)) (any, bool, error) {
 	c.mu.Lock()
 	if e, ok := c.entries[key]; ok && c.now().Before(e.expires) {
 		c.mu.Unlock()
@@ -59,8 +71,12 @@ func (c *ttlCache) Do(key string, fn func() (any, error)) (any, bool, error) {
 	}
 	if call, ok := c.calls[key]; ok {
 		c.mu.Unlock()
-		<-call.done
-		return call.val, true, call.err
+		select {
+		case <-call.done:
+			return call.val, true, call.err
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
 	}
 	call := &cacheCall{done: make(chan struct{})}
 	c.calls[key] = call

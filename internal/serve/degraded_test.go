@@ -1,0 +1,149 @@
+package serve
+
+import (
+	"errors"
+	"net/http"
+	"testing"
+
+	"viralcast/internal/faultinject"
+)
+
+// TestReadyzDegradedTransitions walks the full degraded-mode lifecycle
+// through the HTTP surface: healthy → WAL fail-stop (ingestion goes
+// read-only, predictions keep serving, /readyz and the metrics gauges
+// report the cause) → supervised recovery via POST /v1/reload.
+func TestReadyzDegradedTransitions(t *testing.T) {
+	dir := t.TempDir()
+	_, ts := newWALServer(t, dir)
+
+	// Healthy baseline.
+	code, body := getJSON(t, ts.URL+"/readyz")
+	if code != http.StatusOK || body["status"] != "ready" || body["degraded"] != false {
+		t.Fatalf("healthy readyz = %d %v", code, body)
+	}
+	for i := 1; i <= 4; i++ {
+		if code := postEvent(t, ts.URL, 900, i, float64(i)/10); code != http.StatusOK {
+			t.Fatalf("healthy ingest %d: status %d", i, code)
+		}
+	}
+
+	// Fail-stop the WAL: the next commit's fsync errors, poisoning the
+	// log. That request itself answers 500 (its events are not durable).
+	inj := faultinject.NewInjector()
+	inj.Arm(faultinject.Fault{
+		Site: "wal.fsync", Action: faultinject.Error, Hit: 1,
+		Err: errors.New("injected: disk gone"),
+	})
+	defer faultinject.Activate(inj)()
+	if code := postEvent(t, ts.URL, 900, 5, 0.5); code != http.StatusInternalServerError {
+		t.Fatalf("ingest during fsync failure: status %d, want 500", code)
+	}
+
+	// Degraded: ingestion is explicitly read-only with a machine-readable
+	// cause, before touching the store.
+	code, body = postJSON(t, ts.URL+"/v1/events", map[string]any{"cascade": 900, "node": 6, "time": 0.6})
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("ingest while degraded: status %d, want 503 (%v)", code, body)
+	}
+	if body["reason"] != "read_only" || body["cause"] != degradedCauseWAL {
+		t.Fatalf("read-only reject body = %v", body)
+	}
+
+	// /readyz still answers 200 — predictions keep serving, load
+	// balancers keep routing — but reports degraded with the cause.
+	code, body = getJSON(t, ts.URL+"/readyz")
+	if code != http.StatusOK {
+		t.Fatalf("degraded readyz: status %d", code)
+	}
+	if body["status"] != "degraded" || body["degraded"] != true || body["read_only"] != true {
+		t.Fatalf("degraded readyz body = %v", body)
+	}
+	if body["cause"] != degradedCauseWAL || body["detail"] == "" || body["recovery"] != "POST /v1/reload" {
+		t.Fatalf("degraded readyz missing cause/detail/recovery: %v", body)
+	}
+
+	// Reads and predictions are unaffected.
+	if code, _ := getJSON(t, ts.URL+"/v1/rate?u=0&v=1"); code != http.StatusOK {
+		t.Fatalf("rate while degraded: status %d", code)
+	}
+	if code, _ := getJSON(t, ts.URL+"/v1/cascades/900/predict"); code != http.StatusOK {
+		t.Fatalf("predict while degraded: status %d", code)
+	}
+
+	// The gauges flip.
+	_, m := getJSON(t, ts.URL+"/metrics")
+	if m["degraded"] != 1.0 || m["degraded_cause"] != degradedCauseWAL {
+		t.Fatalf("degraded gauges = %v / %v", m["degraded"], m["degraded_cause"])
+	}
+	if m["readonly_rejects"].(float64) < 1 {
+		t.Fatalf("readonly_rejects = %v, want >= 1", m["readonly_rejects"])
+	}
+
+	// Supervised recovery: reload swaps a fresh model AND reopens the
+	// WAL (replay is absorbed by the duplicate guard).
+	if code, body := postJSON(t, ts.URL+"/v1/reload", map[string]any{}); code != http.StatusOK {
+		t.Fatalf("reload recovery: status %d, body %v", code, body)
+	}
+	code, body = getJSON(t, ts.URL+"/readyz")
+	if code != http.StatusOK || body["status"] != "ready" || body["degraded"] != false {
+		t.Fatalf("recovered readyz = %d %v", code, body)
+	}
+	if code := postEvent(t, ts.URL, 900, 7, 0.7); code != http.StatusOK {
+		t.Fatalf("ingest after recovery: status %d", code)
+	}
+	_, m = getJSON(t, ts.URL+"/metrics")
+	if m["degraded"] != 0.0 || m["wal_recoveries"] != 1.0 {
+		t.Fatalf("post-recovery gauges: degraded=%v wal_recoveries=%v", m["degraded"], m["wal_recoveries"])
+	}
+}
+
+// TestFlushFailureMarksModelStale: a failed refinement pass keeps the
+// last good generation serving and raises the staleness surface; a
+// later successful flush clears it.
+func TestFlushFailureMarksModelStale(t *testing.T) {
+	_, ts := newTestServer(t)
+	ingestEvents(t, ts.URL, 7001, 6)
+
+	inj := faultinject.NewInjector()
+	inj.Arm(faultinject.Fault{
+		Site: "serve.flush", Action: faultinject.Error, Hit: 1,
+		Err: errors.New("injected: retrain host OOM"),
+	})
+	defer faultinject.Activate(inj)()
+
+	code, body := postJSON(t, ts.URL+"/v1/flush", map[string]any{})
+	if code != http.StatusInternalServerError {
+		t.Fatalf("flush with injected failure: status %d, body %v", code, body)
+	}
+
+	// The daemon still serves — predictions from the last good
+	// generation — but /readyz and the gauges say the model is stale.
+	code, body = getJSON(t, ts.URL+"/readyz")
+	if code != http.StatusOK || body["status"] != "ready" {
+		t.Fatalf("readyz after failed flush = %d %v", code, body)
+	}
+	if body["stale"] != true || body["stale_error"] == "" {
+		t.Fatalf("readyz missing staleness: %v", body)
+	}
+	_, m := getJSON(t, ts.URL+"/metrics")
+	if m["model_stale"] != 1.0 || m["flush_failures"] != 1.0 {
+		t.Fatalf("staleness gauges: model_stale=%v flush_failures=%v", m["model_stale"], m["flush_failures"])
+	}
+	if m["model_staleness_seconds"].(float64) < 0 {
+		t.Fatalf("model_staleness_seconds = %v", m["model_staleness_seconds"])
+	}
+
+	// New growth + a clean flush clears the staleness.
+	ingestEvents(t, ts.URL, 7002, 6)
+	if code, body := postJSON(t, ts.URL+"/v1/flush", map[string]any{}); code != http.StatusOK {
+		t.Fatalf("recovery flush: status %d, body %v", code, body)
+	}
+	_, body = getJSON(t, ts.URL+"/readyz")
+	if body["stale"] != false {
+		t.Fatalf("readyz still stale after clean flush: %v", body)
+	}
+	_, m = getJSON(t, ts.URL+"/metrics")
+	if m["model_stale"] != 0.0 {
+		t.Fatalf("model_stale gauge after clean flush = %v", m["model_stale"])
+	}
+}

@@ -2,7 +2,9 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -24,24 +26,95 @@ const maxBodyBytes = 8 << 20
 
 // routes builds the daemon's mux. Every /v1 endpoint and the health
 // probes are wrapped with metrics instrumentation under a stable
-// endpoint label.
+// endpoint label. Data-plane endpoints additionally pass through the
+// request-budget middleware (a context deadline the handlers and
+// compute paths honor) and per-class admission control; the control
+// plane (reload, flush, health probes, metrics) stays ungated so an
+// overloaded daemon remains observable and operable.
 func (s *Server) routes() http.Handler {
 	mux := http.NewServeMux()
-	add := func(pattern, label string, h http.HandlerFunc) {
+	add := func(pattern, label, class string, h http.HandlerFunc) {
+		h = s.admit(class, h)
+		h = s.withBudget(h)
 		mux.HandleFunc(pattern, s.metrics.instrument(label, h))
 	}
-	add("POST /v1/events", "events", s.handleEvents)
-	add("GET /v1/cascades/{id}", "cascade", s.handleCascade)
-	add("GET /v1/cascades/{id}/predict", "predict", s.handlePredict)
-	add("GET /v1/rate", "rate", s.handleRate)
-	add("GET /v1/influencers", "influencers", s.handleInfluencers)
-	add("GET /v1/seeds", "seeds", s.handleSeeds)
-	add("POST /v1/reload", "reload", s.handleReload)
-	add("POST /v1/flush", "flush", s.handleFlush)
-	add("GET /healthz", "healthz", s.handleHealthz)
-	add("GET /readyz", "readyz", s.handleReadyz)
+	control := func(pattern, label string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, s.metrics.instrument(label, h))
+	}
+	add("POST /v1/events", "events", classIngest, s.handleEvents)
+	add("GET /v1/cascades/{id}", "cascade", classRead, s.handleCascade)
+	add("GET /v1/cascades/{id}/predict", "predict", classCompute, s.handlePredict)
+	add("GET /v1/rate", "rate", classRead, s.handleRate)
+	add("GET /v1/influencers", "influencers", classCompute, s.handleInfluencers)
+	add("GET /v1/seeds", "seeds", classCompute, s.handleSeeds)
+	control("POST /v1/reload", "reload", s.handleReload)
+	control("POST /v1/flush", "flush", s.handleFlush)
+	control("GET /healthz", "healthz", s.handleHealthz)
+	control("GET /readyz", "readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.metrics.handler)
 	return mux
+}
+
+// withBudget installs the per-request deadline. The handler chain and
+// the compute paths below it read the deadline through r.Context();
+// client disconnects cancel the same context, so both cases stop the
+// work instead of finishing it for nobody.
+func (s *Server) withBudget(h http.HandlerFunc) http.HandlerFunc {
+	if s.cfg.RequestTimeout <= 0 {
+		return h
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		h(w, r.WithContext(ctx))
+	}
+}
+
+// admit gates a handler behind its route class's limiter: admitted
+// requests run (possibly after a bounded queue wait), excess is shed
+// with 429 + Retry-After, and a deadline that fires while queued is a
+// 503 like any other exhausted budget.
+func (s *Server) admit(class string, h http.HandlerFunc) http.HandlerFunc {
+	l := s.admission.limiters[class]
+	if l == nil {
+		return h
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		release, err := l.acquire(r.Context())
+		switch {
+		case err == nil:
+			defer release()
+			h(w, r)
+		case errors.Is(err, errShed):
+			secs := s.admission.retryAfterSeconds()
+			s.metrics.shed.Add(class, 1)
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+			writeJSON(w, http.StatusTooManyRequests, map[string]any{
+				"error":               fmt.Sprintf("overloaded: %s concurrency limit and queue are full", class),
+				"reason":              "overload",
+				"class":               class,
+				"retry_after_seconds": secs,
+			})
+		default:
+			s.writeBudgetExhausted(w, err)
+		}
+	}
+}
+
+// writeBudgetExhausted answers a request whose deadline fired (or whose
+// client disconnected) before the work completed: 503, machine-readable.
+func (s *Server) writeBudgetExhausted(w http.ResponseWriter, err error) {
+	s.metrics.deadlines.Add(1)
+	writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+		"error":  fmt.Sprintf("request deadline exceeded: %v", err),
+		"reason": "deadline",
+	})
+}
+
+// ctxDone reports whether err is a context cancellation/expiry — the
+// signature of an exhausted request budget anywhere down the stack.
+func ctxDone(err error) bool {
+	return errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -92,6 +165,24 @@ type eventReject struct {
 // object. Structurally valid events are appended even when siblings are
 // rejected; per-event failures come back in "rejected".
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	// Degraded mode: a fail-stopped WAL means nothing can be made
+	// durable, so ingestion is explicitly read-only — rejected up
+	// front with a machine-readable cause, before any store mutation.
+	// Everything else (predictions, reads, reload) keeps serving.
+	lg := s.walLog()
+	if lg != nil {
+		if werr := lg.Err(); werr != nil {
+			s.metrics.readOnly.Add(1)
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+				"error":    "ingestion disabled: daemon is read-only after a write-ahead-log failure; recover with POST /v1/reload or a restart",
+				"reason":   "read_only",
+				"cause":    degradedCauseWAL,
+				"detail":   werr.Error(),
+				"recovery": "POST /v1/reload",
+			})
+			return
+		}
+	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	if err != nil {
 		writeError(w, http.StatusRequestEntityTooLarge, "body too large or unreadable: %v", err)
@@ -127,7 +218,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		}
 		accepted++
 		sizes[strconv.Itoa(ev.Cascade)] = size
-		if s.wal != nil {
+		if lg != nil {
 			durable = append(durable, wal.Event{Cascade: ev.Cascade, Node: ev.Node, Time: ev.Time})
 		}
 	}
@@ -136,9 +227,17 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	// only told "accepted" after the fsync. On commit failure the
 	// events sit in memory but are NOT durable, so the response is an
 	// error — a crash would lose them, exactly as if the request had
-	// never completed.
+	// never completed. The commit wait is bounded by the request
+	// budget: a stalled disk turns into a 503 at the deadline, not a
+	// hung client — and a retried batch is absorbed by the SI
+	// duplicate guard if the stalled commit did land.
 	if len(durable) > 0 {
-		if err := s.wal.AppendBatch(durable); err != nil {
+		if err := lg.AppendBatchCtx(r.Context(), durable); err != nil {
+			if ctxDone(err) {
+				s.cfg.Logf("serve: WAL commit exceeded the request budget: %v", err)
+				s.writeBudgetExhausted(w, fmt.Errorf("events accepted but not durably committed: %w", err))
+				return
+			}
 			s.cfg.Logf("serve: WAL append failed: %v", err)
 			writeError(w, http.StatusInternalServerError,
 				"events not durable (write-ahead log failure): %v", err)
@@ -257,11 +356,15 @@ func (s *Server) handleInfluencers(w http.ResponseWriter, r *http.Request) {
 	}
 	cur := s.current()
 	key := fmt.Sprintf("influencers:k=%d:gen=%d", k, cur.gen)
-	val, hit, err := s.cache.Do(key, func() (any, error) {
-		return cur.sys.Sys.TopInfluencers(k), nil
+	val, hit, err := s.cache.DoCtx(r.Context(), key, func() (any, error) {
+		return cur.sys.Sys.TopInfluencersCtx(r.Context(), k)
 	})
 	s.countCache(hit)
 	if err != nil {
+		if ctxDone(err) {
+			s.writeBudgetExhausted(w, err)
+			return
+		}
 		writeError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
@@ -287,11 +390,15 @@ func (s *Server) handleSeeds(w http.ResponseWriter, r *http.Request) {
 	}
 	cur := s.current()
 	key := fmt.Sprintf("seeds:k=%d:h=%g:gen=%d", k, horizon, cur.gen)
-	val, hit, err := s.cache.Do(key, func() (any, error) {
-		return cur.sys.Sys.SelectSeeds(k, horizon)
+	val, hit, err := s.cache.DoCtx(r.Context(), key, func() (any, error) {
+		return cur.sys.Sys.SelectSeedsCtx(r.Context(), k, horizon)
 	})
 	s.countCache(hit)
 	if err != nil {
+		if ctxDone(err) {
+			s.writeBudgetExhausted(w, err)
+			return
+		}
 		writeError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
@@ -340,17 +447,39 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleReadyz reports whether a model is loaded and the daemon can
-// answer predictions; load balancers should gate traffic on this.
+// answer predictions; load balancers should gate traffic on this. A
+// degraded daemon (read-only ingestion after a WAL failure) still
+// answers 200 — predictions keep serving, so traffic keeps routing —
+// but the body says "degraded" with a machine-readable cause, and the
+// stale flag reports a model serving past a failed refresh.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	cur := s.current()
 	if cur == nil || cur.sys == nil || cur.sys.Sys == nil {
 		writeError(w, http.StatusServiceUnavailable, "model not loaded")
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	snap := s.healthSnapshot()
+	resp := map[string]any{
 		"status":     "ready",
+		"degraded":   false,
+		"read_only":  false,
+		"stale":      snap.Stale,
 		"nodes":      cur.sys.Sys.N,
 		"predictor":  cur.sys.Pred != nil,
 		"generation": cur.gen,
-	})
+	}
+	if snap.DegradedCause != "" {
+		resp["status"] = "degraded"
+		resp["degraded"] = true
+		resp["read_only"] = true
+		resp["cause"] = snap.DegradedCause
+		resp["detail"] = snap.DegradedDetail
+		resp["degraded_seconds"] = snap.DegradedFor.Seconds()
+		resp["recovery"] = "POST /v1/reload"
+	}
+	if snap.Stale {
+		resp["stale_error"] = snap.StaleErr
+		resp["stale_seconds"] = snap.StaleFor.Seconds()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }

@@ -1,0 +1,108 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// Degraded modes: the daemon prefers partial service over an outage.
+// When the write-ahead log poisons (fail-stop after a disk error),
+// ingestion — the only path that needs the disk — flips to an explicit
+// read-only state answering 503 with a machine-readable cause, while
+// predictions and every other read keep serving from memory. /readyz
+// reports "degraded" with the cause (load balancers keep routing; the
+// operator's alerting keys off the JSON and the `degraded` metrics
+// gauge), and the supervised way back is POST /v1/reload — which
+// reopens the WAL, replaying it into the already-live store — or a
+// restart. Likewise a failed flush/retrain pass is not an outage: the
+// daemon keeps serving the last good generation and raises a staleness
+// gauge instead.
+//
+// The degraded predicate itself is *derived*, not latched: the WAL's
+// poison state is the single source of truth, so the health surface
+// can never disagree with what ingestion actually does.
+
+// healthSnapshot is what /readyz and the metrics gauges render.
+type healthSnapshot struct {
+	DegradedCause  string // "" when healthy; e.g. "wal_failed"
+	DegradedDetail string // human-readable underlying error
+	DegradedFor    time.Duration
+	Stale          bool // last flush/retrain pass failed
+	StaleErr       string
+	StaleFor       time.Duration
+}
+
+// degradedCauseWAL is the (only, so far) machine-readable degraded
+// cause: the write-ahead log fail-stopped and ingestion is read-only.
+const degradedCauseWAL = "wal_failed"
+
+// healthState tracks the observation timestamps behind the derived
+// health predicates — when degradation was first seen, when the model
+// went stale — under one small mutex.
+type healthState struct {
+	mu            sync.Mutex
+	degradedSince time.Time
+	staleSince    time.Time
+	staleErr      string
+}
+
+// degraded derives the daemon's degraded state from the live WAL: a
+// poisoned log means ingestion cannot acknowledge durably, so the
+// daemon is read-only. The first observation stamps degradedSince.
+func (s *Server) degraded() (cause, detail string, since time.Time, ok bool) {
+	w := s.walLog()
+	if w == nil {
+		return "", "", time.Time{}, false
+	}
+	err := w.Err()
+	s.health.mu.Lock()
+	defer s.health.mu.Unlock()
+	if err == nil {
+		s.health.degradedSince = time.Time{}
+		return "", "", time.Time{}, false
+	}
+	if s.health.degradedSince.IsZero() {
+		s.health.degradedSince = time.Now()
+	}
+	return degradedCauseWAL, err.Error(), s.health.degradedSince, true
+}
+
+// markStale records a failed flush/retrain pass: the serving model is
+// the last good generation, not the freshest possible one.
+func (s *Server) markStale(err error) {
+	s.metrics.flushFailures.Add(1)
+	s.health.mu.Lock()
+	defer s.health.mu.Unlock()
+	if s.health.staleSince.IsZero() {
+		s.health.staleSince = time.Now()
+	}
+	s.health.staleErr = err.Error()
+}
+
+// clearStale marks the serving generation fresh again (a flush
+// succeeded or a reload brought a new model in from disk).
+func (s *Server) clearStale() {
+	s.health.mu.Lock()
+	defer s.health.mu.Unlock()
+	s.health.staleSince = time.Time{}
+	s.health.staleErr = ""
+}
+
+// healthSnapshot renders the full health surface for /readyz and the
+// metrics gauges.
+func (s *Server) healthSnapshot() healthSnapshot {
+	var snap healthSnapshot
+	if cause, detail, since, ok := s.degraded(); ok {
+		snap.DegradedCause = cause
+		snap.DegradedDetail = detail
+		snap.DegradedFor = time.Since(since)
+	}
+	s.health.mu.Lock()
+	if !s.health.staleSince.IsZero() {
+		snap.Stale = true
+		snap.StaleErr = s.health.staleErr
+		snap.StaleFor = time.Since(s.health.staleSince)
+	}
+	s.health.mu.Unlock()
+	return snap
+}

@@ -20,34 +20,57 @@ var latencyBuckets = []float64{1, 5, 25, 100, 500}
 type Metrics struct {
 	root *expvar.Map
 
-	requests  *expvar.Map // per-endpoint request counts
-	status    *expvar.Map // response counts by status class (2xx/4xx/5xx)
-	latency   *expvar.Map // latency histogram buckets, all endpoints
-	events    *expvar.Int // total ingested infection events
-	cacheHits *expvar.Int
-	cacheMiss *expvar.Int
-	reloads   *expvar.Int // successful model reloads (incl. flush swaps)
-	flushes   *expvar.Int // background flush passes that refined the model
+	requests      *expvar.Map // per-endpoint request counts
+	status        *expvar.Map // response counts by status class (2xx/4xx/5xx)
+	latency       *expvar.Map // latency histogram buckets, all endpoints
+	events        *expvar.Int // total ingested infection events
+	cacheHits     *expvar.Int
+	cacheMiss     *expvar.Int
+	reloads       *expvar.Int // successful model reloads (incl. flush swaps)
+	flushes       *expvar.Int // background flush passes that refined the model
+	shed          *expvar.Map // 429s by route class (admission queue full)
+	deadlines     *expvar.Int // 503s from an exhausted request budget
+	readOnly      *expvar.Int // ingestion requests rejected while degraded
+	flushFailures *expvar.Int // failed flush/retrain passes (stale gauge source)
+	walRecoveries *expvar.Int // successful degraded-mode WAL reopenings
 }
 
-// newMetrics wires the metric tree. liveCascades, generation, and
-// walStats are read live at render time through expvar.Func, so the
-// gauges never go stale. The wal_* counters are always published (zero
-// when the WAL is disabled) so dashboards and the smoke client never
-// see the key set change shape; wal_replayed_records counts events
-// actually restored into the store at startup, net of the duplicates a
-// compaction overlap replays.
-func newMetrics(liveCascades func() int, generation func() uint64, started time.Time, walStats func() (wal.Stats, bool)) *Metrics {
+// metricsHooks are the live-read closures behind the gauge metrics;
+// they are invoked at /metrics render time so the gauges never go
+// stale.
+type metricsHooks struct {
+	liveCascades func() int
+	generation   func() uint64
+	started      time.Time
+	walStats     func() (wal.Stats, bool)
+	admission    func() map[string]admissionSnapshot
+	health       func() healthSnapshot
+}
+
+// newMetrics wires the metric tree. The wal_* counters are always
+// published (zero when the WAL is disabled) so dashboards and the smoke
+// client never see the key set change shape; wal_replayed_records
+// counts events actually restored into the store at startup, net of the
+// duplicates a compaction overlap replays. The overload_* tree and the
+// degraded/stale gauges are the operator's view of the resilience
+// layer: sheds and queue depths per route class, whether ingestion is
+// read-only and why, and whether the serving generation is stale.
+func newMetrics(hooks metricsHooks) *Metrics {
 	m := &Metrics{
-		root:      new(expvar.Map).Init(),
-		requests:  new(expvar.Map).Init(),
-		status:    new(expvar.Map).Init(),
-		latency:   new(expvar.Map).Init(),
-		events:    new(expvar.Int),
-		cacheHits: new(expvar.Int),
-		cacheMiss: new(expvar.Int),
-		reloads:   new(expvar.Int),
-		flushes:   new(expvar.Int),
+		root:          new(expvar.Map).Init(),
+		requests:      new(expvar.Map).Init(),
+		status:        new(expvar.Map).Init(),
+		latency:       new(expvar.Map).Init(),
+		events:        new(expvar.Int),
+		cacheHits:     new(expvar.Int),
+		cacheMiss:     new(expvar.Int),
+		reloads:       new(expvar.Int),
+		flushes:       new(expvar.Int),
+		shed:          new(expvar.Map).Init(),
+		deadlines:     new(expvar.Int),
+		readOnly:      new(expvar.Int),
+		flushFailures: new(expvar.Int),
+		walRecoveries: new(expvar.Int),
 	}
 	for _, b := range latencyBuckets {
 		m.latency.Set(fmt.Sprintf("le_%gms", b), new(expvar.Int))
@@ -61,8 +84,8 @@ func newMetrics(liveCascades func() int, generation func() uint64, started time.
 	m.root.Set("cache_misses", m.cacheMiss)
 	m.root.Set("model_reloads", m.reloads)
 	m.root.Set("model_flushes", m.flushes)
-	m.root.Set("live_cascades", expvar.Func(func() any { return liveCascades() }))
-	m.root.Set("model_generation", expvar.Func(func() any { return generation() }))
+	m.root.Set("live_cascades", expvar.Func(func() any { return hooks.liveCascades() }))
+	m.root.Set("model_generation", expvar.Func(func() any { return hooks.generation() }))
 	m.root.Set("cache_hit_ratio", expvar.Func(func() any {
 		h, ms := m.cacheHits.Value(), m.cacheMiss.Value()
 		if h+ms == 0 {
@@ -71,15 +94,44 @@ func newMetrics(liveCascades func() int, generation func() uint64, started time.
 		return float64(h) / float64(h+ms)
 	}))
 	m.root.Set("uptime_seconds", expvar.Func(func() any {
-		return time.Since(started).Seconds()
+		return time.Since(hooks.started).Seconds()
 	}))
+
+	// Overload-resilience surface: admission counters by route class,
+	// deadline/read-only rejects, and the degraded/stale health gauges.
+	m.root.Set("overload_shed", m.shed)
+	m.root.Set("deadline_exceeded", m.deadlines)
+	m.root.Set("readonly_rejects", m.readOnly)
+	m.root.Set("flush_failures", m.flushFailures)
+	m.root.Set("wal_recoveries", m.walRecoveries)
+	m.root.Set("overload_admission", expvar.Func(func() any { return hooks.admission() }))
+	m.root.Set("degraded", expvar.Func(func() any {
+		if hooks.health().DegradedCause != "" {
+			return 1
+		}
+		return 0
+	}))
+	m.root.Set("degraded_cause", expvar.Func(func() any { return hooks.health().DegradedCause }))
+	m.root.Set("degraded_seconds", expvar.Func(func() any {
+		return hooks.health().DegradedFor.Seconds()
+	}))
+	m.root.Set("model_stale", expvar.Func(func() any {
+		if hooks.health().Stale {
+			return 1
+		}
+		return 0
+	}))
+	m.root.Set("model_staleness_seconds", expvar.Func(func() any {
+		return hooks.health().StaleFor.Seconds()
+	}))
+
 	m.root.Set("wal_enabled", expvar.Func(func() any {
-		_, on := walStats()
+		_, on := hooks.walStats()
 		return on
 	}))
 	walGauge := func(pick func(wal.Stats) uint64) expvar.Func {
 		return func() any {
-			st, _ := walStats()
+			st, _ := hooks.walStats()
 			return pick(st)
 		}
 	}

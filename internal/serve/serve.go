@@ -13,6 +13,16 @@
 // log (internal/wal) before the response goes out, startup replays the
 // log back into the live store, and each model flush compacts the log
 // down to the still-live state.
+//
+// The daemon is designed to degrade, not collapse, under hostile
+// conditions: per-route-class admission control sheds excess load with
+// 429 + Retry-After instead of queueing unboundedly (admission.go), a
+// per-request deadline is threaded as a context through the expensive
+// compute paths so no request burns CPU past its budget, and a
+// fail-stopped WAL flips the daemon into an explicit read-only degraded
+// state — predictions keep serving, ingestion 503s with a
+// machine-readable cause, and POST /v1/reload (or a restart) recovers
+// (health.go).
 package serve
 
 import (
@@ -24,6 +34,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"viralcast/internal/faultinject"
 	"viralcast/internal/wal"
 )
 
@@ -58,6 +69,27 @@ type Config struct {
 	// WALMaxSegment rotates WAL segments above this size. 0 uses the
 	// wal package default (64 MiB).
 	WALMaxSegment int64
+	// RequestTimeout is the per-request budget for the data-plane
+	// endpoints (/v1 reads, compute, ingestion): middleware installs it
+	// as a context deadline, the compute paths honor it with periodic
+	// cancellation checks, and a request that exceeds it answers 503
+	// instead of burning CPU for a client that has stopped waiting.
+	// Control-plane endpoints (reload, flush, health, metrics) are
+	// exempt — a retrain legitimately outlives any request budget.
+	// 0 disables the deadline.
+	RequestTimeout time.Duration
+	// Admission bounds per-route-class concurrency; see
+	// AdmissionConfig. The zero value enables generous defaults.
+	Admission AdmissionConfig
+	// ReadHeaderTimeout bounds how long a connection may dribble its
+	// request headers (slowloris guard). Default 5s; < 0 disables.
+	ReadHeaderTimeout time.Duration
+	// ReadTimeout bounds reading an entire request including the body.
+	// Default 30s; < 0 disables.
+	ReadTimeout time.Duration
+	// IdleTimeout bounds how long a keep-alive connection may sit idle.
+	// Default 2m; < 0 disables.
+	IdleTimeout time.Duration
 	// Logf receives operational log lines; nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -73,17 +105,21 @@ type model struct {
 // Server is the daemon state. Create with New, wire into an HTTP server
 // via Handler, or run the full lifecycle with Listen + Serve.
 type Server struct {
-	cfg     Config
-	cur     atomic.Pointer[model]
-	gen     atomic.Uint64
-	store   *Store
-	cache   *ttlCache
-	metrics *Metrics
+	cfg       Config
+	cur       atomic.Pointer[model]
+	gen       atomic.Uint64
+	store     *Store
+	cache     *ttlCache
+	metrics   *Metrics
+	admission *admission
+	health    healthState
 
 	// wal is the durable ingestion log, nil unless Config.WALDir is
 	// set. Ingest handlers append to it before acknowledging; Flush
-	// compacts it after each generation swap.
-	wal         *wal.Log
+	// compacts it after each generation swap. It is an atomic pointer
+	// because degraded-mode recovery (Reload on a poisoned log) swaps
+	// in a freshly reopened log under live traffic.
+	wal         atomic.Pointer[wal.Log]
 	walReplayed atomic.Uint64
 	walSkipped  atomic.Uint64
 
@@ -107,43 +143,39 @@ func New(cfg Config) (*Server, error) {
 	if cfg.DrainTimeout <= 0 {
 		cfg.DrainTimeout = 10 * time.Second
 	}
+	// Slowloris guards: a connection that cannot produce its headers or
+	// body promptly is an attack or a casualty — either way not worth a
+	// goroutine. Negative disables (tests that intentionally dribble).
+	cfg.ReadHeaderTimeout = defaultTimeout(cfg.ReadHeaderTimeout, 5*time.Second)
+	cfg.ReadTimeout = defaultTimeout(cfg.ReadTimeout, 30*time.Second)
+	cfg.IdleTimeout = defaultTimeout(cfg.IdleTimeout, 2*time.Minute)
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
 	s := &Server{
-		cfg:      cfg,
-		store:    NewStore(),
-		cache:    newTTLCache(cfg.CacheTTL),
-		reloadCh: make(chan struct{}, 1),
+		cfg:       cfg,
+		store:     NewStore(),
+		cache:     newTTLCache(cfg.CacheTTL),
+		admission: newAdmission(cfg.Admission),
+		reloadCh:  make(chan struct{}, 1),
 	}
 	if cfg.WALDir != "" {
-		// Recover before anything serves: replay every intact record
-		// back into the store. Replay is idempotent — compaction
-		// snapshots overlap post-snapshot appends, and the SI
-		// duplicate guard drops the overlap — so per-event rejects
-		// are bookkeeping, not errors. Node-universe bounds are not
-		// re-checked: the log only ever holds events that passed
-		// validation when first acknowledged.
-		w, err := wal.Open(cfg.WALDir, wal.Options{
-			GroupWindow:     cfg.WALSync,
-			MaxSegmentBytes: cfg.WALMaxSegment,
-			Logf:            cfg.Logf,
-		}, func(ev wal.Event) error {
-			if _, err := s.store.Append(Event{Cascade: ev.Cascade, Node: ev.Node, Time: ev.Time}, maxInt); err != nil {
-				s.walSkipped.Add(1)
-				return nil
-			}
-			s.walReplayed.Add(1)
-			return nil
-		})
+		w, err := s.openWAL()
 		if err != nil {
 			return nil, fmt.Errorf("serve: opening WAL: %w", err)
 		}
-		s.wal = w
+		s.wal.Store(w)
 		cfg.Logf("serve: WAL %s: replayed %d events into %d live cascades (%d duplicates skipped)",
 			cfg.WALDir, s.walReplayed.Load(), s.store.Len(), s.walSkipped.Load())
 	}
-	s.metrics = newMetrics(s.store.Len, s.Generation, time.Now(), s.walStats)
+	s.metrics = newMetrics(metricsHooks{
+		liveCascades: s.store.Len,
+		generation:   s.Generation,
+		started:      time.Now(),
+		walStats:     s.walStats,
+		admission:    s.admission.snapshot,
+		health:       s.healthSnapshot,
+	})
 	lm, err := cfg.Loader()
 	if err != nil {
 		s.Close()
@@ -158,12 +190,52 @@ func New(cfg Config) (*Server, error) {
 // validated against the model that was live when they were acknowledged.
 const maxInt = int(^uint(0) >> 1)
 
+// defaultTimeout resolves the zero/negative convention: 0 takes the
+// default, negative disables (returns 0 for net/http).
+func defaultTimeout(v, def time.Duration) time.Duration {
+	if v == 0 {
+		return def
+	}
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// openWAL opens (or reopens) the configured WAL directory, replaying
+// every intact record back into the store. Replay is idempotent —
+// compaction snapshots overlap post-snapshot appends, and the SI
+// duplicate guard drops the overlap — so per-event rejects are
+// bookkeeping, not errors. Node-universe bounds are not re-checked:
+// the log only ever holds events that passed validation when first
+// acknowledged. The same property makes degraded-mode recovery safe:
+// reopening over a poisoned log replays everything already applied
+// into the live store and the duplicate guard absorbs it all.
+func (s *Server) openWAL() (*wal.Log, error) {
+	return wal.Open(s.cfg.WALDir, wal.Options{
+		GroupWindow:     s.cfg.WALSync,
+		MaxSegmentBytes: s.cfg.WALMaxSegment,
+		Logf:            s.cfg.Logf,
+	}, func(ev wal.Event) error {
+		if _, err := s.store.Append(Event{Cascade: ev.Cascade, Node: ev.Node, Time: ev.Time}, maxInt); err != nil {
+			s.walSkipped.Add(1)
+			return nil
+		}
+		s.walReplayed.Add(1)
+		return nil
+	})
+}
+
+// walLog returns the live WAL, nil when durable ingestion is disabled.
+func (s *Server) walLog() *wal.Log { return s.wal.Load() }
+
 // walStats feeds the wal_* metrics; all-zero when the WAL is disabled.
 func (s *Server) walStats() (wal.Stats, bool) {
-	if s.wal == nil {
+	w := s.walLog()
+	if w == nil {
 		return wal.Stats{}, false
 	}
-	st := s.wal.Stats()
+	st := w.Stats()
 	st.Replayed = s.walReplayed.Load()
 	return st, true
 }
@@ -173,10 +245,11 @@ func (s *Server) walStats() (wal.Stats, bool) {
 // flush. Callers embedding Handler directly (tests, custom servers)
 // should Close when done. Idempotent.
 func (s *Server) Close() error {
-	if s.wal == nil {
+	w := s.walLog()
+	if w == nil {
 		return nil
 	}
-	return s.wal.Close()
+	return w.Close()
 }
 
 // current returns the live generation. It is never nil after New.
@@ -202,6 +275,10 @@ func (s *Server) lockGenerations() func() {
 // Reload re-invokes the Loader and atomically swaps the fresh model in.
 // In-flight requests keep the generation they started with; a failed
 // load leaves the current generation serving (zero downtime either way).
+// Reload is also the supervised recovery path out of degraded mode: if
+// the WAL has fail-stopped, a successful model reload then reopens the
+// log — replaying it into the live store, where the duplicate guard
+// absorbs everything already applied — and ingestion leaves read-only.
 func (s *Server) Reload() (uint64, error) {
 	defer s.lockGenerations()()
 	lm, err := s.cfg.Loader()
@@ -210,8 +287,37 @@ func (s *Server) Reload() (uint64, error) {
 	}
 	gen := s.swap(lm)
 	s.metrics.reloads.Add(1)
+	s.clearStale()
 	s.cfg.Logf("serve: reloaded model (generation %d, %d nodes)", gen, lm.Sys.N)
+	if err := s.recoverWAL(); err != nil {
+		return gen, fmt.Errorf("serve: model reloaded (generation %d) but WAL recovery failed, still read-only: %w", gen, err)
+	}
 	return gen, nil
+}
+
+// recoverWAL reopens a poisoned write-ahead log. Called with the
+// generation lock held (from Reload), so it never races a flush
+// compaction. A healthy or absent log is a no-op.
+func (s *Server) recoverWAL() error {
+	old := s.walLog()
+	if old == nil || old.Err() == nil {
+		return nil
+	}
+	// Seal what the dead log can still sync; a close error here is
+	// expected (the disk already failed once) and not fatal to
+	// recovery — replay truncates whatever tail did not survive.
+	if err := old.Close(); err != nil {
+		s.cfg.Logf("serve: closing poisoned WAL: %v", err)
+	}
+	w, err := s.openWAL()
+	if err != nil {
+		return err
+	}
+	s.wal.Store(w)
+	s.metrics.walRecoveries.Add(1)
+	s.cfg.Logf("serve: WAL recovered after fail-stop (%d events replayed total, %d duplicates skipped); ingestion re-enabled",
+		s.walReplayed.Load(), s.walSkipped.Load())
+	return nil
 }
 
 // Flush feeds every live cascade that grew since the last pass into
@@ -233,27 +339,46 @@ func (s *Server) Flush() (int, error) {
 	if len(usable) == 0 {
 		return 0, nil
 	}
+	// Chaos hook: tests arm "serve.flush" to fail the refinement pass
+	// and assert the daemon degrades to a stale generation, not a loop
+	// of half-applied updates.
+	if err := faultinject.Fire("serve.flush"); err != nil {
+		s.markStale(err)
+		return 0, fmt.Errorf("serve: online update: %w", err)
+	}
 	next := cur.sys.Sys.Fork()
 	if err := next.Update(usable); err != nil {
+		// The refinement failed: keep serving the last good generation
+		// and flag it stale rather than swapping in a half-updated
+		// model or silently retrying forever.
+		s.markStale(err)
 		return 0, fmt.Errorf("serve: online update: %w", err)
 	}
 	lm := &LoadedModel{Sys: next, Pred: cur.sys.Pred, Retrain: cur.sys.Retrain}
+	retrained := true
 	if lm.Retrain != nil {
 		if pred, err := lm.Retrain(next); err == nil {
 			lm.Pred = pred
 		} else {
+			// The refined embeddings swap in, but predictions still
+			// come from the previous predictor: stale, and visibly so.
+			retrained = false
+			s.markStale(fmt.Errorf("predictor retrain failed: %w", err))
 			s.cfg.Logf("serve: keeping previous predictor, retrain failed: %v", err)
 		}
 	}
 	gen := s.swap(lm)
 	s.metrics.flushes.Add(1)
+	if retrained {
+		s.clearStale()
+	}
 	s.cfg.Logf("serve: flushed %d live cascades into the model (generation %d)", len(usable), gen)
-	if s.wal != nil {
+	if w := s.walLog(); w != nil {
 		// Generation-tied compaction: everything the new generation
 		// absorbed no longer needs its raw log entries. The snapshot
 		// callback runs under the WAL's write lock, so it sees every
 		// event whose segment is about to be deleted.
-		removed, err := s.wal.Compact(func() []wal.Event {
+		removed, err := w.Compact(func() []wal.Event {
 			evs := s.store.AllEvents()
 			out := make([]wal.Event, len(evs))
 			for i, ev := range evs {
@@ -303,7 +428,12 @@ func (s *Server) Serve(ctx context.Context) error {
 	if s.ln == nil {
 		return fmt.Errorf("serve: Serve called before Listen")
 	}
-	hs := &http.Server{Handler: s.handler}
+	hs := &http.Server{
+		Handler:           s.handler,
+		ReadHeaderTimeout: s.cfg.ReadHeaderTimeout,
+		ReadTimeout:       s.cfg.ReadTimeout,
+		IdleTimeout:       s.cfg.IdleTimeout,
+	}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(s.ln) }()
 

@@ -1,10 +1,12 @@
 package wal
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
 	"testing"
+	"time"
 
 	"viralcast/internal/faultinject"
 )
@@ -120,5 +122,102 @@ func TestRotateFaultSurfacesError(t *testing.T) {
 	}
 	if !errors.Is(rotateErr, boom) {
 		t.Fatalf("rotation fault never surfaced: %v", rotateErr)
+	}
+}
+
+// TestErrReportsPoisonWithoutBlocking: Err must be nil on a healthy
+// log, return the poisoning error after a disk failure, and stay
+// responsive even while a commit is stalled holding the write lock.
+func TestErrReportsPoisonWithoutBlocking(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := l.Err(); err != nil {
+		t.Fatalf("healthy log Err() = %v", err)
+	}
+
+	// Stall one commit on a sleeping "fsync" and probe Err concurrently:
+	// it must answer while the committer holds mu.
+	inj := faultinject.NewInjector()
+	inj.Arm(faultinject.Fault{Site: "wal.fsync", Action: faultinject.Sleep, Hit: 1, Delay: 300 * time.Millisecond})
+	deactivate := faultinject.Activate(inj)
+	stalled := make(chan error, 1)
+	go func() { stalled <- l.Append(Event{Cascade: 1, Node: 0, Time: 0}) }()
+	time.Sleep(50 * time.Millisecond) // let the commit reach the stall
+	probeStart := time.Now()
+	if err := l.Err(); err != nil {
+		t.Fatalf("Err() during stall = %v", err)
+	}
+	if d := time.Since(probeStart); d > 100*time.Millisecond {
+		t.Fatalf("Err() blocked for %v behind a stalled commit", d)
+	}
+	if err := <-stalled; err != nil {
+		t.Fatalf("stalled append eventually failed: %v", err)
+	}
+	deactivate()
+
+	// Poison the log; Err must report the cause.
+	inj2 := faultinject.NewInjector()
+	boom := fmt.Errorf("disk gone")
+	inj2.Arm(faultinject.Fault{Site: "wal.fsync", Action: faultinject.Error, Hit: 1, Err: boom})
+	deactivate2 := faultinject.Activate(inj2)
+	defer deactivate2()
+	if err := l.Append(Event{Cascade: 1, Node: 1, Time: 1}); !errors.Is(err, boom) {
+		t.Fatalf("append = %v, want injected error", err)
+	}
+	if err := l.Err(); !errors.Is(err, boom) {
+		t.Fatalf("Err() after poison = %v, want the poisoning cause", err)
+	}
+}
+
+// TestAppendBatchCtxDeadlineDuringStall: an append whose commit is
+// stuck behind a stalled disk must stop waiting at its context
+// deadline instead of hanging for the stall's duration.
+func TestAppendBatchCtxDeadlineDuringStall(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	inj := faultinject.NewInjector()
+	inj.Arm(faultinject.Fault{Site: "wal.fsync", Action: faultinject.Sleep, Hit: 1, Delay: 500 * time.Millisecond})
+	deactivate := faultinject.Activate(inj)
+	defer deactivate()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 80*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err = l.AppendBatchCtx(ctx, []Event{{Cascade: 9, Node: 0, Time: 0}})
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("AppendBatchCtx = %v, want DeadlineExceeded", err)
+	}
+	if elapsed > 400*time.Millisecond {
+		t.Fatalf("AppendBatchCtx returned after %v, deadline was 80ms", elapsed)
+	}
+	// The timed-out batch may still become durable (the committer
+	// finishes the stalled fsync); replay must not double it beyond the
+	// single record written.
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := collect(t, dir); len(got) > 1 {
+		t.Fatalf("recovered %d events, want at most 1", len(got))
+	}
+
+	// An already-expired context must not enqueue at all.
+	l2, err := Open(dir, Options{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	expired, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	if err := l2.AppendBatchCtx(expired, []Event{{Cascade: 9, Node: 1, Time: 1}}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("expired-ctx append = %v, want Canceled", err)
 	}
 }

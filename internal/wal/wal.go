@@ -31,6 +31,7 @@
 package wal
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -105,8 +106,13 @@ type Log struct {
 	// land *after*, and replay truncates at the first bad frame — so
 	// continuing to acknowledge appends after a failure could lose
 	// acknowledged data. Fail-stop keeps "acked implies recoverable"
-	// an invariant; the operator restarts the daemon to recover.
+	// an invariant; the operator recovers with a restart or by
+	// reopening the log (the serving layer's degraded-mode reload).
 	failed error
+	// poison mirrors failed behind an atomic pointer so health probes
+	// can ask "is this log dead?" without taking mu — which a stalled
+	// fsync may hold for seconds.
+	poison atomic.Pointer[error]
 
 	// sendMu lets Close fence out new Appends without racing the ones
 	// already enqueueing.
@@ -219,8 +225,24 @@ func (l *Log) Append(ev Event) error {
 
 // AppendBatch durably logs a batch of events under a single commit.
 func (l *Log) AppendBatch(evs []Event) error {
+	return l.AppendBatchCtx(context.Background(), evs)
+}
+
+// AppendBatchCtx is AppendBatch bounded by ctx: if the commit has not
+// completed by the time ctx is done (disk stall, committer backlog),
+// it returns ctx.Err() and the caller must treat the batch as NOT
+// durable. The write itself is not torn off — the committer will still
+// finish it eventually — so a timed-out batch may turn out durable
+// after all; that is the safe direction (a retry is absorbed by
+// idempotent replay/dedup upstream, an unacknowledged loss is not).
+// In NoGroupCommit mode the commit runs on the caller's goroutine and
+// only the pre-commit wait honors ctx.
+func (l *Log) AppendBatchCtx(ctx context.Context, evs []Event) error {
 	if len(evs) == 0 {
 		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	var frames []byte
 	for _, ev := range evs {
@@ -241,9 +263,21 @@ func (l *Log) AppendBatch(evs []Event) error {
 		l.sendMu.RUnlock()
 		return ErrClosed
 	}
-	l.reqCh <- req
-	l.sendMu.RUnlock()
-	return <-req.done
+	// Both the enqueue (the channel backs up behind a stalled commit)
+	// and the ack wait are bounded by ctx.
+	select {
+	case l.reqCh <- req:
+		l.sendMu.RUnlock()
+	case <-ctx.Done():
+		l.sendMu.RUnlock()
+		return ctx.Err()
+	}
+	select {
+	case err := <-req.done:
+		return err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // commitLoop is the group-commit writer: it gathers queued appends into
@@ -386,8 +420,20 @@ func (l *Log) usableLocked() error {
 // failLocked poisons the log after a disk error and returns the error.
 func (l *Log) failLocked(err error) error {
 	l.failed = err
+	l.poison.Store(&err)
 	l.opt.Logf("wal: disabling log after failure: %v", err)
 	return err
+}
+
+// Err reports the disk error that poisoned the log, or nil while the
+// log is healthy. It never blocks — unlike Append, it stays responsive
+// while a commit is stalled on a hung disk — so readiness probes can
+// gate on it.
+func (l *Log) Err() error {
+	if p := l.poison.Load(); p != nil {
+		return *p
+	}
+	return nil
 }
 
 // rotateLocked seals the active segment (fsync + close) and opens the

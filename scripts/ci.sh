@@ -16,10 +16,10 @@ echo "== go build ./..."
 go build ./...
 
 echo "== go test ./..."
-go test ./...
+go test -shuffle=on ./...
 
-echo "== go test -race (concurrent packages)"
-go test -race ./internal/pool/ ./internal/infer/ ./internal/slpa/ ./internal/serve/ ./internal/wal/
+echo "== go test -race (concurrent packages, incl. the chaos soak)"
+go test -race -shuffle=on ./internal/pool/ ./internal/infer/ ./internal/slpa/ ./internal/serve/ ./internal/wal/
 
 echo "== viralcastd smoke test"
 tmp="$(mktemp -d)"
@@ -83,5 +83,31 @@ if ! wait "$daemon_pid"; then
 fi
 daemon_pid=""
 echo "smoke test passed (daemon drained cleanly)"
+
+# Overload resilience: a daemon throttled to one concurrent compute
+# request must shed concurrent bursts with 429 + Retry-After while the
+# admitted requests keep succeeding inside their 2s budget.
+echo "== viralcastd overload smoke test"
+rm -f "$tmp/addr"
+"$tmp/viralcast" serve -addr 127.0.0.1:0 -addr-file "$tmp/addr" \
+  -model "$tmp/model.txt" -cascades "$tmp/cascades.txt" -seed 7 \
+  -flush-every 0 -max-inflight 1 -queue 2 -request-timeout 2s \
+  2>"$tmp/daemon3.log" &
+daemon_pid=$!
+for _ in $(seq 1 100); do
+  [[ -s "$tmp/addr" ]] && break
+  if ! kill -0 "$daemon_pid" 2>/dev/null; then
+    echo "overload daemon died during startup:" >&2
+    cat "$tmp/daemon3.log" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+[[ -s "$tmp/addr" ]] || { echo "overload daemon never published its address" >&2; exit 1; }
+go run ./scripts/smoke -base "http://$(cat "$tmp/addr")" -overload
+kill -TERM "$daemon_pid"
+wait "$daemon_pid" || { echo "overload daemon did not drain cleanly:" >&2; cat "$tmp/daemon3.log" >&2; exit 1; }
+daemon_pid=""
+echo "overload smoke passed (shed with Retry-After, admitted within budget)"
 
 echo "ci.sh: all checks passed"

@@ -9,7 +9,13 @@
 // (the daemon must be running with -wal-dir). With -post-crash it runs
 // the recovery half of the crash-replay test instead: against a daemon
 // restarted on the WAL directory of a SIGKILLed predecessor, it checks
-// the pre-crash cascade was replayed and is still predictable.
+// the pre-crash cascade was replayed and is still predictable. With
+// -overload it runs the admission-control check instead: against a
+// daemon with a tiny compute limit (-max-inflight 1 -queue 2) it fires
+// waves of concurrent seed selections and requires the overload
+// contract — in-limit requests succeed within their deadline, the
+// excess is shed with 429 + Retry-After, and honoring the hint gets a
+// shed request through.
 package main
 
 import (
@@ -17,9 +23,12 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os"
+	"strconv"
+	"sync"
 	"time"
 )
 
@@ -27,15 +36,22 @@ func main() {
 	base := flag.String("base", "", "daemon base URL, e.g. http://127.0.0.1:43321 (required)")
 	walOn := flag.Bool("wal", false, "daemon runs with -wal-dir: assert the wal_* metrics move")
 	postCrash := flag.Bool("post-crash", false, "daemon was restarted after a hard kill: verify WAL replay instead of ingesting")
+	overload := flag.Bool("overload", false, "daemon runs with a tiny -max-inflight: assert load shedding and Retry-After")
 	flag.Parse()
 	if *base == "" {
 		log.Fatal("smoke: -base is required")
 	}
 	client := &http.Client{Timeout: 30 * time.Second}
+	waitUp(client, *base)
 
 	if *postCrash {
 		checkPostCrash(client, *base)
 		fmt.Println("smoke: post-crash recovery checks passed")
+		return
+	}
+	if *overload {
+		checkOverload(client, *base)
+		fmt.Println("smoke: overload checks passed")
 		return
 	}
 
@@ -110,14 +126,158 @@ func main() {
 
 // walMetrics is the /metrics subset the smoke checks read.
 type walMetrics struct {
-	Requests    map[string]float64 `json:"requests"`
-	Events      float64            `json:"events_ingested"`
-	WALEnabled  bool               `json:"wal_enabled"`
-	WALAppends  float64            `json:"wal_appends"`
-	WALFsyncs   float64            `json:"wal_fsyncs"`
-	WALBytes    float64            `json:"wal_bytes"`
-	WALReplayed float64            `json:"wal_replayed_records"`
-	WALSegments float64            `json:"wal_segments"`
+	Requests     map[string]float64 `json:"requests"`
+	Events       float64            `json:"events_ingested"`
+	WALEnabled   bool               `json:"wal_enabled"`
+	WALAppends   float64            `json:"wal_appends"`
+	WALFsyncs    float64            `json:"wal_fsyncs"`
+	WALBytes     float64            `json:"wal_bytes"`
+	WALReplayed  float64            `json:"wal_replayed_records"`
+	WALSegments  float64            `json:"wal_segments"`
+	OverloadShed map[string]float64 `json:"overload_shed"`
+	Deadlines    float64            `json:"deadline_exceeded"`
+}
+
+// waitUp gives a freshly exec'd daemon time to bind: connection-refused
+// during startup is retried with backoff, bounded at ~10s. Any HTTP
+// status counts as "up" — readiness semantics belong to the callers.
+func waitUp(client *http.Client, base string) {
+	backoff := 50 * time.Millisecond
+	var lastErr error
+	for i := 0; i < 20; i++ {
+		resp, err := client.Get(base + "/healthz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			return
+		}
+		lastErr = err
+		time.Sleep(backoff)
+		if backoff < time.Second {
+			backoff *= 2
+		}
+	}
+	log.Fatalf("smoke: daemon never came up at %s: %v", base, lastErr)
+}
+
+// checkOverload hammers a daemon configured with -max-inflight 1
+// -queue 2 -request-timeout 2s: sixteen closed-loop workers issue seed
+// selections back to back for two seconds (distinct horizons defeat the
+// TTL cache, so every request is real compute). Sustained pressure — as
+// opposed to a single burst, which a one-core box can absorb by
+// scheduling handlers one at a time — keeps the class saturated, and
+// the overload contract must hold: admitted requests keep succeeding
+// inside their budget, the excess is shed with 429 + Retry-After,
+// nothing hangs, and honoring the hint gets a shed request through.
+func checkOverload(client *http.Client, base string) {
+	expect(client, "GET", base+"/readyz", nil, 200, nil)
+
+	const (
+		workers  = 16
+		duration = 2 * time.Second
+		// The daemon's -request-timeout is 2s; everything — admitted,
+		// queued, shed, or deadline-cut — must resolve well inside the
+		// client's patience, or overload is hanging requests.
+		maxElapsed = 15 * time.Second
+	)
+	var (
+		mu                     sync.Mutex
+		succeeded, shed, slow  int
+		deadlineCut, failures  int
+		firstProblem           string
+		shedHorizon            float64
+		shedRetryAfter         string
+		horizonCounter, others int
+	)
+	deadline := time.Now().Add(duration)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			wc := &http.Client{Timeout: 30 * time.Second}
+			for {
+				mu.Lock()
+				horizonCounter++
+				h := 0.5 + 0.001*float64(horizonCounter)
+				mu.Unlock()
+				if !time.Now().Before(deadline) {
+					return
+				}
+				start := time.Now()
+				resp, err := wc.Get(fmt.Sprintf("%s/v1/seeds?k=120&horizon=%g", base, h))
+				elapsed := time.Since(start)
+				mu.Lock()
+				if err != nil {
+					failures++
+					if firstProblem == "" {
+						firstProblem = fmt.Sprintf("request error: %v", err)
+					}
+					mu.Unlock()
+					continue
+				}
+				if elapsed > maxElapsed {
+					slow++
+					if firstProblem == "" {
+						firstProblem = fmt.Sprintf("request took %v (status %d)", elapsed, resp.StatusCode)
+					}
+				}
+				switch resp.StatusCode {
+				case 200:
+					succeeded++
+				case 429:
+					if ra := resp.Header.Get("Retry-After"); ra == "" {
+						failures++
+						if firstProblem == "" {
+							firstProblem = "shed response missing Retry-After"
+						}
+					} else {
+						shed++
+						shedHorizon, shedRetryAfter = h, ra
+					}
+				case 503: // deadline exceeded while queued: bounded, acceptable
+					deadlineCut++
+				default:
+					others++
+					if firstProblem == "" {
+						firstProblem = fmt.Sprintf("unexpected status %d", resp.StatusCode)
+					}
+				}
+				mu.Unlock()
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}()
+	}
+	wg.Wait()
+
+	if failures > 0 || slow > 0 || others > 0 {
+		log.Fatalf("smoke: overload contract violated (%d failures, %d slow, %d unexpected): %s",
+			failures, slow, others, firstProblem)
+	}
+	if succeeded == 0 {
+		log.Fatal("smoke: no request succeeded under overload — shedding is not protecting admitted work")
+	}
+	if shed == 0 {
+		log.Fatalf("smoke: %d workers hammering -max-inflight 1 for %v never shed (%d ok, %d deadline-cut)",
+			workers, duration, succeeded, deadlineCut)
+	}
+
+	// Honoring the hint must work: back off as told, then retry the last
+	// shed horizon until it goes through (expect retries 429s itself).
+	secs, err := strconv.Atoi(shedRetryAfter)
+	if err != nil || secs < 1 {
+		log.Fatalf("smoke: unparseable Retry-After %q", shedRetryAfter)
+	}
+	time.Sleep(time.Duration(secs) * time.Second)
+	expect(client, "GET", fmt.Sprintf("%s/v1/seeds?k=120&horizon=%g", base, shedHorizon), nil, 200, nil)
+
+	m := getMetrics(client, base)
+	if m.OverloadShed["compute"] < 1 {
+		log.Fatalf("smoke: overload_shed metric did not move: %+v", m.OverloadShed)
+	}
+	fmt.Printf("smoke: overload ok (%d succeeded, %d shed with Retry-After, %d deadline-cut, overload_shed=%v)\n",
+		succeeded, shed, deadlineCut, m.OverloadShed)
 }
 
 func getMetrics(client *http.Client, base string) walMetrics {
@@ -166,32 +326,53 @@ func checkPostCrash(client *http.Client, base string) {
 }
 
 // expect performs one request and requires the given status, optionally
-// decoding the JSON response.
+// decoding the JSON response. A 429 that was not the wanted status is
+// the daemon shedding load; expect is a polite client, so it honors the
+// Retry-After hint (capped at 2s per attempt) a bounded number of times
+// before giving up.
 func expect(client *http.Client, method, url string, body any, wantStatus int, out any) {
-	var buf bytes.Buffer
+	var encoded []byte
 	if body != nil {
-		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+		var err error
+		if encoded, err = json.Marshal(body); err != nil {
 			log.Fatalf("smoke: encoding body for %s: %v", url, err)
 		}
 	}
-	req, err := http.NewRequest(method, url, &buf)
-	if err != nil {
-		log.Fatalf("smoke: %v", err)
-	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := client.Do(req)
-	if err != nil {
-		log.Fatalf("smoke: %s %s: %v", method, url, err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != wantStatus {
-		var e map[string]any
-		json.NewDecoder(resp.Body).Decode(&e)
-		log.Fatalf("smoke: %s %s = %d, want %d (%v)", method, url, resp.StatusCode, wantStatus, e)
-	}
-	if out != nil {
-		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-			log.Fatalf("smoke: %s %s: undecodable response: %v", method, url, err)
+	const maxAttempts = 5
+	for attempt := 1; ; attempt++ {
+		req, err := http.NewRequest(method, url, bytes.NewReader(encoded))
+		if err != nil {
+			log.Fatalf("smoke: %v", err)
 		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
+		if err != nil {
+			log.Fatalf("smoke: %s %s: %v", method, url, err)
+		}
+		if resp.StatusCode == http.StatusTooManyRequests && wantStatus != http.StatusTooManyRequests && attempt < maxAttempts {
+			backoff := time.Second
+			if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs >= 1 {
+				backoff = time.Duration(secs) * time.Second
+			}
+			if backoff > 2*time.Second {
+				backoff = 2 * time.Second
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			time.Sleep(backoff)
+			continue
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != wantStatus {
+			var e map[string]any
+			json.NewDecoder(resp.Body).Decode(&e)
+			log.Fatalf("smoke: %s %s = %d, want %d (%v)", method, url, resp.StatusCode, wantStatus, e)
+		}
+		if out != nil {
+			if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+				log.Fatalf("smoke: %s %s: undecodable response: %v", method, url, err)
+			}
+		}
+		return
 	}
 }
