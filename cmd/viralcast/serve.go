@@ -40,6 +40,7 @@ func cmdServe(ctx context.Context, args []string) error {
 	queue := fs.Int("queue", 0, "requests beyond -max-inflight that may wait for a compute slot before 429s; 0 = default 64, -1 = no queue")
 	requestTimeout := fs.Duration("request-timeout", 0, "per-request budget on the /v1 data plane; exceeded requests answer 503 (0 disables)")
 	retryAfter := fs.Duration("retry-after", time.Second, "backoff hint sent with 429 shed responses")
+	pprofFlag := fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (control plane: ungated by admission control, like /metrics)")
 	readHeaderTimeout := fs.Duration("read-header-timeout", 0, "slowloris guard: close connections whose headers dribble past this (0 = default 5s, -1ns disables)")
 	readTimeout := fs.Duration("read-timeout", 0, "bound on reading a whole request including its body (0 = default 30s, -1ns disables)")
 	idleTimeout := fs.Duration("idle-timeout", 0, "bound on idle keep-alive connections (0 = default 2m, -1ns disables)")
@@ -71,6 +72,7 @@ func cmdServe(ctx context.Context, args []string) error {
 			Compute:    serve.ClassLimit{MaxInflight: *maxInflight, MaxQueue: *queue},
 			RetryAfter: *retryAfter,
 		},
+		EnablePprof:       *pprofFlag,
 		ReadHeaderTimeout: *readHeaderTimeout,
 		ReadTimeout:       *readTimeout,
 		IdleTimeout:       *idleTimeout,

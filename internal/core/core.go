@@ -11,7 +11,10 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"viralcast/internal/cascade"
 	"viralcast/internal/checkpoint"
@@ -20,6 +23,7 @@ import (
 	"viralcast/internal/features"
 	"viralcast/internal/infer"
 	"viralcast/internal/inflmax"
+	"viralcast/internal/pool"
 	"viralcast/internal/slpa"
 	"viralcast/internal/svm"
 	"viralcast/internal/xrand"
@@ -77,6 +81,106 @@ type System struct {
 	Partition  *slpa.Partition
 	Trace      *infer.Trace
 	cfg        TrainConfig
+
+	// agg caches per-generation aggregates derived from the embeddings
+	// (row influence sums, per-node top topic, selectivity masses).
+	// It is built lazily on first use, shared by every compute path of
+	// this generation, and dropped whenever the embeddings mutate
+	// (Update); Fork starts the copy with an empty cache. Reads and the
+	// idempotent rebuild are lock-free.
+	agg atomic.Pointer[systemAgg]
+}
+
+// systemAgg is one generation's precomputed view of the embeddings: the
+// per-node quantities every influencer ranking re-derived O(n·K)-style
+// on each request before this cache existed. Influencer rankings read
+// it directly; seed selection and coverage evaluation reuse the same
+// arrays as inflmax dead-row shortcuts.
+type systemAgg struct {
+	rowSum    []float64 // per-node total influence mass (sum of A's row)
+	topTopic  []int     // per-node argmax topic of the A row
+	topWeight []float64 // the argmax component's value
+	selSum    []float64 // per-node total selectivity mass (sum of B's row)
+	pre       *inflmax.Precomp
+}
+
+// aggChunk is how many node rows one aggregate-builder task owns; small
+// enough to spread across cores, large enough to amortize scheduling.
+const aggChunk = 8192
+
+// aggregates returns the generation's precomputed view, building it on
+// first use. Concurrent first callers may build duplicates; the build is
+// deterministic and idempotent, so whichever Store lands last is
+// indistinguishable from the rest.
+func (s *System) aggregates() *systemAgg {
+	if a := s.agg.Load(); a != nil {
+		return a
+	}
+	a := buildAggregates(s.Embeddings)
+	s.agg.Store(a)
+	return a
+}
+
+// invalidateAggregates drops the cached view; the next compute path
+// rebuilds against the mutated embeddings.
+func (s *System) invalidateAggregates() { s.agg.Store(nil) }
+
+// buildAggregates scans the embeddings once, sharded across cores. Each
+// task owns a contiguous node range, so every output cell has exactly
+// one writer and the result is identical for any worker count.
+func buildAggregates(m *embed.Model) *systemAgg {
+	n := m.N()
+	a := &systemAgg{
+		rowSum:    make([]float64, n),
+		topTopic:  make([]int, n),
+		topWeight: make([]float64, n),
+		selSum:    make([]float64, n),
+	}
+	nonneg := make([]bool, (n+aggChunk-1)/aggChunk)
+	tasks := len(nonneg)
+	workers := runtime.GOMAXPROCS(0)
+	pool.Run(workers, tasks, func(t int) error { //nolint:errcheck // tasks cannot fail
+		lo, hi := t*aggChunk, (t+1)*aggChunk
+		if hi > n {
+			hi = n
+		}
+		ok := true
+		for u := lo; u < hi; u++ {
+			var sum, best float64
+			bestK := 0
+			for ki, v := range m.A.Row(u) {
+				sum += v
+				if v > best {
+					best, bestK = v, ki
+				}
+				if v < 0 {
+					ok = false
+				}
+			}
+			a.rowSum[u], a.topTopic[u], a.topWeight[u] = sum, bestK, best
+			var bs float64
+			for _, v := range m.B.Row(u) {
+				bs += v
+				if v < 0 {
+					ok = false
+				}
+			}
+			a.selSum[u] = bs
+		}
+		nonneg[t] = ok
+		return nil
+	})
+	// The inflmax dead-row shortcut (zero mass ⇒ zero rates) is only
+	// sound for non-negative embeddings — the model invariant, but a
+	// hand-built model can violate it, so the shortcut is gated.
+	allOK := true
+	for _, ok := range nonneg {
+		allOK = allOK && ok
+	}
+	if allOK {
+		a.pre = &inflmax.Precomp{ASum: a.rowSum, BSum: a.selSum}
+	}
+	return a
 }
 
 // Train fits the system on observed cascades over n nodes.
@@ -153,6 +257,9 @@ func (s *System) Update(newCascades []*cascade.Cascade) error {
 	if len(newCascades) == 0 {
 		return fmt.Errorf("core: no cascades to update with")
 	}
+	// The refinement mutates the embeddings in place, so the cached
+	// aggregates are stale either way once it has started.
+	defer s.invalidateAggregates()
 	_, err := infer.Refine(s.Embeddings, newCascades, infer.Config{
 		K: s.cfg.Topics, MaxIter: s.cfg.MaxIter, Seed: s.cfg.Seed,
 	})
@@ -240,9 +347,127 @@ func (s *System) TopInfluencers(k int) []Influencer {
 const influencerCheckStride = 1024
 
 // TopInfluencersCtx is TopInfluencers with cancellation, for serving
-// paths that must honor a request deadline: the O(n·K) scan checks ctx
-// periodically and abandons the ranking with ctx.Err() once canceled.
+// paths that must honor a request deadline. The ranking reads the
+// generation's precomputed per-node aggregates (no O(n·K) row scan on
+// the request path), keeps a bounded k-element min-heap per worker
+// instead of materializing and fully sorting all n entries, and shards
+// the node range across GOMAXPROCS workers; each worker checks ctx per
+// stride and abandons the ranking with ctx.Err() once canceled.
 func (s *System) TopInfluencersCtx(ctx context.Context, k int) ([]Influencer, error) {
+	return s.topInfluencers(ctx, k, 0)
+}
+
+// rankBelow is the inverse of the published influencer order: a ranks
+// strictly below b when its score is lower, ties broken toward the
+// larger node id. It is the heap order (weakest kept candidate at the
+// root) and the complement of the final sort.
+func rankBelow(a, b Influencer) bool {
+	if a.Score != b.Score {
+		return a.Score < b.Score
+	}
+	return a.Node > b.Node
+}
+
+// topInfluencers is the parallel heap-based selection; workers <= 0
+// uses GOMAXPROCS. Every worker owns a contiguous node stripe and its
+// stripe-local top-k is exact, so the merged result is identical for
+// any worker count.
+func (s *System) topInfluencers(ctx context.Context, k, workers int) ([]Influencer, error) {
+	if k > s.N {
+		k = s.N
+	}
+	if k <= 0 {
+		return []Influencer{}, nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	// Below this many rows per worker the stripe bookkeeping costs more
+	// than it parallelizes away.
+	const minStripe = 4096
+	if max := (s.N + minStripe - 1) / minStripe; workers > max {
+		workers = max
+	}
+	agg := s.aggregates()
+	heaps := make([][]Influencer, workers)
+	err := pool.RunCtx(ctx, workers, workers, func(w int) error {
+		lo := w * s.N / workers
+		hi := (w + 1) * s.N / workers
+		h := make([]Influencer, 0, k)
+		for u := lo; u < hi; u++ {
+			if (u-lo)%influencerCheckStride == 0 {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
+			cand := Influencer{
+				Node: u, Score: agg.rowSum[u],
+				TopTopic: agg.topTopic[u], TopWeight: agg.topWeight[u],
+			}
+			if len(h) < k {
+				h = append(h, cand)
+				siftUpInfluencer(h, len(h)-1)
+			} else if rankBelow(h[0], cand) {
+				h[0] = cand
+				siftDownInfluencer(h, 0)
+			}
+		}
+		heaps[w] = h
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Merge: at most workers*k exact stripe winners; a full sort of this
+	// small set recovers the global order.
+	merged := make([]Influencer, 0, workers*k)
+	for _, h := range heaps {
+		merged = append(merged, h...)
+	}
+	sort.Slice(merged, func(i, j int) bool { return rankBelow(merged[j], merged[i]) })
+	if k < len(merged) {
+		merged = merged[:k]
+	}
+	return merged, nil
+}
+
+// siftUpInfluencer and siftDownInfluencer maintain a slice min-heap
+// under rankBelow (root = weakest kept candidate) without the
+// interface boxing of container/heap — this is the per-row hot path.
+func siftUpInfluencer(h []Influencer, i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !rankBelow(h[i], h[parent]) {
+			return
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func siftDownInfluencer(h []Influencer, i int) {
+	n := len(h)
+	for {
+		least := i
+		if l := 2*i + 1; l < n && rankBelow(h[l], h[least]) {
+			least = l
+		}
+		if r := 2*i + 2; r < n && rankBelow(h[r], h[least]) {
+			least = r
+		}
+		if least == i {
+			return
+		}
+		h[i], h[least] = h[least], h[i]
+		i = least
+	}
+}
+
+// topInfluencersFullSort is the pre-optimization reference: a full
+// O(n·K) row scan materializing all n entries plus a complete sort. It
+// stays as the correctness oracle and benchmark baseline for the
+// parallel heap-based path.
+func (s *System) topInfluencersFullSort(ctx context.Context, k int) ([]Influencer, error) {
 	out := make([]Influencer, 0, s.N)
 	for u := 0; u < s.N; u++ {
 		if u%influencerCheckStride == 0 {
@@ -267,6 +492,9 @@ func (s *System) TopInfluencersCtx(ctx context.Context, k int) ([]Influencer, er
 		}
 		return out[i].Node < out[j].Node
 	})
+	if k < 0 {
+		k = 0
+	}
 	if k < len(out) {
 		out = out[:k]
 	}
@@ -283,19 +511,24 @@ type Seed = inflmax.Result
 // application of Kempe et al., run on inferred rather than known
 // parameters.
 func (s *System) SelectSeeds(k int, horizon float64) ([]Seed, error) {
-	return inflmax.Greedy(s.Embeddings, horizon, k, nil)
+	return s.SelectSeedsCtx(context.Background(), k, horizon)
 }
 
 // SelectSeedsCtx is SelectSeeds with cancellation threaded into the
 // greedy loop, so a serving request deadline (or a disconnected client)
-// stops the O(n²·K) selection instead of burning CPU to completion.
+// stops the O(n²·K) selection instead of burning CPU to completion. The
+// gain evaluations run in parallel (sharded initial pass, batched lazy
+// re-evaluations) against the generation's precomputed aggregates; the
+// selected set is identical for any worker count.
 func (s *System) SelectSeedsCtx(ctx context.Context, k int, horizon float64) ([]Seed, error) {
-	return inflmax.GreedyCtx(ctx, s.Embeddings, horizon, k, nil)
+	return inflmax.GreedyOpt(ctx, s.Embeddings, horizon, k, nil,
+		inflmax.Options{Pre: s.aggregates().pre})
 }
 
 // ExpectedCoverage evaluates the same objective for an explicit seed set.
 func (s *System) ExpectedCoverage(seeds []int, horizon float64) (float64, error) {
-	return inflmax.Coverage(s.Embeddings, horizon, seeds)
+	return inflmax.CoverageOpt(s.Embeddings, horizon, seeds,
+		inflmax.Options{Pre: s.aggregates().pre})
 }
 
 // Features extracts the early-adopter features of a (possibly partial)
@@ -312,6 +545,17 @@ type Predictor struct {
 	threshold int
 	early     float64
 	names     []string
+
+	// scratch recycles per-prediction buffers (selected feature row and
+	// its standardized form) so the serving predict path allocates only
+	// what must outlive the request.
+	scratch sync.Pool
+}
+
+// predictScratch is one prediction's reusable workspace.
+type predictScratch struct {
+	row []float64
+	std []float64
 }
 
 // TrainPredictor fits the paper's linear-SVM virality classifier:
@@ -382,11 +626,18 @@ func (p *Predictor) PredictViral(c *cascade.Cascade) (bool, float64, error) {
 	if err != nil {
 		return false, 0, err
 	}
-	row, err := fs.Select(p.names)
+	ws, _ := p.scratch.Get().(*predictScratch)
+	if ws == nil {
+		ws = &predictScratch{}
+	}
+	row, err := fs.SelectAppend(ws.row[:0], p.names)
 	if err != nil {
 		return false, 0, err
 	}
-	margin := p.model.Decision(p.std.Apply([][]float64{row})[0])
+	ws.row = row
+	ws.std = p.std.ApplyRow(ws.std[:0], row)
+	margin := p.model.Decision(ws.std)
+	p.scratch.Put(ws)
 	return margin >= 0, margin, nil
 }
 

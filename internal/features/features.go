@@ -15,6 +15,7 @@ package features
 
 import (
 	"fmt"
+	"sync"
 
 	"viralcast/internal/cascade"
 	"viralcast/internal/embed"
@@ -41,13 +42,21 @@ func (s Set) Vector() []float64 {
 // Select returns the subset of the feature vector named by keep, in keep
 // order. Unknown names are an error.
 func (s Set) Select(keep []string) ([]float64, error) {
-	full := s.Vector()
-	out := make([]float64, 0, len(keep))
+	return s.SelectAppend(make([]float64, 0, len(keep)), keep)
+}
+
+// SelectAppend is Select appending into dst, for serving hot paths that
+// reuse a scratch buffer across requests instead of allocating one per
+// prediction.
+func (s Set) SelectAppend(dst []float64, keep []string) ([]float64, error) {
+	// A fixed-size array keeps the full vector on the stack; Vector()
+	// would allocate on every prediction.
+	full := [...]float64{s.DiverA, s.NormA, s.MaxA, s.EarlyCount, s.EarlyRate}
 	for _, name := range keep {
 		found := false
 		for i, n := range Names {
 			if n == name {
-				out = append(out, full[i])
+				dst = append(dst, full[i])
 				found = true
 				break
 			}
@@ -56,8 +65,14 @@ func (s Set) Select(keep []string) ([]float64, error) {
 			return nil, fmt.Errorf("features: unknown feature %q", name)
 		}
 	}
-	return out, nil
+	return dst, nil
 }
+
+// sumPool recycles the K-sized accumulation scratch across Extract
+// calls; the serving predict path runs one Extract per request, and the
+// scratch never escapes into the returned Set (which holds scalars
+// only).
+var sumPool = sync.Pool{New: func() any { s := make([]float64, 0, 64); return &s }}
 
 // Extract computes the feature set from the early-adopter prefix of a
 // cascade under the fitted model. The prefix must be non-empty; use
@@ -68,7 +83,15 @@ func Extract(m *embed.Model, early *cascade.Cascade) (Set, error) {
 	}
 	n := m.N()
 	k := m.K()
-	sum := make([]float64, k)
+	sp := sumPool.Get().(*[]float64)
+	defer func() { sumPool.Put(sp) }()
+	sum := *sp
+	if cap(sum) < k {
+		sum = make([]float64, k)
+		*sp = sum
+	}
+	sum = sum[:k]
+	vecmath.Fill(sum, 0)
 	var diver float64
 	infs := early.Infections
 	for i, inf := range infs {

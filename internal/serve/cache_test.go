@@ -97,6 +97,77 @@ func TestCacheSingleflight(t *testing.T) {
 	}
 }
 
+// TestCacheSweepAtBoundary pins the maxCacheEntries boundary behavior:
+// the insert that finds the map full triggers a sweep, expired entries
+// are evicted, and live entries survive it.
+func TestCacheSweepAtBoundary(t *testing.T) {
+	c := newTTLCache(time.Minute)
+	now := time.Unix(1000, 0)
+	c.now = func() time.Time { return now }
+	// Fill to exactly the boundary: half will be expired by the time the
+	// sweep fires, half still live.
+	const expired = maxCacheEntries / 2
+	for i := 0; i < maxCacheEntries; i++ {
+		key := fmt.Sprintf("k%d", i)
+		c.Do(key, func() (any, error) { return i, nil })
+	}
+	c.mu.Lock()
+	if n := len(c.entries); n != maxCacheEntries {
+		c.mu.Unlock()
+		t.Fatalf("setup: %d entries, want exactly %d", n, maxCacheEntries)
+	}
+	// Age the first half past their deadline by rewriting their expiry;
+	// advancing the shared clock would expire everything at once.
+	for i := 0; i < expired; i++ {
+		key := fmt.Sprintf("k%d", i)
+		e := c.entries[key]
+		e.expires = now.Add(-time.Second)
+		c.entries[key] = e
+	}
+	c.mu.Unlock()
+	// The next insert sees len == maxCacheEntries and must sweep.
+	c.Do("overflow", func() (any, error) { return "v", nil })
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n := len(c.entries); n != maxCacheEntries-expired+1 {
+		t.Fatalf("after sweep: %d entries, want %d live + 1 new", n, maxCacheEntries-expired)
+	}
+	for i := 0; i < expired; i++ {
+		if _, ok := c.entries[fmt.Sprintf("k%d", i)]; ok {
+			t.Fatalf("expired entry k%d survived the sweep", i)
+		}
+	}
+	for i := expired; i < maxCacheEntries; i++ {
+		if _, ok := c.entries[fmt.Sprintf("k%d", i)]; !ok {
+			t.Fatalf("live entry k%d was evicted by the sweep", i)
+		}
+	}
+	if _, ok := c.entries["overflow"]; !ok {
+		t.Fatal("the triggering insert was not cached")
+	}
+}
+
+// TestCacheSweepResetWhenAllLive pins the last-resort path: when every
+// entry is still live at the boundary, the sweep resets the whole map
+// rather than letting it grow without bound.
+func TestCacheSweepResetWhenAllLive(t *testing.T) {
+	c := newTTLCache(time.Hour)
+	now := time.Unix(2000, 0)
+	c.now = func() time.Time { return now }
+	for i := 0; i < maxCacheEntries; i++ {
+		c.Do(fmt.Sprintf("k%d", i), func() (any, error) { return i, nil })
+	}
+	c.Do("overflow", func() (any, error) { return "v", nil })
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n := len(c.entries); n != 1 {
+		t.Fatalf("all-live sweep kept %d entries, want just the new one", n)
+	}
+	if _, ok := c.entries["overflow"]; !ok {
+		t.Fatal("the triggering insert missing after the reset")
+	}
+}
+
 func TestCacheSweepBoundsGrowth(t *testing.T) {
 	c := newTTLCache(time.Millisecond)
 	now := time.Unix(1000, 0)

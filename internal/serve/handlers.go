@@ -8,7 +8,9 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
+	"sync"
 
 	"viralcast/internal/wal"
 )
@@ -52,6 +54,18 @@ func (s *Server) routes() http.Handler {
 	control("GET /healthz", "healthz", s.handleHealthz)
 	control("GET /readyz", "readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.metrics.handler)
+	if s.cfg.EnablePprof {
+		// Control plane like /metrics: ungated by admission control and
+		// the request budget, so a daemon melting under load can still be
+		// profiled — that is exactly when the profile matters. Raw
+		// handlers, not instrumented: a 30s CPU profile would poison the
+		// latency metrics.
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -117,12 +131,37 @@ func ctxDone(err error) bool {
 	return errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)
 }
 
+// jsonBufPool recycles response-encoding buffers across requests.
+// Encoding into a pooled buffer instead of straight to the wire saves
+// an encoder allocation per response, lets the handler set
+// Content-Length, and keeps an encode failure from committing a 200
+// with a torn body. Buffers that ballooned (a full influencer dump) are
+// dropped rather than pinned in the pool.
+var jsonBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// maxPooledResponseBuf bounds the capacity a buffer may keep when
+// returned to the pool.
+const maxPooledResponseBuf = 1 << 20
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json; charset=utf-8")
-	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
+	buf := jsonBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	enc := json.NewEncoder(buf)
 	enc.SetIndent("", "  ")
-	enc.Encode(v) //nolint:errcheck // the response is already committed
+	if err := enc.Encode(v); err != nil {
+		// Nothing is committed yet, so the client gets a real error
+		// instead of a truncated 200.
+		http.Error(w, fmt.Sprintf(`{"error":"response encoding: %v"}`, err), http.StatusInternalServerError)
+		jsonBufPool.Put(buf)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	w.WriteHeader(status)
+	w.Write(buf.Bytes()) //nolint:errcheck // the response is already committed
+	if buf.Cap() <= maxPooledResponseBuf {
+		jsonBufPool.Put(buf)
+	}
 }
 
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
@@ -313,15 +352,48 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusUnprocessableEntity, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"cascade":      id,
-		"viral":        viral,
-		"margin":       margin,
-		"size":         c.Size(),
-		"early_cutoff": pred.EarlyCutoff(),
-		"threshold":    pred.Threshold(),
-		"generation":   cur.gen,
+	writeJSON(w, http.StatusOK, &predictResponse{
+		Cascade:     id,
+		Viral:       viral,
+		Margin:      margin,
+		Size:        c.Size(),
+		EarlyCutoff: pred.EarlyCutoff(),
+		Threshold:   pred.Threshold(),
+		Generation:  cur.gen,
 	})
+}
+
+// Typed response bodies for the data-plane endpoints: a struct encodes
+// through encoding/json's cached per-type program — no per-request map
+// allocation, no boxing of every field into an interface, no key sort.
+type predictResponse struct {
+	Cascade     int     `json:"cascade"`
+	Viral       bool    `json:"viral"`
+	Margin      float64 `json:"margin"`
+	Size        int     `json:"size"`
+	EarlyCutoff float64 `json:"early_cutoff"`
+	Threshold   int     `json:"threshold"`
+	Generation  uint64  `json:"generation"`
+}
+
+type rateResponse struct {
+	U          int     `json:"u"`
+	V          int     `json:"v"`
+	Rate       float64 `json:"rate"`
+	Generation uint64  `json:"generation"`
+}
+
+type influencersResponse struct {
+	Influencers any    `json:"influencers"`
+	Cached      bool   `json:"cached"`
+	Generation  uint64 `json:"generation"`
+}
+
+type seedsResponse struct {
+	Seeds      any     `json:"seeds"`
+	Horizon    float64 `json:"horizon"`
+	Cached     bool    `json:"cached"`
+	Generation uint64  `json:"generation"`
 }
 
 // handleRate reports the inferred hazard rate of u infecting v.
@@ -338,10 +410,10 @@ func (s *Server) handleRate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "nodes must be in [0,%d)", n)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"u": u, "v": v,
-		"rate":       cur.sys.Sys.Rate(u, v),
-		"generation": cur.gen,
+	writeJSON(w, http.StatusOK, &rateResponse{
+		U: u, V: v,
+		Rate:       cur.sys.Sys.Rate(u, v),
+		Generation: cur.gen,
 	})
 }
 
@@ -368,10 +440,10 @@ func (s *Server) handleInfluencers(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"influencers": val,
-		"cached":      hit,
-		"generation":  cur.gen,
+	writeJSON(w, http.StatusOK, &influencersResponse{
+		Influencers: val,
+		Cached:      hit,
+		Generation:  cur.gen,
 	})
 }
 
@@ -402,11 +474,11 @@ func (s *Server) handleSeeds(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"seeds":      val,
-		"horizon":    horizon,
-		"cached":     hit,
-		"generation": cur.gen,
+	writeJSON(w, http.StatusOK, &seedsResponse{
+		Seeds:      val,
+		Horizon:    horizon,
+		Cached:     hit,
+		Generation: cur.gen,
 	})
 }
 

@@ -1,0 +1,139 @@
+// Request-path performance coverage: the pprof control-plane gate, and
+// ReportAllocs benchmarks for the pooled response encoding and the
+// predict hot path (scripts/bench.sh records them in BENCH_serve.json).
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+	"time"
+)
+
+func TestPprofDisabledByDefault(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("pprof answered %d without EnablePprof", resp.StatusCode)
+	}
+}
+
+func TestPprofEnabledServesProfiles(t *testing.T) {
+	srv, err := New(Config{
+		Loader:      fixtureLoader(t),
+		CacheTTL:    time.Minute,
+		EnablePprof: true,
+		// A tiny compute budget plus zero admission slots would break
+		// the data plane; pprof must be exempt from both.
+		Admission:      AdmissionConfig{Compute: ClassLimit{MaxInflight: 1, MaxQueue: -1}},
+		RequestTimeout: time.Nanosecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline", "/debug/pprof/heap?debug=1"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s = %d with EnablePprof, want 200", path, resp.StatusCode)
+		}
+	}
+}
+
+// nullResponseWriter isolates encoding cost from httptest recorder
+// bookkeeping in the writeJSON benchmark.
+type nullResponseWriter struct{ h http.Header }
+
+func (w *nullResponseWriter) Header() http.Header         { return w.h }
+func (w *nullResponseWriter) Write(p []byte) (int, error) { return len(p), nil }
+func (w *nullResponseWriter) WriteHeader(int)             {}
+
+func BenchmarkWriteJSON(b *testing.B) {
+	w := &nullResponseWriter{h: make(http.Header)}
+	body := &predictResponse{
+		Cascade: 17, Viral: true, Margin: 0.42,
+		Size: 9, EarlyCutoff: 2.3, Threshold: 12, Generation: 3,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		writeJSON(w, http.StatusOK, body)
+	}
+}
+
+// BenchmarkPredictRequest runs the full handler chain for the paper's
+// core online question — the hottest data-plane path — with allocation
+// reporting, so the sync.Pool workspaces in the feature-extraction and
+// response-encoding layers stay verifiably effective.
+func BenchmarkPredictRequest(b *testing.B) {
+	srv, err := New(Config{Loader: benchLoader(b), CacheTTL: time.Minute})
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := srv.Handler()
+	// Ingest one live cascade to predict against.
+	const id = 901
+	var events []Event
+	for i := 0; i < 8; i++ {
+		events = append(events, Event{Cascade: id, Node: i, Time: 0.05 * float64(i+1)})
+	}
+	for _, ev := range events {
+		if _, err := srv.store.Append(ev, fixtureNodes); err != nil {
+			b.Fatal(err)
+		}
+	}
+	req := httptest.NewRequest("GET", "/v1/cascades/"+strconv.Itoa(id)+"/predict", nil)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		b.Fatalf("predict = %d: %s", w.Code, w.Body.String())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		if w.Code != http.StatusOK {
+			b.Fatal(w.Code)
+		}
+	}
+}
+
+// BenchmarkInfluencersRequest is the cached compute endpoint end to
+// end; with a warm cache this is the pure request-path overhead, the
+// regime a TTL window's worth of traffic actually experiences.
+func BenchmarkInfluencersRequest(b *testing.B) {
+	srv, err := New(Config{Loader: benchLoader(b), CacheTTL: time.Hour})
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := srv.Handler()
+	req := httptest.NewRequest("GET", "/v1/influencers?k=10", nil)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		b.Fatalf("influencers = %d: %s", w.Code, w.Body.String())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		if w.Code != http.StatusOK {
+			b.Fatal(w.Code)
+		}
+	}
+}
+
+// benchLoader is the shared test fixture under its testing.TB face.
+func benchLoader(b *testing.B) Loader { return fixtureLoader(b) }

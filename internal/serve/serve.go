@@ -81,6 +81,12 @@ type Config struct {
 	// Admission bounds per-route-class concurrency; see
 	// AdmissionConfig. The zero value enables generous defaults.
 	Admission AdmissionConfig
+	// EnablePprof exposes net/http/pprof under /debug/pprof/ on the
+	// control plane — ungated by admission control and request budgets
+	// (like /metrics), so a live daemon can be profiled even while it is
+	// shedding load. Off by default: profiles expose internals and cost
+	// CPU, so production exposure is an explicit decision.
+	EnablePprof bool
 	// ReadHeaderTimeout bounds how long a connection may dribble its
 	// request headers (slowloris guard). Default 5s; < 0 disables.
 	ReadHeaderTimeout time.Duration

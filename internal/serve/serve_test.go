@@ -30,7 +30,7 @@ var (
 
 const fixtureNodes = 150
 
-func fixture(t *testing.T) (*core.System, []*cascade.Cascade) {
+func fixture(t testing.TB) (*core.System, []*cascade.Cascade) {
 	t.Helper()
 	fixtureOnce.Do(func() {
 		e := experiments.DefaultSBM()
@@ -57,7 +57,7 @@ func fixture(t *testing.T) (*core.System, []*cascade.Cascade) {
 
 // fixtureLoader forks the shared fixture system and trains a predictor
 // against the fork, mirroring what FileLoader does from disk.
-func fixtureLoader(t *testing.T) Loader {
+func fixtureLoader(t testing.TB) Loader {
 	sys, cs := fixture(t)
 	thr := eval.TopFractionThreshold(cascade.Sizes(cs), 0.25)
 	return func() (*LoadedModel, error) {

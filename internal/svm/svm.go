@@ -274,6 +274,17 @@ func FitStandardizer(x [][]float64) (*Standardizer, error) {
 	return &Standardizer{Mean: mean, Std: std}, nil
 }
 
+// ApplyRow appends the standardized form of one feature row to dst and
+// returns it — the allocation-free single-sample path serving
+// predictions use (Apply allocates a full copy, the right shape for
+// training batches).
+func (s *Standardizer) ApplyRow(dst, row []float64) []float64 {
+	for j, v := range row {
+		dst = append(dst, (v-s.Mean[j])/s.Std[j])
+	}
+	return dst
+}
+
 // Apply returns the standardized copy of x.
 func (s *Standardizer) Apply(x [][]float64) [][]float64 {
 	out := make([][]float64, len(x))

@@ -1,0 +1,59 @@
+// Kernel benchmarks: Dot and Axpy are the innermost loops of both the
+// likelihood/gradient computation and the influence-maximization
+// objective, so their per-element cost bounds everything above them.
+// scripts/bench.sh runs these alongside the compute-plane benchmarks so
+// the kernel cost stays visible in BENCH_serve.json.
+package vecmath
+
+import "testing"
+
+// benchSizes spans the regimes the model actually uses: K-sized topic
+// vectors (small) and row-major bulk passes (large).
+var benchSizes = []struct {
+	name string
+	n    int
+}{
+	{"K16", 16},
+	{"K64", 64},
+	{"N4096", 4096},
+}
+
+func benchVectors(n int) (a, b []float64) {
+	a = make([]float64, n)
+	b = make([]float64, n)
+	for i := range a {
+		a[i] = float64(i%7) * 0.25
+		b[i] = float64(i%5) * 0.5
+	}
+	return a, b
+}
+
+var sinkFloat float64
+
+func BenchmarkDot(b *testing.B) {
+	for _, sz := range benchSizes {
+		b.Run(sz.name, func(b *testing.B) {
+			x, y := benchVectors(sz.n)
+			b.SetBytes(int64(16 * sz.n))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sinkFloat = Dot(x, y)
+			}
+		})
+	}
+}
+
+func BenchmarkAxpy(b *testing.B) {
+	for _, sz := range benchSizes {
+		b.Run(sz.name, func(b *testing.B) {
+			x, dst := benchVectors(sz.n)
+			b.SetBytes(int64(16 * sz.n))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				Axpy(0.5, x, dst)
+			}
+		})
+	}
+}

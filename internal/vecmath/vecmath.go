@@ -11,11 +11,17 @@ import (
 )
 
 // Dot returns the inner product of a and b.
-// It panics if the lengths differ, as that is always a programming error.
+// It panics if the lengths differ, as that is always a programming
+// error. The panic message is a plain constant: formatting the lengths
+// would push Dot past the inlining budget, and Dot is called once per
+// element pair inside O(n²) loops where the call overhead is measurable.
 func Dot(a, b []float64) float64 {
 	if len(a) != len(b) {
-		panic(fmt.Sprintf("vecmath: Dot length mismatch %d != %d", len(a), len(b)))
+		panic("vecmath: Dot length mismatch")
 	}
+	// Pin b's length to a's so the compiler proves b[i] in bounds and
+	// drops the per-element check inside the hot loop.
+	b = b[:len(a)]
 	var s float64
 	for i, av := range a {
 		s += av * b[i]
@@ -23,11 +29,13 @@ func Dot(a, b []float64) float64 {
 	return s
 }
 
-// Axpy computes dst += alpha*x element-wise.
+// Axpy computes dst += alpha*x element-wise. Like Dot it stays within
+// the inlining budget: constant panic message, pinned lengths.
 func Axpy(alpha float64, x, dst []float64) {
 	if len(x) != len(dst) {
-		panic(fmt.Sprintf("vecmath: Axpy length mismatch %d != %d", len(x), len(dst)))
+		panic("vecmath: Axpy length mismatch")
 	}
+	dst = dst[:len(x)] // bounds-check hoist, as in Dot
 	for i, xv := range x {
 		dst[i] += alpha * xv
 	}

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# bench.sh — the tracked perf trajectory: runs the serving/compute
+# microbenchmarks (kernels, influencer ranking, CELF seed selection,
+# request-path handlers) with allocation reporting at a fixed
+# -benchtime, and emits machine-readable BENCH_serve.json at the repo
+# root so subsequent PRs can diff ns/op, allocs/op, and ops/s against
+# this one.
+#
+# Environment knobs:
+#   BENCHTIME  go test -benchtime (default 200ms; CI smoke uses 1x)
+#   BENCH_OUT  output path (default BENCH_serve.json at the repo root)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+benchtime="${BENCHTIME:-200ms}"
+out="${BENCH_OUT:-BENCH_serve.json}"
+
+# The compute-plane packages only: the root-level figure benchmarks
+# reproduce whole experiments and belong to cmd/figures, not the
+# serving perf trajectory.
+pkgs=(
+  ./internal/vecmath/
+  ./internal/inflmax/
+  ./internal/core/
+  ./internal/serve/
+)
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+echo "== go test -bench (benchtime=$benchtime)"
+go test -run='^$' -bench=. -benchmem -benchtime="$benchtime" -count=1 "${pkgs[@]}" | tee "$raw"
+
+go run ./scripts/benchjson -benchtime "$benchtime" <"$raw" >"$out"
+go run ./scripts/benchjson -validate "$out"
+echo "bench.sh: wrote $out"

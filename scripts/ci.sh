@@ -19,7 +19,15 @@ echo "== go test ./..."
 go test -shuffle=on ./...
 
 echo "== go test -race (concurrent packages, incl. the chaos soak)"
-go test -race -shuffle=on ./internal/pool/ ./internal/infer/ ./internal/slpa/ ./internal/serve/ ./internal/wal/
+go test -race -shuffle=on ./internal/pool/ ./internal/infer/ ./internal/slpa/ ./internal/serve/ ./internal/wal/ ./internal/inflmax/ ./internal/core/
+
+echo "== bench smoke (every benchmark must compile and run once)"
+go test -run=NONE -bench=. -benchtime=1x ./...
+
+echo "== bench harness (BENCH_serve.json must parse and validate)"
+bench_tmp="$(mktemp -d)"
+BENCHTIME=1x BENCH_OUT="$bench_tmp/BENCH_serve.json" scripts/bench.sh
+rm -rf "$bench_tmp"
 
 echo "== viralcastd smoke test"
 tmp="$(mktemp -d)"
