@@ -41,9 +41,20 @@
 //	    ingestion is durable: events are group-committed to a write-ahead
 //	    log before they are acknowledged, and a restart replays the log.
 //
+//	viralcast serve -follow http://primary:8080 -wal-dir follower-wal/
+//	    Run viralcastd as a read-only replication follower: bootstrap
+//	    from the primary's snapshot, mirror its write-ahead log, serve
+//	    reads once caught up, and redirect ingestion to the primary.
+//
+//	viralcast promote -base http://follower:8081
+//	    Flip a follower into a writable primary (failover): truncate at
+//	    the last verified frame, open the mirrored log for writes, and
+//	    start accepting ingestion without a restart.
+//
 //	viralcast wal <inspect|verify|replay> -dir wal/
 //	    Read-only tools for a daemon's write-ahead log directory:
-//	    per-segment health, torn-tail detection, and export of the
+//	    per-segment health, chain fingerprints, torn-tail detection,
+//	    per-record replication cursors (-records), and export of the
 //	    logged events as a cascade file.
 //
 //	viralcast version
@@ -99,6 +110,8 @@ func main() {
 		err = cmdCluster(os.Args[2:])
 	case "serve":
 		err = cmdServe(ctx, os.Args[2:])
+	case "promote":
+		err = cmdPromote(os.Args[2:])
 	case "wal":
 		err = cmdWAL(os.Args[2:])
 	case "version", "-version", "--version":
@@ -153,7 +166,7 @@ func reportInterrupted(err error, path string) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: viralcast <simulate|infer|influencers|predict|analyze|gdelt|cluster|serve|wal|version> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: viralcast <simulate|infer|influencers|predict|analyze|gdelt|cluster|serve|promote|wal|version> [flags]")
 	fmt.Fprintln(os.Stderr, "run 'viralcast <subcommand> -h' for subcommand flags")
 }
 

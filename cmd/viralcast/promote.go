@@ -1,0 +1,50 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// cmdPromote flips a replication follower into a writable primary by
+// POSTing its /v1/promote control endpoint — the admin half of a
+// failover: SIGKILL (or lose) the primary, then promote the follower
+// and repoint ingestion at it. Promoting a node that is already a
+// primary is a reported no-op, so the command is safe to re-run.
+func cmdPromote(args []string) error {
+	fs := flag.NewFlagSet("promote", flag.ExitOnError)
+	base := fs.String("base", "", "follower daemon base URL, e.g. http://127.0.0.1:8080 (required)")
+	timeout := fs.Duration("timeout", 30*time.Second, "request timeout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *base == "" {
+		return fmt.Errorf("promote: -base is required")
+	}
+	client := &http.Client{Timeout: *timeout}
+	resp, err := client.Post(*base+"/v1/promote", "application/json", bytes.NewReader(nil))
+	if err != nil {
+		return fmt.Errorf("promote: %w", err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Role     string `json:"role"`
+		Promoted bool   `json:"promoted"`
+		Error    string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return fmt.Errorf("promote: undecodable response (status %d): %w", resp.StatusCode, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("promote: %s answered %d: %s", *base, resp.StatusCode, body.Error)
+	}
+	if body.Promoted {
+		fmt.Printf("promoted: %s is now the primary (role %s)\n", *base, body.Role)
+	} else {
+		fmt.Printf("no-op: %s was already a %s\n", *base, body.Role)
+	}
+	return nil
+}

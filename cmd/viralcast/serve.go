@@ -20,6 +20,12 @@ import (
 // training checkpoint), optionally train the virality predictor from a
 // cascade file, and serve the streaming-ingestion + prediction API until
 // the context is canceled. SIGHUP hot-reloads the model from disk.
+//
+// With -follow URL the daemon is a read-only replication follower: it
+// bootstraps from the primary's snapshot, mirrors its WAL into
+// -wal-dir, answers reads once caught up, and 409s ingestion with a
+// pointer at the primary. POST /v1/promote (or `viralcast promote`)
+// flips it to a writable primary without a restart.
 func cmdServe(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port)")
@@ -34,6 +40,7 @@ func cmdServe(ctx context.Context, args []string) error {
 	flushEvery := fs.Duration("flush-every", time.Minute, "cadence of online model refinement from live cascades (0 disables)")
 	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
 	walDir := fs.String("wal-dir", "", "write-ahead log directory: make ingestion durable across crashes (empty disables)")
+	follow := fs.String("follow", "", "run as a read-only replication follower of this primary base URL (requires -wal-dir for the mirrored log; promote with `viralcast promote`)")
 	walSync := fs.Duration("wal-sync", 0, "group-commit gather window (0 = fsync-paced batching, the usual choice)")
 	walMaxSegment := fs.Int64("wal-max-segment", 0, "rotate WAL segments at this many bytes (0 = default 64MiB)")
 	maxInflight := fs.Int("max-inflight", 0, "concurrent requests allowed on the compute endpoints (predict/influencers/seeds); 0 = default 16, -1 = unlimited")
@@ -67,6 +74,7 @@ func cmdServe(ctx context.Context, args []string) error {
 		WALDir:         *walDir,
 		WALSync:        *walSync,
 		WALMaxSegment:  *walMaxSegment,
+		FollowURL:      *follow,
 		RequestTimeout: *requestTimeout,
 		Admission: serve.AdmissionConfig{
 			Compute:    serve.ClassLimit{MaxInflight: *maxInflight, MaxQueue: *queue},

@@ -16,9 +16,14 @@ import (
 // truncate torn tails or delete segments — recovery actions belong to
 // the daemon that owns the directory.
 //
-//	viralcast wal inspect -dir DIR   per-segment record counts and tail health
+//	viralcast wal inspect -dir DIR   per-segment record counts, chain fingerprints, tail health
 //	viralcast wal verify  -dir DIR   exit nonzero if any segment has a torn tail
 //	viralcast wal replay  -dir DIR   reconstruct cascades and write them as a cascade file
+//
+// `inspect -records` additionally prints every record with its
+// replication cursor — the (segment, offset) pair a follower resumes
+// the stream from — which is the operator's tool for answering "where
+// exactly is this follower?" against repl_cursor in /readyz.
 func cmdWAL(args []string) error {
 	if len(args) < 1 {
 		return fmt.Errorf("wal: usage: viralcast wal <inspect|verify|replay> -dir DIR [flags]")
@@ -27,8 +32,12 @@ func cmdWAL(args []string) error {
 	fs := flag.NewFlagSet("wal "+verb, flag.ExitOnError)
 	dir := fs.String("dir", "", "write-ahead log directory (required)")
 	var out *string
+	var records *bool
 	if verb == "replay" {
 		out = fs.String("out", "", "cascade file output (default stdout)")
+	}
+	if verb == "inspect" {
+		records = fs.Bool("records", false, "also print each record with its (segment, offset) replication cursor")
 	}
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -38,7 +47,7 @@ func cmdWAL(args []string) error {
 	}
 	switch verb {
 	case "inspect":
-		return walInspect(*dir)
+		return walInspect(*dir, *records)
 	case "verify":
 		return walVerify(*dir)
 	case "replay":
@@ -65,7 +74,7 @@ func walScanAll(dir string, fn func(wal.Event) error) ([]wal.SegmentScan, error)
 	return scans, nil
 }
 
-func walInspect(dir string) error {
+func walInspect(dir string, withRecords bool) error {
 	scans, err := walScanAll(dir, nil)
 	if err != nil {
 		return err
@@ -83,17 +92,58 @@ func walInspect(dir string) error {
 			torn++
 			tail = fmt.Sprintf("torn at byte %d (%v)", s.GoodBytes, s.TornErr)
 		}
+		// The chain fingerprint over the segment's intact prefix — the
+		// value a follower presents on reconnect, and what the primary
+		// checks it against. Two logs that disagree here have diverged.
+		fp, _, _, _, err := wal.SegmentChain(s.Path)
+		if err != nil {
+			return fmt.Errorf("wal inspect: %s: %w", s.Path, err)
+		}
 		rows = append(rows, []string{
 			fmt.Sprintf("%d", s.Seq),
 			fmt.Sprintf("%d", s.Records),
 			fmt.Sprintf("%d", s.Size),
+			fmt.Sprintf("%08x", fp),
 			tail,
 		})
 		records += s.Records
 		bytes += s.Size
 	}
-	fmt.Print(report.Table([]string{"segment", "records", "bytes", "tail"}, rows))
+	fmt.Print(report.Table([]string{"segment", "records", "bytes", "chain", "tail"}, rows))
 	fmt.Printf("%d segments, %d records, %d bytes, %d torn tail(s)\n", len(scans), records, bytes, torn)
+	if withRecords {
+		return walInspectRecords(scans)
+	}
+	return nil
+}
+
+// walInspectRecords prints every record with the cursor a replication
+// follower would resume from to stream it: the (segment, offset) of the
+// frame itself. The intact prefix only — a torn tail has no cursor.
+func walInspectRecords(scans []wal.SegmentScan) error {
+	fmt.Printf("\n%-10s %-10s %-9s %-7s %s\n", "segment", "offset", "cascade", "node", "time")
+	for _, s := range scans {
+		f, err := os.Open(s.Path)
+		if err != nil {
+			return err
+		}
+		off := int64(wal.SegmentHeaderLen)
+		for off < s.GoodBytes {
+			payload, next, err := wal.ReadFrameAt(f, off)
+			if err != nil {
+				f.Close()
+				return fmt.Errorf("wal inspect: %s at offset %d: %w", s.Path, off, err)
+			}
+			ev, err := wal.DecodeEvent(payload)
+			if err != nil {
+				f.Close()
+				return fmt.Errorf("wal inspect: %s at offset %d: %w", s.Path, off, err)
+			}
+			fmt.Printf("%-10d %-10d %-9d %-7d %g\n", s.Seq, off, ev.Cascade, ev.Node, ev.Time)
+			off = next
+		}
+		f.Close()
+	}
 	return nil
 }
 

@@ -1,0 +1,515 @@
+package repl
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"viralcast/internal/wal"
+)
+
+// Follower states, as reported by Status and /readyz.
+const (
+	// StateBootstrapping: fetching or replaying the initial snapshot;
+	// the local state is incomplete and must not be served.
+	StateBootstrapping = "bootstrapping"
+	// StateSyncing: connected (or reconnecting) and applying the
+	// stream, but not yet caught up with the primary's tail.
+	StateSyncing = "syncing"
+	// StateCurrent: caught up — the primary acknowledged lag 0 on this
+	// connection more recently than any new frame.
+	StateCurrent = "current"
+	// StateDiverged: the primary rejected our chain fingerprint. The
+	// local state may be wrong; the follower stops serving and
+	// re-snapshots.
+	StateDiverged = "diverged"
+	// StateStopped: Stop was called (normally just before promotion).
+	StateStopped = "stopped"
+)
+
+// Config configures a Follower.
+type Config struct {
+	// Primary is the primary's base URL, e.g. "http://10.0.0.1:8080".
+	Primary string
+	// Dir is the local mirror directory — a byte-identical copy of the
+	// primary's WAL segments, plus one local-only snapshot segment.
+	// Promotion opens this directory as an ordinary WAL.
+	Dir string
+	// Apply ingests one replicated event into the local store. It must
+	// absorb duplicates (the store's SI duplicate guard): bootstrap
+	// overlap, reconnect overlap, and compaction snapshots all replay
+	// events that may already be applied.
+	Apply func(wal.Event) error
+	// Reset clears the local store before a re-snapshot; called only
+	// when divergence or compaction forces a fresh bootstrap.
+	Reset func()
+	// Client issues the HTTP requests; nil uses a default with no
+	// overall timeout (the stream is long-lived by design).
+	Client *http.Client
+	// BackoffMin/BackoffMax bound the jittered exponential reconnect
+	// backoff. Defaults 100ms / 5s.
+	BackoffMin, BackoffMax time.Duration
+	// Logf receives operational log lines; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// Status is a point-in-time view of the follower, feeding /readyz and
+// the repl_* metrics.
+type Status struct {
+	State       string     `json:"state"`
+	Servable    bool       `json:"servable"` // local state is a correct prefix; safe to serve reads
+	Cursor      wal.Cursor `json:"cursor"`
+	Fingerprint uint32     `json:"fingerprint"`
+	LagRecords  uint64     `json:"lag_records"`
+	LagSeconds  float64    `json:"lag_seconds"`
+	Reconnects  uint64     `json:"reconnects"`
+}
+
+// Follower tails a primary's WAL stream into a local byte mirror and a
+// local store. Create with New, run with Start, halt with Stop.
+type Follower struct {
+	cfg    Config
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{}
+	rng    *rand.Rand
+
+	mu          sync.Mutex
+	state       string
+	servable    bool
+	cur         wal.Cursor
+	fp          uint32
+	lagRecords  uint64
+	lastAdvance time.Time
+	reconnects  uint64
+
+	mirror *mirror // open mirror segment writer, nil until bootstrap
+}
+
+// New builds a Follower; Start begins replication.
+func New(cfg Config) (*Follower, error) {
+	if cfg.Primary == "" || cfg.Dir == "" || cfg.Apply == nil {
+		return nil, errors.New("repl: Config.Primary, Dir, and Apply are required")
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{}
+	}
+	if cfg.BackoffMin <= 0 {
+		cfg.BackoffMin = 100 * time.Millisecond
+	}
+	if cfg.BackoffMax < cfg.BackoffMin {
+		cfg.BackoffMax = 5 * time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	if cfg.Reset == nil {
+		cfg.Reset = func() {}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Follower{
+		cfg:    cfg,
+		ctx:    ctx,
+		cancel: cancel,
+		done:   make(chan struct{}),
+		rng:    rand.New(rand.NewSource(time.Now().UnixNano())),
+		state:  StateBootstrapping,
+	}, nil
+}
+
+// Start launches the replication loop.
+func (f *Follower) Start() { go f.run() }
+
+// Stop halts replication and waits for any in-flight apply to finish;
+// after Stop the mirror directory is quiescent and safe to open as a
+// WAL (promotion). Idempotent.
+func (f *Follower) Stop() {
+	f.cancel()
+	<-f.done
+}
+
+// Status reports the follower's current replication state.
+func (f *Follower) Status() Status {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st := Status{
+		State:       f.state,
+		Servable:    f.servable,
+		Cursor:      f.cur,
+		Fingerprint: f.fp,
+		LagRecords:  f.lagRecords,
+		Reconnects:  f.reconnects,
+	}
+	if f.lagRecords > 0 && !f.lastAdvance.IsZero() {
+		st.LagSeconds = time.Since(f.lastAdvance).Seconds()
+	}
+	return st
+}
+
+func (f *Follower) setState(state string, servable bool) {
+	f.mu.Lock()
+	f.state = state
+	f.servable = servable
+	f.mu.Unlock()
+}
+
+func (f *Follower) setCursor(cur wal.Cursor, fp uint32) {
+	f.mu.Lock()
+	f.cur = cur
+	f.fp = fp
+	f.mu.Unlock()
+}
+
+func (f *Follower) setLag(lag uint64) {
+	f.mu.Lock()
+	f.lagRecords = lag
+	f.lastAdvance = time.Now()
+	f.mu.Unlock()
+}
+
+// run is the replication loop: bootstrap (local replay or snapshot),
+// then tail forever with jittered exponential backoff between
+// connection attempts.
+func (f *Follower) run() {
+	defer close(f.done)
+	defer func() {
+		if f.mirror != nil {
+			if err := f.mirror.Close(); err != nil {
+				f.cfg.Logf("repl: closing mirror: %v", err)
+			}
+			f.mirror = nil
+		}
+		f.setState(StateStopped, f.servableNow())
+	}()
+
+	attempt := 0
+	for f.ctx.Err() == nil {
+		if f.mirror == nil {
+			// Bootstrap has not succeeded yet (or was invalidated).
+			if err := f.bootstrap(); err != nil {
+				if f.ctx.Err() != nil {
+					return
+				}
+				f.cfg.Logf("repl: bootstrap retry: %v", err)
+				f.sleepBackoff(&attempt)
+				continue
+			}
+			attempt = 0
+		}
+		err := f.tail()
+		if f.ctx.Err() != nil {
+			return
+		}
+		f.mu.Lock()
+		f.reconnects++
+		f.mu.Unlock()
+		switch {
+		case errors.Is(err, errDiverged):
+			// Our history is not a prefix of the primary's. Refuse to
+			// serve, wipe everything, re-snapshot.
+			f.cfg.Logf("repl: DIVERGED from primary: %v — refusing to serve until re-snapshotted", err)
+			f.setState(StateDiverged, false)
+			f.invalidate()
+		case errors.Is(err, errCompacted):
+			// The primary compacted past our cursor; our state is a
+			// correct prefix but the log to extend it is gone. Rebuild
+			// from a fresh snapshot.
+			f.cfg.Logf("repl: primary compacted past our cursor; re-snapshotting")
+			f.invalidate()
+		default:
+			if f.curState() != StateDiverged {
+				f.setState(StateSyncing, f.servableNow())
+			}
+			f.cfg.Logf("repl: stream to %s interrupted: %v (reconnecting)", f.cfg.Primary, err)
+		}
+		f.sleepBackoff(&attempt)
+	}
+}
+
+func (f *Follower) curState() string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.state
+}
+
+func (f *Follower) servableNow() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.servable
+}
+
+// invalidate discards the local mirror and store state so the next
+// loop iteration re-bootstraps from a fresh snapshot. The follower is
+// not servable again until that snapshot has been fully applied.
+func (f *Follower) invalidate() {
+	if f.mirror != nil {
+		f.mirror.Close()
+		f.mirror = nil
+	}
+	f.mu.Lock()
+	f.servable = false
+	f.mu.Unlock()
+	if err := wipeSegments(f.cfg.Dir); err != nil {
+		f.cfg.Logf("repl: wiping mirror: %v", err)
+	}
+	f.cfg.Reset()
+}
+
+// sleepBackoff sleeps the jittered exponential backoff for the given
+// attempt number (full jitter on the upper half: d/2 + rand[0,d/2)),
+// bounded by ctx.
+func (f *Follower) sleepBackoff(attempt *int) {
+	d := f.cfg.BackoffMin << *attempt
+	if d > f.cfg.BackoffMax || d <= 0 {
+		d = f.cfg.BackoffMax
+	} else {
+		*attempt++
+	}
+	d = d/2 + time.Duration(f.rng.Int63n(int64(d/2)+1))
+	select {
+	case <-f.ctx.Done():
+	case <-time.After(d):
+	}
+}
+
+// bootstrap establishes the local mirror: replay an existing mirror
+// directory if one survives (follower restart), otherwise fetch a
+// snapshot from the primary.
+func (f *Follower) bootstrap() error {
+	f.setState(StateBootstrapping, f.servableNow())
+	segs, err := wal.ListSegments(f.cfg.Dir)
+	if err == nil && len(segs) > 0 {
+		if err := f.replayLocal(segs); err == nil {
+			f.setState(StateSyncing, true)
+			return nil
+		} else {
+			f.cfg.Logf("repl: local mirror replay failed (%v); falling back to snapshot", err)
+			f.cfg.Reset()
+			f.setState(StateBootstrapping, false)
+		}
+	}
+	return f.snapshot()
+}
+
+// replayLocal rebuilds the store from the on-disk mirror after a
+// follower restart: every intact record of every segment goes through
+// Apply, the last segment's torn tail (a crash mid-append) is
+// truncated, and the cursor/fingerprint resume from the intact end. A
+// torn tail in any non-final segment means the mirror is damaged
+// beyond local repair — the caller falls back to a snapshot.
+func (f *Follower) replayLocal(segs []wal.SegmentInfo) error {
+	applied := 0
+	for i, si := range segs {
+		scan, err := wal.ScanSegment(si.Path, func(ev wal.Event) error {
+			applied++
+			return f.cfg.Apply(ev)
+		})
+		if err != nil {
+			return err
+		}
+		if scan.Torn {
+			if i != len(segs)-1 {
+				return fmt.Errorf("segment %d has a torn tail but is not the last segment", si.Seq)
+			}
+			if err := os.Truncate(si.Path, scan.GoodBytes); err != nil {
+				return fmt.Errorf("truncating torn mirror tail: %w", err)
+			}
+			f.cfg.Logf("repl: truncated torn mirror tail of segment %d at byte %d", si.Seq, scan.GoodBytes)
+		}
+	}
+	last := segs[len(segs)-1]
+	fp, _, goodBytes, _, err := wal.SegmentChain(last.Path)
+	if err != nil {
+		return err
+	}
+	m, err := openMirror(f.cfg.Dir, last.Seq, goodBytes)
+	if err != nil {
+		return err
+	}
+	f.mirror = m
+	cur := wal.Cursor{Seg: last.Seq, Off: goodBytes}
+	f.setCursor(cur, fp)
+	f.cfg.Logf("repl: resumed local mirror at %v (%d records replayed)", cur, applied)
+	return nil
+}
+
+// snapshot wipes the mirror directory and bootstraps from the
+// primary's checksummed snapshot: apply every event, persist them into
+// a local-only snapshot segment just below the snapshot cursor, and
+// open an empty mirror segment at the cursor — so the resume rule
+// after any future restart is uniformly "replay everything, tail from
+// the last segment's end".
+func (f *Follower) snapshot() error {
+	req, err := http.NewRequestWithContext(f.ctx, http.MethodGet, f.cfg.Primary+SnapshotPath, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := f.cfg.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("snapshot: primary answered %d: %s", resp.StatusCode, body)
+	}
+	cur, evs, err := readSnapshot(resp.Body)
+	if err != nil {
+		return err
+	}
+	if cur.Seg < 2 || cur.Off != wal.SegmentHeaderLen {
+		return fmt.Errorf("snapshot cursor %v is not a fresh segment cut", cur)
+	}
+	if err := wipeSegments(f.cfg.Dir); err != nil {
+		return err
+	}
+	// Persist the snapshot as a local-only segment below the cut, so a
+	// follower restart replays it like any other segment. Its sequence
+	// number never reaches the primary: fingerprints are exchanged only
+	// for the tail segment, which starts fresh at the cut.
+	if err := writeSnapshotSegment(f.cfg.Dir, cur.Seg-1, evs); err != nil {
+		return err
+	}
+	m, err := createMirror(f.cfg.Dir, cur.Seg)
+	if err != nil {
+		return err
+	}
+	applied := 0
+	for _, ev := range evs {
+		if err := f.cfg.Apply(ev); err != nil {
+			m.Close()
+			return fmt.Errorf("applying snapshot event: %w", err)
+		}
+		applied++
+	}
+	f.mirror = m
+	f.setCursor(cur, wal.ChainSeed(cur.Seg))
+	f.setState(StateSyncing, true)
+	f.cfg.Logf("repl: bootstrapped from snapshot: %d events, tailing from %v", applied, cur)
+	return nil
+}
+
+// Sentinel classifications of a broken tail connection.
+var (
+	errDiverged  = errors.New("repl: diverged")
+	errCompacted = errors.New("repl: compacted")
+)
+
+// tail opens the stream at the current cursor and applies items until
+// the connection breaks or the context is canceled. The returned error
+// classifies the break: errDiverged and errCompacted force a
+// re-bootstrap, anything else is a plain reconnect.
+func (f *Follower) tail() error {
+	f.mu.Lock()
+	cur, fp := f.cur, f.fp
+	f.mu.Unlock()
+	url := fmt.Sprintf("%s%s?seg=%d&off=%d&fp=%08x", f.cfg.Primary, StreamPath, cur.Seg, cur.Off, fp)
+	req, err := http.NewRequestWithContext(f.ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := f.cfg.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusConflict:
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("%w: %s", errDiverged, body)
+	case http.StatusGone:
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("%w: %s", errCompacted, body)
+	default:
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("stream: primary answered %d: %s", resp.StatusCode, body)
+	}
+
+	for {
+		it, err := readItem(resp.Body)
+		if err != nil {
+			if f.ctx.Err() != nil {
+				return f.ctx.Err()
+			}
+			if err == io.EOF {
+				return errors.New("primary closed the stream")
+			}
+			return err
+		}
+		if it.typ == itemHeartbeat {
+			f.setLag(it.lag)
+			if it.lag == 0 {
+				if err := f.mirror.Sync(); err != nil {
+					return err
+				}
+				f.setState(StateCurrent, true)
+			}
+			continue
+		}
+		if err := f.applyFrame(it); err != nil {
+			return err
+		}
+	}
+}
+
+// applyFrame verifies and applies one streamed frame item: check the
+// frame's own CRC, decode the event, append the frame bytes to the
+// byte mirror at the expected position, fold the chain fingerprint,
+// and apply the event to the store. Overlapping frames (positions the
+// mirror already holds — the primary re-sent history after our torn
+// tail was truncated, or a reconnect raced) are applied to the store
+// (SI-dedup absorbs) but not re-appended to the mirror.
+func (f *Follower) applyFrame(it streamItem) error {
+	payload, next, err := wal.ReadFrameAt(bytes.NewReader(it.frame), 0)
+	if err != nil || next != int64(len(it.frame)) {
+		return fmt.Errorf("streamed frame at %d:%d failed verification: %v", it.seg, it.off, err)
+	}
+	ev, err := wal.DecodeEvent(payload)
+	if err != nil {
+		return fmt.Errorf("streamed frame at %d:%d: %w", it.seg, it.off, err)
+	}
+	f.mu.Lock()
+	cur, fp := f.cur, f.fp
+	f.mu.Unlock()
+	switch {
+	case it.seg == cur.Seg && it.off == cur.Off:
+		if err := f.mirror.Append(it.frame); err != nil {
+			return err
+		}
+		fp = wal.ChainUpdate(fp, payload)
+		cur.Off += int64(len(it.frame))
+		f.setCursor(cur, fp)
+	case it.seg == cur.Seg && it.off < cur.Off:
+		// Overlap: the mirror already has these bytes; only the store
+		// apply below matters (and dedup usually absorbs even that).
+	case it.seg > cur.Seg && it.off == wal.SegmentHeaderLen:
+		// Segment advance (rotation or compaction jump on the primary).
+		if err := f.mirror.Rotate(it.seg); err != nil {
+			return err
+		}
+		if err := f.mirror.Append(it.frame); err != nil {
+			return err
+		}
+		fp = wal.ChainUpdate(wal.ChainSeed(it.seg), payload)
+		cur = wal.Cursor{Seg: it.seg, Off: wal.SegmentHeaderLen + int64(len(it.frame))}
+		f.setCursor(cur, fp)
+	default:
+		return fmt.Errorf("stream gap: item at %d:%d but mirror ends at %v", it.seg, it.off, cur)
+	}
+	if err := f.cfg.Apply(ev); err != nil {
+		return fmt.Errorf("applying replicated event: %w", err)
+	}
+	f.setLag(it.lag)
+	if it.lag > 0 {
+		f.setState(StateSyncing, true)
+	}
+	return nil
+}

@@ -1,0 +1,152 @@
+package repl
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"viralcast/internal/wal"
+)
+
+// mirror is the follower's byte-identical copy of the primary's active
+// segment: an append-only file the tail loop writes verified frames
+// into. Only whole frames are ever written, so the worst a follower
+// crash leaves behind is a torn tail that restart replay truncates —
+// the same recovery contract as the primary's own WAL.
+type mirror struct {
+	dir string
+	f   *os.File
+	seq uint64
+}
+
+// createMirror creates a fresh mirror segment seq (magic line written
+// and fsynced).
+func createMirror(dir string, seq uint64) (*mirror, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("repl: %w", err)
+	}
+	f, err := wal.CreateSegmentFile(dir, seq)
+	if err != nil {
+		return nil, err
+	}
+	return &mirror{dir: dir, f: f, seq: seq}, nil
+}
+
+// openMirror reopens an existing mirror segment for appending at
+// offset size (the end of its intact prefix, after any torn-tail
+// truncation).
+func openMirror(dir string, seq uint64, size int64) (*mirror, error) {
+	path := filepath.Join(dir, wal.SegmentName(seq))
+	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("repl: %w", err)
+	}
+	if _, err := f.Seek(size, 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("repl: %w", err)
+	}
+	return &mirror{dir: dir, f: f, seq: seq}, nil
+}
+
+// Append writes one verified frame's bytes.
+func (m *mirror) Append(frame []byte) error {
+	if _, err := m.f.Write(frame); err != nil {
+		return fmt.Errorf("repl: mirror append: %w", err)
+	}
+	return nil
+}
+
+// Sync fsyncs the mirror segment. The tail loop calls it whenever the
+// primary acknowledges lag 0, so "caught up" also means "durable
+// locally".
+func (m *mirror) Sync() error {
+	if err := m.f.Sync(); err != nil {
+		return fmt.Errorf("repl: mirror sync: %w", err)
+	}
+	return nil
+}
+
+// Rotate seals the current segment (fsync + close) and opens segment
+// seq, mirroring a rotation — or a compaction jump — on the primary.
+func (m *mirror) Rotate(seq uint64) error {
+	if err := m.f.Sync(); err != nil {
+		return fmt.Errorf("repl: sealing mirror segment %d: %w", m.seq, err)
+	}
+	f, err := wal.CreateSegmentFile(m.dir, seq)
+	if err != nil {
+		return err
+	}
+	if err := m.f.Close(); err != nil {
+		f.Close()
+		return fmt.Errorf("repl: closing mirror segment %d: %w", m.seq, err)
+	}
+	m.f, m.seq = f, seq
+	return nil
+}
+
+// Close fsyncs and closes the mirror segment; after Close the
+// directory is quiescent and safe to open as a WAL.
+func (m *mirror) Close() error {
+	if m.f == nil {
+		return nil
+	}
+	serr := m.f.Sync()
+	cerr := m.f.Close()
+	m.f = nil
+	if serr != nil {
+		return fmt.Errorf("repl: mirror close: %w", serr)
+	}
+	if cerr != nil {
+		return fmt.Errorf("repl: mirror close: %w", cerr)
+	}
+	return nil
+}
+
+// wipeSegments removes every WAL segment file under dir (a re-snapshot
+// discards all mirrored history). Non-segment files are untouched.
+func wipeSegments(dir string) error {
+	segs, err := wal.ListSegments(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		// ListSegments wraps errors; fall back to a direct existence
+		// check so a not-yet-created mirror directory is not an error.
+		if _, statErr := os.Stat(dir); os.IsNotExist(statErr) {
+			return nil
+		}
+		return err
+	}
+	for _, si := range segs {
+		if err := os.Remove(si.Path); err != nil {
+			return fmt.Errorf("repl: %w", err)
+		}
+	}
+	return nil
+}
+
+// writeSnapshotSegment persists bootstrap snapshot events as a
+// local-only WAL segment: ordinary frames, fsynced, replayable by both
+// the follower's own restart path and — after promotion — wal.Open.
+func writeSnapshotSegment(dir string, seq uint64, evs []wal.Event) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("repl: %w", err)
+	}
+	f, err := wal.CreateSegmentFile(dir, seq)
+	if err != nil {
+		return err
+	}
+	var buf []byte
+	for _, ev := range evs {
+		buf = wal.AppendFrame(buf, wal.EncodeEvent(ev))
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return fmt.Errorf("repl: snapshot segment: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("repl: snapshot segment: %w", err)
+	}
+	return f.Close()
+}

@@ -1,0 +1,275 @@
+package repl
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"time"
+
+	"viralcast/internal/wal"
+)
+
+// Primary serves the replication surface of a primary viralcastd: the
+// WAL stream and the bootstrap snapshot. The serve layer mounts its two
+// handlers on the control plane (replication must keep flowing while
+// the data plane sheds load) and owns role checks — a follower answers
+// these paths with an error before the handlers run.
+type Primary struct {
+	// Log is the live WAL the stream tails.
+	Log *wal.Log
+	// Events snapshots the full live store; invoked under the WAL's
+	// commit lock by the snapshot handler (see wal.CutSegment).
+	Events func() []wal.Event
+	// Poll is how often the stream re-checks the active segment for new
+	// frames once caught up. Default 50ms.
+	Poll time.Duration
+	// Heartbeat is how often an idle stream emits a heartbeat item.
+	// Default 1s.
+	Heartbeat time.Duration
+	// Logf receives operational log lines; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+func (p *Primary) logf(format string, args ...any) {
+	if p.Logf != nil {
+		p.Logf(format, args...)
+	}
+}
+
+func (p *Primary) poll() time.Duration {
+	if p.Poll > 0 {
+		return p.Poll
+	}
+	return 50 * time.Millisecond
+}
+
+func (p *Primary) heartbeat() time.Duration {
+	if p.Heartbeat > 0 {
+		return p.Heartbeat
+	}
+	return time.Second
+}
+
+// HandleSnapshot serves a bootstrap snapshot: it cuts the WAL to a
+// fresh segment, snapshots the live store under the same commit lock,
+// and ships the checksummed envelope. The returned cursor is the fresh
+// segment's start — every event committed before the cut is in the
+// snapshot; everything after arrives via the stream from that cursor.
+func (p *Primary) HandleSnapshot(w http.ResponseWriter, r *http.Request) {
+	var evs []wal.Event
+	cur, err := p.Log.CutSegment(func() { evs = p.Events() })
+	if err != nil {
+		http.Error(w, fmt.Sprintf("snapshot cut: %v", err), http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	if err := writeSnapshot(w, cur, evs); err != nil {
+		// The response is already committed; all we can do is cut the
+		// connection short so the follower's envelope check fails loudly.
+		p.logf("repl: snapshot write to %s: %v", r.RemoteAddr, err)
+		return
+	}
+	p.logf("repl: served snapshot of %d events at cursor %v to %s", len(evs), cur, r.RemoteAddr)
+}
+
+// HandleStream serves the WAL stream from a follower's cursor. Query
+// parameters: seg, off (the resume cursor) and fp (hex chain
+// fingerprint of the follower's local prefix of that segment).
+//
+// Status answers: 400 malformed cursor; 410 the cursor's segment was
+// compacted away (re-snapshot); 409 the fingerprints disagree — the
+// follower's history diverged from ours and it must not serve until it
+// re-snapshots; 200 a stream of frame/heartbeat items until the client
+// disconnects.
+func (p *Primary) HandleStream(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	seg, errSeg := strconv.ParseUint(q.Get("seg"), 10, 64)
+	off, errOff := strconv.ParseInt(q.Get("off"), 10, 64)
+	fp64, errFP := strconv.ParseUint(q.Get("fp"), 16, 32)
+	if errSeg != nil || errOff != nil || errFP != nil || off < wal.SegmentHeaderLen {
+		http.Error(w, "parameters seg, off, fp (hex) required; off must be at or past the segment header", http.StatusBadRequest)
+		return
+	}
+	fp := uint32(fp64)
+
+	path, status, msg := p.locate(seg)
+	if status != 0 {
+		http.Error(w, msg, status)
+		return
+	}
+	// Verify the follower's prefix really is a prefix of ours: same
+	// frame boundary, same chained payload history. Any mismatch is
+	// divergence — the follower must re-snapshot, not keep serving.
+	ourFP, recs, err := wal.SegmentChainAt(path, off)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("diverged: cursor %d:%d does not address our log: %v", seg, off, err), http.StatusConflict)
+		return
+	}
+	if ourFP != fp {
+		http.Error(w, fmt.Sprintf("diverged: chain fingerprint at %d:%d is %08x here, follower has %08x", seg, off, ourFP, fp), http.StatusConflict)
+		return
+	}
+	base, ok := p.Log.RecordsBefore(seg)
+	if !ok {
+		// Compacted between locate and here; the follower will retry.
+		http.Error(w, fmt.Sprintf("segment %d was compacted away; re-snapshot", seg), http.StatusGone)
+		return
+	}
+	index := base + uint64(recs)
+
+	flusher, _ := w.(http.Flusher)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(http.StatusOK)
+	if flusher != nil {
+		flusher.Flush()
+	}
+	p.logf("repl: streaming to %s from %d:%d (record index %d)", r.RemoteAddr, seg, off, index)
+	p.stream(w, flusher, r, seg, off, index)
+}
+
+// locate resolves segment seq to its on-disk path, or an HTTP error:
+// 410 if it sits below every surviving segment (compacted), 409 if it
+// is past our log entirely (the follower has history we never wrote).
+func (p *Primary) locate(seq uint64) (path string, status int, msg string) {
+	segs, err := wal.ListSegments(p.Log.Dir())
+	if err != nil || len(segs) == 0 {
+		return "", http.StatusServiceUnavailable, fmt.Sprintf("listing segments: %v", err)
+	}
+	for _, si := range segs {
+		if si.Seq == seq {
+			return si.Path, 0, ""
+		}
+	}
+	if seq < segs[0].Seq {
+		return "", http.StatusGone, fmt.Sprintf("segment %d was compacted away (oldest surviving is %d); re-snapshot", seq, segs[0].Seq)
+	}
+	return "", http.StatusConflict, fmt.Sprintf("diverged: follower cursor names segment %d, which this primary never wrote (newest is %d)", seq, segs[len(segs)-1].Seq)
+}
+
+// stream is the tail loop: ship intact frames from (seg, off), advance
+// across segment boundaries, and heartbeat while caught up. It returns
+// when the client goes away or the segment under it turns out corrupt.
+func (p *Primary) stream(w io.Writer, flusher http.Flusher, r *http.Request, seg uint64, off int64, index uint64) {
+	ctx := r.Context()
+	f, err := os.Open(filepath.Join(p.Log.Dir(), wal.SegmentName(seg)))
+	if err != nil {
+		p.logf("repl: stream open segment %d: %v", seg, err)
+		return
+	}
+	defer func() { f.Close() }()
+
+	var buf []byte
+	lastBeat := time.Now()
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		payload, next, err := wal.ReadFrameAt(f, off)
+		switch {
+		case err == nil:
+			_, total := p.Log.End()
+			index++
+			lag := uint64(0)
+			if total > index {
+				lag = total - index
+			}
+			// Frames are deterministic bytes, so re-framing the payload
+			// reproduces exactly what sits on disk — no second read.
+			frameLen := next - off
+			buf = appendItemHeader(buf[:0], itemFrame, seg, off, lag)
+			buf = append(buf, byte(frameLen), byte(frameLen>>8), byte(frameLen>>16), byte(frameLen>>24))
+			buf = wal.AppendFrame(buf, payload)
+			if _, err := w.Write(buf); err != nil {
+				return // client went away
+			}
+			off = next
+			// Flush when the follower is caught up (latency matters at
+			// the tip; throughput matters during catch-up, where the
+			// HTTP stack's own buffering batches frames).
+			if lag == 0 && flusher != nil {
+				flusher.Flush()
+			}
+
+		case err == io.EOF:
+			end, total := p.Log.End()
+			if seg == end.Seg {
+				// Caught up with the active segment: heartbeat and poll.
+				lag := uint64(0)
+				if total > index {
+					lag = total - index
+				}
+				if lag == 0 || time.Since(lastBeat) >= p.heartbeat() {
+					buf = appendItemHeader(buf[:0], itemHeartbeat, seg, off, lag)
+					if _, err := w.Write(buf); err != nil {
+						return
+					}
+					if flusher != nil {
+						flusher.Flush()
+					}
+					lastBeat = time.Now()
+				}
+				select {
+				case <-ctx.Done():
+					return
+				case <-time.After(p.poll()):
+				}
+				continue
+			}
+			// Sealed segment done: advance to the smallest surviving
+			// segment after it. Compaction may have removed the direct
+			// successor; the surviving one opens with a snapshot whose
+			// duplicates the follower's SI-dedup absorbs.
+			nextSeg, ok := p.nextSegment(seg)
+			if !ok {
+				// Everything after us vanished — only possible in a
+				// teardown race; let the follower reconnect.
+				return
+			}
+			nf, err := os.Open(filepath.Join(p.Log.Dir(), wal.SegmentName(nextSeg)))
+			if err != nil {
+				p.logf("repl: stream advance to segment %d: %v", nextSeg, err)
+				return
+			}
+			f.Close()
+			f = nf
+			seg, off = nextSeg, wal.SegmentHeaderLen
+			if base, ok := p.Log.RecordsBefore(nextSeg); ok && base > index {
+				index = base
+			}
+
+		default:
+			// Torn frame. At the active append position that just means
+			// a commit's write is mid-flight — wait and re-read. In a
+			// sealed segment it is real corruption; kill the stream and
+			// let the operator see it.
+			end, _ := p.Log.End()
+			if seg == end.Seg {
+				select {
+				case <-ctx.Done():
+					return
+				case <-time.After(p.poll()):
+				}
+				continue
+			}
+			p.logf("repl: corrupt frame in sealed segment %d at offset %d: %v", seg, off, err)
+			return
+		}
+	}
+}
+
+// nextSegment returns the smallest on-disk segment sequence > seq.
+func (p *Primary) nextSegment(seq uint64) (uint64, bool) {
+	segs, err := wal.ListSegments(p.Log.Dir())
+	if err != nil {
+		return 0, false
+	}
+	for _, si := range segs {
+		if si.Seq > seq {
+			return si.Seq, true
+		}
+	}
+	return 0, false
+}

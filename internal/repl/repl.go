@@ -1,0 +1,229 @@
+// Package repl is viralcastd's primary/follower replication layer: it
+// ships the primary's CRC-framed WAL over HTTP to warm followers that
+// hold a byte-identical mirror of the log and an up-to-date copy of the
+// live-cascade state, ready to be promoted when the primary dies.
+//
+// The design leans entirely on properties the WAL already has:
+//
+//   - Frames are deterministic bytes. A record payload always produces
+//     the same [len][crc][payload] frame, so a follower that appends
+//     streamed frames to its own segment files reconstructs the
+//     primary's segments byte for byte. Promotion is then nothing more
+//     than opening the mirror directory as an ordinary WAL.
+//
+//   - Cursors are stable. A (segment, offset) pair names a frame
+//     boundary forever — segment sequence numbers are never reused — so
+//     a follower can disconnect, crash, restart, and resume the stream
+//     from exactly where its mirror ends.
+//
+//   - Chain fingerprints make divergence loud. Each segment carries a
+//     running CRC folded over every record payload, seeded from the
+//     segment's sequence number. On every (re)connect the follower
+//     presents its cursor AND the fingerprint of its local prefix; the
+//     primary recomputes the fingerprint of its own prefix at that
+//     cursor and answers 409 on mismatch. A follower that hears 409
+//     stops serving and re-snapshots rather than serving wrong data.
+//
+// Bootstrap uses a checksummed store snapshot taken at a segment cut:
+// the primary rotates its WAL to a fresh segment and snapshots the
+// live store under the same commit lock (wal.CutSegment), so the
+// snapshot is guaranteed to contain every event below the returned
+// cursor; the overlap (events in the snapshot AND in segments at or
+// after the cut) is absorbed by the store's SI duplicate guard on
+// apply, the same argument that makes WAL compaction replay-safe.
+// Compaction on the primary is likewise benign mid-stream: a cursor
+// that compaction deleted answers 410, and the follower re-snapshots;
+// a stream that reaches the end of a deleted-but-still-open segment
+// simply advances to the next surviving segment, whose compaction
+// snapshot re-ships the full live state into the same duplicate guard.
+package repl
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"viralcast/internal/wal"
+)
+
+// HTTP paths a primary mounts (the serve layer wires them under its
+// control plane).
+const (
+	StreamPath   = "/v1/repl/stream"
+	SnapshotPath = "/v1/repl/snapshot"
+)
+
+// Stream item types. A stream response body is a sequence of items:
+//
+//	frame:     ['F'][8B seg LE][8B off LE][8B lag LE][4B n LE][n frame bytes]
+//	heartbeat: ['H'][8B seg LE][8B off LE][8B lag LE]
+//
+// A frame item carries one WAL frame plus the cursor it starts at in
+// the primary's log and the primary's record lag *after* this record is
+// applied. Heartbeats are sent while the follower is caught up, keeping
+// the connection demonstrably live and the follower's lag clock fresh.
+const (
+	itemFrame     = byte('F')
+	itemHeartbeat = byte('H')
+)
+
+// itemHeaderLen is type byte + seg + off + lag.
+const itemHeaderLen = 1 + 8 + 8 + 8
+
+// appendItemHeader encodes the common item prefix.
+func appendItemHeader(dst []byte, typ byte, seg uint64, off int64, lag uint64) []byte {
+	dst = append(dst, typ)
+	dst = binary.LittleEndian.AppendUint64(dst, seg)
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(off))
+	dst = binary.LittleEndian.AppendUint64(dst, lag)
+	return dst
+}
+
+// streamItem is one decoded item from a stream response.
+type streamItem struct {
+	typ   byte
+	seg   uint64
+	off   int64
+	lag   uint64
+	frame []byte // whole frame bytes (header+payload), frame items only
+}
+
+// readItem reads one stream item. io.EOF at an item boundary means the
+// primary closed the stream cleanly; any torn item is an error (the
+// connection died mid-write — reconnect and resume by cursor).
+func readItem(r io.Reader) (streamItem, error) {
+	var hdr [itemHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:1]); err != nil {
+		if err == io.EOF {
+			return streamItem{}, io.EOF
+		}
+		return streamItem{}, fmt.Errorf("repl: stream read: %w", err)
+	}
+	it := streamItem{typ: hdr[0]}
+	if it.typ != itemFrame && it.typ != itemHeartbeat {
+		return streamItem{}, fmt.Errorf("repl: unknown stream item type 0x%02x", it.typ)
+	}
+	if _, err := io.ReadFull(r, hdr[1:]); err != nil {
+		return streamItem{}, fmt.Errorf("repl: torn stream item header: %w", err)
+	}
+	it.seg = binary.LittleEndian.Uint64(hdr[1:9])
+	it.off = int64(binary.LittleEndian.Uint64(hdr[9:17]))
+	it.lag = binary.LittleEndian.Uint64(hdr[17:25])
+	if it.typ == itemHeartbeat {
+		return it, nil
+	}
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return streamItem{}, fmt.Errorf("repl: torn frame item length: %w", err)
+	}
+	n := binary.LittleEndian.Uint32(lenBuf[:])
+	if n == 0 || n > wal.MaxRecordBytes+16 {
+		return streamItem{}, fmt.Errorf("repl: implausible frame item length %d", n)
+	}
+	it.frame = make([]byte, n)
+	if _, err := io.ReadFull(r, it.frame); err != nil {
+		return streamItem{}, fmt.Errorf("repl: torn frame item body: %w", err)
+	}
+	return it, nil
+}
+
+// Snapshot envelope, the bootstrap payload: the primary's full live
+// store serialized as ordinary WAL record payloads, bracketed by a
+// magic line, the WAL cursor the snapshot is consistent with, and a
+// trailing CRC chained over every payload — the same envelope
+// discipline as the WAL segments themselves, so a truncated or
+// corrupted snapshot is rejected before a single event is applied.
+//
+//	"viralcast-snap v1\n"
+//	[8B seg LE][8B off LE][8B count LE]
+//	count × [frame]
+//	[4B chain CRC]
+const snapMagic = "viralcast-snap v1\n"
+
+// writeSnapshot serializes a snapshot envelope.
+func writeSnapshot(w io.Writer, cur wal.Cursor, evs []wal.Event) error {
+	hdr := make([]byte, 0, len(snapMagic)+24)
+	hdr = append(hdr, snapMagic...)
+	hdr = binary.LittleEndian.AppendUint64(hdr, cur.Seg)
+	hdr = binary.LittleEndian.AppendUint64(hdr, uint64(cur.Off))
+	hdr = binary.LittleEndian.AppendUint64(hdr, uint64(len(evs)))
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	fp := wal.ChainSeed(cur.Seg)
+	var buf []byte
+	for _, ev := range evs {
+		payload := wal.EncodeEvent(ev)
+		fp = wal.ChainUpdate(fp, payload)
+		buf = wal.AppendFrame(buf[:0], payload)
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], fp)
+	_, err := w.Write(tail[:])
+	return err
+}
+
+// readSnapshot parses and verifies a snapshot envelope, returning the
+// cursor it is consistent with and the decoded events. Any structural
+// damage — bad magic, torn frame, chain CRC mismatch — is an error and
+// nothing should be applied.
+func readSnapshot(r io.Reader) (wal.Cursor, []wal.Event, error) {
+	hdr := make([]byte, len(snapMagic)+24)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return wal.Cursor{}, nil, fmt.Errorf("repl: snapshot header: %w", err)
+	}
+	if string(hdr[:len(snapMagic)]) != snapMagic {
+		return wal.Cursor{}, nil, fmt.Errorf("repl: not a viralcast snapshot (starts %q)", hdr[:len(snapMagic)])
+	}
+	rest := hdr[len(snapMagic):]
+	cur := wal.Cursor{
+		Seg: binary.LittleEndian.Uint64(rest[0:8]),
+		Off: int64(binary.LittleEndian.Uint64(rest[8:16])),
+	}
+	count := binary.LittleEndian.Uint64(rest[16:24])
+	fp := wal.ChainSeed(cur.Seg)
+	evs := make([]wal.Event, 0, min(count, 1<<20))
+	var fh [8]byte
+	for i := uint64(0); i < count; i++ {
+		if _, err := io.ReadFull(r, fh[:]); err != nil {
+			return wal.Cursor{}, nil, fmt.Errorf("repl: snapshot frame %d header: %w", i, err)
+		}
+		n := binary.LittleEndian.Uint32(fh[0:4])
+		wantCRC := binary.LittleEndian.Uint32(fh[4:8])
+		if n == 0 || n > wal.MaxRecordBytes {
+			return wal.Cursor{}, nil, fmt.Errorf("repl: snapshot frame %d: implausible length %d", i, n)
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return wal.Cursor{}, nil, fmt.Errorf("repl: snapshot frame %d body: %w", i, err)
+		}
+		if got := crc32.ChecksumIEEE(payload); got != wantCRC {
+			return wal.Cursor{}, nil, fmt.Errorf("repl: snapshot frame %d: crc mismatch", i)
+		}
+		ev, err := wal.DecodeEvent(payload)
+		if err != nil {
+			return wal.Cursor{}, nil, fmt.Errorf("repl: snapshot frame %d: %w", i, err)
+		}
+		fp = wal.ChainUpdate(fp, payload)
+		evs = append(evs, ev)
+	}
+	var tail [4]byte
+	if _, err := io.ReadFull(r, tail[:]); err != nil {
+		return wal.Cursor{}, nil, fmt.Errorf("repl: snapshot chain crc: %w", err)
+	}
+	if got := binary.LittleEndian.Uint32(tail[:]); got != fp {
+		return wal.Cursor{}, nil, fmt.Errorf("repl: snapshot chain crc mismatch (computed %08x, envelope says %08x)", fp, got)
+	}
+	return cur, evs, nil
+}
+
+func min(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

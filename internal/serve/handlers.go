@@ -12,6 +12,7 @@ import (
 	"strconv"
 	"sync"
 
+	"viralcast/internal/repl"
 	"viralcast/internal/wal"
 )
 
@@ -38,6 +39,7 @@ func (s *Server) routes() http.Handler {
 	add := func(pattern, label, class string, h http.HandlerFunc) {
 		h = s.admit(class, h)
 		h = s.withBudget(h)
+		h = s.replGate(h)
 		mux.HandleFunc(pattern, s.metrics.instrument(label, h))
 	}
 	control := func(pattern, label string, h http.HandlerFunc) {
@@ -54,6 +56,15 @@ func (s *Server) routes() http.Handler {
 	control("GET /healthz", "healthz", s.handleHealthz)
 	control("GET /readyz", "readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.metrics.handler)
+	if s.cfg.WALDir != "" {
+		// Replication surface, control plane like /metrics: a follower
+		// catching up must keep streaming while the data plane sheds
+		// load, and promotion is exactly the kind of thing an operator
+		// does to an overloaded or dying cluster.
+		control("GET "+repl.StreamPath, "repl_stream", s.handleReplStream)
+		control("GET "+repl.SnapshotPath, "repl_snapshot", s.handleReplSnapshot)
+		control("POST /v1/promote", "promote", s.handlePromote)
+	}
 	if s.cfg.EnablePprof {
 		// Control plane like /metrics: ungated by admission control and
 		// the request budget, so a daemon melting under load can still be
@@ -67,6 +78,30 @@ func (s *Server) routes() http.Handler {
 		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	}
 	return mux
+}
+
+// replGate protects the data plane of a follower whose local state is
+// not a verified prefix of the primary's history: while bootstrapping
+// or after detected divergence, reads would serve incomplete or wrong
+// data, so they answer 503 until the (re-)snapshot completes. A
+// healthy follower — syncing or current — serves normally; a primary
+// passes through untouched.
+func (s *Server) replGate(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.isFollower() {
+			if st, ok := s.replStatus(); ok && !st.Servable {
+				s.metrics.replUnservable.Add(1)
+				writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+					"error":   "follower has no verified copy of the primary's state yet",
+					"reason":  "replication",
+					"state":   st.State,
+					"primary": s.cfg.FollowURL,
+				})
+				return
+			}
+		}
+		h(w, r)
+	}
 }
 
 // withBudget installs the per-request deadline. The handler chain and
@@ -204,6 +239,19 @@ type eventReject struct {
 // object. Structurally valid events are appended even when siblings are
 // rejected; per-event failures come back in "rejected".
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	// Role gate: a follower's store is a replica of the primary's — a
+	// locally ingested event would be silently overwritten by the next
+	// re-snapshot and never replicated anywhere. 409 with a
+	// machine-readable primary hint so clients re-route.
+	if s.isFollower() {
+		s.metrics.followerRejects.Add(1)
+		writeJSON(w, http.StatusConflict, map[string]any{
+			"error":   "this daemon is a replication follower; ingest on the primary",
+			"reason":  "follower",
+			"primary": s.cfg.FollowURL,
+		})
+		return
+	}
 	// Degraded mode: a fail-stopped WAL means nothing can be made
 	// durable, so ingestion is explicitly read-only — rejected up
 	// front with a machine-readable cause, before any store mutation.
@@ -503,6 +551,14 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 
 // handleFlush triggers one online-refinement pass on demand.
 func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
+	if s.isFollower() {
+		writeJSON(w, http.StatusConflict, map[string]any{
+			"error":   "this daemon is a replication follower; flush on the primary",
+			"reason":  "follower",
+			"primary": s.cfg.FollowURL,
+		})
+		return
+	}
 	n, err := s.Flush()
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "%v", err)
@@ -511,6 +567,74 @@ func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"flushed":    n,
 		"generation": s.Generation(),
+	})
+}
+
+// handleReplStream and handleReplSnapshot are the primary side of the
+// replication protocol, thin role-checked shims over repl.Primary. The
+// Primary value is built per request because the WAL pointer can be
+// swapped (degraded-mode recovery, promotion) under live traffic.
+func (s *Server) handleReplStream(w http.ResponseWriter, r *http.Request) {
+	p, ok := s.replPrimary()
+	if !ok {
+		writeJSON(w, http.StatusConflict, map[string]any{
+			"error":   "this daemon is not a primary with a live WAL",
+			"reason":  "not_primary",
+			"primary": s.cfg.FollowURL,
+		})
+		return
+	}
+	p.HandleStream(w, r)
+}
+
+func (s *Server) handleReplSnapshot(w http.ResponseWriter, r *http.Request) {
+	p, ok := s.replPrimary()
+	if !ok {
+		writeJSON(w, http.StatusConflict, map[string]any{
+			"error":   "this daemon is not a primary with a live WAL",
+			"reason":  "not_primary",
+			"primary": s.cfg.FollowURL,
+		})
+		return
+	}
+	p.HandleSnapshot(w, r)
+}
+
+// replPrimary builds the replication source over the live WAL, or
+// reports false when this daemon cannot serve replication (follower
+// role, or the WAL is poisoned/absent).
+func (s *Server) replPrimary() (*repl.Primary, bool) {
+	if s.isFollower() {
+		return nil, false
+	}
+	lg := s.walLog()
+	if lg == nil || lg.Err() != nil {
+		return nil, false
+	}
+	return &repl.Primary{
+		Log: lg,
+		Events: func() []wal.Event {
+			evs := s.store.AllEvents()
+			out := make([]wal.Event, len(evs))
+			for i, ev := range evs {
+				out[i] = wal.Event{Cascade: ev.Cascade, Node: ev.Node, Time: ev.Time}
+			}
+			return out
+		},
+		Logf: s.cfg.Logf,
+	}, true
+}
+
+// handlePromote flips a follower into a primary without a restart.
+func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
+	promoted, err := s.Promote()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"role":     "primary",
+		"promoted": promoted,
 	})
 }
 
@@ -531,14 +655,36 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	snap := s.healthSnapshot()
+	role := "primary"
+	if s.isFollower() {
+		role = "follower"
+	}
 	resp := map[string]any{
 		"status":     "ready",
+		"role":       role,
 		"degraded":   false,
 		"read_only":  false,
 		"stale":      snap.Stale,
 		"nodes":      cur.sys.Sys.N,
 		"predictor":  cur.sys.Pred != nil,
 		"generation": cur.gen,
+	}
+	if st, ok := s.replStatus(); ok {
+		// Replication lag surface: load balancers and the smoke
+		// client's -follow mode key off "replication" being "current".
+		resp["replication"] = st.State
+		resp["replication_servable"] = st.Servable
+		resp["replication_lag_records"] = st.LagRecords
+		resp["replication_lag_seconds"] = st.LagSeconds
+		resp["replication_reconnects"] = st.Reconnects
+		resp["replication_cursor"] = st.Cursor.String()
+		if s.isFollower() {
+			resp["primary"] = s.cfg.FollowURL
+			resp["read_only"] = true
+			if !st.Servable {
+				resp["status"] = "replicating"
+			}
+		}
 	}
 	if snap.DegradedCause != "" {
 		resp["status"] = "degraded"

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"time"
 
+	"viralcast/internal/repl"
 	"viralcast/internal/wal"
 )
 
@@ -33,6 +34,10 @@ type Metrics struct {
 	readOnly      *expvar.Int // ingestion requests rejected while degraded
 	flushFailures *expvar.Int // failed flush/retrain passes (stale gauge source)
 	walRecoveries *expvar.Int // successful degraded-mode WAL reopenings
+
+	followerRejects *expvar.Int // ingest/flush requests 409ed on a follower
+	replUnservable  *expvar.Int // data-plane requests 503ed while not servable
+	promotions      *expvar.Int // follower→primary promotions
 }
 
 // metricsHooks are the live-read closures behind the gauge metrics;
@@ -45,6 +50,8 @@ type metricsHooks struct {
 	walStats     func() (wal.Stats, bool)
 	admission    func() map[string]admissionSnapshot
 	health       func() healthSnapshot
+	replStatus   func() (repl.Status, bool)
+	isFollower   func() bool
 }
 
 // newMetrics wires the metric tree. The wal_* counters are always
@@ -71,6 +78,10 @@ func newMetrics(hooks metricsHooks) *Metrics {
 		readOnly:      new(expvar.Int),
 		flushFailures: new(expvar.Int),
 		walRecoveries: new(expvar.Int),
+
+		followerRejects: new(expvar.Int),
+		replUnservable:  new(expvar.Int),
+		promotions:      new(expvar.Int),
 	}
 	for _, b := range latencyBuckets {
 		m.latency.Set(fmt.Sprintf("le_%gms", b), new(expvar.Int))
@@ -124,6 +135,34 @@ func newMetrics(hooks metricsHooks) *Metrics {
 	m.root.Set("model_staleness_seconds", expvar.Func(func() any {
 		return hooks.health().StaleFor.Seconds()
 	}))
+
+	// Replication surface: role, follower lag/reconnect gauges (live
+	// reads off the follower's status, zero on a pure primary), and the
+	// role-transition counters. Always published, like the wal_* tree,
+	// so dashboards see a stable key set on every node of the pair.
+	m.root.Set("repl_role", expvar.Func(func() any {
+		if hooks.isFollower() {
+			return "follower"
+		}
+		return "primary"
+	}))
+	m.root.Set("repl_follower_rejects", m.followerRejects)
+	m.root.Set("repl_unservable_rejects", m.replUnservable)
+	m.root.Set("repl_promotions", m.promotions)
+	replGauge := func(pick func(repl.Status) any) expvar.Func {
+		return func() any {
+			st, ok := hooks.replStatus()
+			if !ok {
+				return pick(repl.Status{})
+			}
+			return pick(st)
+		}
+	}
+	m.root.Set("repl_state", replGauge(func(st repl.Status) any { return st.State }))
+	m.root.Set("repl_servable", replGauge(func(st repl.Status) any { return st.Servable }))
+	m.root.Set("repl_lag_records", replGauge(func(st repl.Status) any { return st.LagRecords }))
+	m.root.Set("repl_lag_seconds", replGauge(func(st repl.Status) any { return st.LagSeconds }))
+	m.root.Set("repl_reconnects", replGauge(func(st repl.Status) any { return st.Reconnects }))
 
 	m.root.Set("wal_enabled", expvar.Func(func() any {
 		_, on := hooks.walStats()

@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"viralcast/internal/faultinject"
+	"viralcast/internal/repl"
 	"viralcast/internal/wal"
 )
 
@@ -69,6 +70,18 @@ type Config struct {
 	// WALMaxSegment rotates WAL segments above this size. 0 uses the
 	// wal package default (64 MiB).
 	WALMaxSegment int64
+	// FollowURL makes this daemon a replication follower of the primary
+	// at that base URL (e.g. "http://primary:8080"): instead of opening
+	// the WAL for writes, it bootstraps from the primary's snapshot,
+	// tails the primary's WAL stream into a local byte mirror under
+	// WALDir, and serves the read/compute data plane from its own model
+	// generation. Ingestion answers 409 with a machine-readable primary
+	// hint. Requires WALDir (the mirror is what promotion opens as a
+	// WAL). Empty (the default) runs as a primary.
+	FollowURL string
+	// ReplBackoffMin/Max bound the follower's jittered exponential
+	// reconnect backoff. Zero uses the repl package defaults.
+	ReplBackoffMin, ReplBackoffMax time.Duration
 	// RequestTimeout is the per-request budget for the data-plane
 	// endpoints (/v1 reads, compute, ingestion): middleware installs it
 	// as a context deadline, the compute paths honor it with periodic
@@ -129,6 +142,16 @@ type Server struct {
 	walReplayed atomic.Uint64
 	walSkipped  atomic.Uint64
 
+	// follower is the replication tailer, non-nil only when the daemon
+	// was started with Config.FollowURL. followerActive flips false at
+	// promotion: the daemon's role is "follower" exactly while it is
+	// true. replApplied/replSkipped count replicated events applied to
+	// (or deduplicated away from) the local store.
+	follower       *repl.Follower
+	followerActive atomic.Bool
+	replApplied    atomic.Uint64
+	replSkipped    atomic.Uint64
+
 	// reloadCh serializes generation swaps (reload and flush) without
 	// blocking request handlers: a buffered-channel mutex.
 	reloadCh chan struct{}
@@ -165,7 +188,30 @@ func New(cfg Config) (*Server, error) {
 		admission: newAdmission(cfg.Admission),
 		reloadCh:  make(chan struct{}, 1),
 	}
-	if cfg.WALDir != "" {
+	switch {
+	case cfg.FollowURL != "":
+		// Replication follower: the WAL directory is the byte mirror of
+		// the primary's log, tailed by the repl layer and opened for
+		// writes only at promotion. Ingestion is role-gated (409) until
+		// then.
+		if cfg.WALDir == "" {
+			return nil, fmt.Errorf("serve: Config.FollowURL requires Config.WALDir (the replication mirror directory)")
+		}
+		f, err := repl.New(repl.Config{
+			Primary:    cfg.FollowURL,
+			Dir:        cfg.WALDir,
+			Apply:      s.applyReplicated,
+			Reset:      s.store.Clear,
+			BackoffMin: cfg.ReplBackoffMin,
+			BackoffMax: cfg.ReplBackoffMax,
+			Logf:       cfg.Logf,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+		s.follower = f
+		s.followerActive.Store(true)
+	case cfg.WALDir != "":
 		w, err := s.openWAL()
 		if err != nil {
 			return nil, fmt.Errorf("serve: opening WAL: %w", err)
@@ -181,6 +227,8 @@ func New(cfg Config) (*Server, error) {
 		walStats:     s.walStats,
 		admission:    s.admission.snapshot,
 		health:       s.healthSnapshot,
+		replStatus:   s.replStatus,
+		isFollower:   s.isFollower,
 	})
 	lm, err := cfg.Loader()
 	if err != nil {
@@ -189,7 +237,68 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.swap(lm)
 	s.handler = s.routes()
+	if s.follower != nil {
+		// Start tailing only once the model is loaded and the handler
+		// tree exists: replicated events land in a fully wired server.
+		s.follower.Start()
+		cfg.Logf("serve: following %s (mirror %s)", cfg.FollowURL, cfg.WALDir)
+	}
 	return s, nil
+}
+
+// applyReplicated ingests one replicated event into the local store,
+// absorbing duplicates — bootstrap overlap, reconnect overlap, and
+// compaction snapshots legitimately replay events already applied.
+// Node-universe bounds are not re-checked, same as WAL replay: the
+// primary validated the event when it was first acknowledged.
+func (s *Server) applyReplicated(ev wal.Event) error {
+	if _, err := s.store.Append(Event{Cascade: ev.Cascade, Node: ev.Node, Time: ev.Time}, maxInt); err != nil {
+		s.replSkipped.Add(1)
+		return nil
+	}
+	s.replApplied.Add(1)
+	return nil
+}
+
+// isFollower reports whether the daemon currently runs in the follower
+// role (started with FollowURL and not yet promoted).
+func (s *Server) isFollower() bool { return s.followerActive.Load() }
+
+// replStatus returns the follower's replication status and whether
+// this daemon ever had a follower (for metrics; the status outlives
+// promotion so lag/reconnect counters do not vanish from dashboards).
+func (s *Server) replStatus() (repl.Status, bool) {
+	if s.follower == nil {
+		return repl.Status{}, false
+	}
+	return s.follower.Status(), true
+}
+
+// Promote flips a follower into a primary without a restart: stop the
+// tailer (waiting out any in-flight apply), open the byte mirror as an
+// ordinary write-ahead log — replay is a no-op store-wise, the SI
+// duplicate guard absorbs every already-applied event — and only then
+// flip the role so ingestion starts acknowledging durably. Idempotent:
+// promoting a primary reports the role unchanged.
+func (s *Server) Promote() (promoted bool, err error) {
+	defer s.lockGenerations()()
+	if !s.isFollower() {
+		return false, nil
+	}
+	s.follower.Stop()
+	w, err := s.openWAL()
+	if err != nil {
+		// The tailer is stopped and the WAL did not open: the node is
+		// stuck read-only. Surface the error; the operator retries
+		// promotion or restarts.
+		return false, fmt.Errorf("serve: promote: opening mirror as WAL: %w", err)
+	}
+	s.wal.Store(w)
+	s.followerActive.Store(false)
+	s.metrics.promotions.Add(1)
+	s.cfg.Logf("serve: PROMOTED to primary (mirror %s now the write-ahead log, %d events replayed, %d duplicates absorbed)",
+		s.cfg.WALDir, s.walReplayed.Load(), s.walSkipped.Load())
+	return true, nil
 }
 
 // maxInt disables node-universe bounds on replay: logged events were
@@ -246,11 +355,15 @@ func (s *Server) walStats() (wal.Stats, bool) {
 	return st, true
 }
 
-// Close releases the WAL (committing anything still queued). It does
-// not stop an in-flight Serve — Serve calls it itself after the final
-// flush. Callers embedding Handler directly (tests, custom servers)
-// should Close when done. Idempotent.
+// Close stops the replication tailer (if any) and releases the WAL
+// (committing anything still queued). It does not stop an in-flight
+// Serve — Serve calls it itself after the final flush. Callers
+// embedding Handler directly (tests, custom servers) should Close when
+// done. Idempotent.
 func (s *Server) Close() error {
+	if s.follower != nil {
+		s.follower.Stop()
+	}
 	w := s.walLog()
 	if w == nil {
 		return nil
@@ -331,6 +444,13 @@ func (s *Server) recoverWAL() error {
 // against the refined embeddings when possible, and swaps the result in
 // as a new generation. Returns how many cascades were absorbed.
 func (s *Server) Flush() (int, error) {
+	// A follower's model refinement happens on the primary; its own
+	// store exists to serve reads and to be promotion-ready. The
+	// periodic flush loop and the final drain flush therefore no-op
+	// until promotion flips the role.
+	if s.isFollower() {
+		return 0, nil
+	}
 	defer s.lockGenerations()()
 	cur := s.current()
 	dirty := s.store.FlushDirty()

@@ -174,6 +174,19 @@ func (s *Store) AllEvents() []Event {
 	return out
 }
 
+// Clear drops every live cascade. The replication follower calls it
+// before re-applying a fresh bootstrap snapshot after divergence — the
+// local state is suspect, so it is rebuilt from scratch rather than
+// merged.
+func (s *Store) Clear() {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		sh.live = make(map[int]*liveCascade)
+		sh.mu.Unlock()
+	}
+}
+
 // Evict removes a live cascade (e.g. after its story has gone cold),
 // reporting whether it existed.
 func (s *Store) Evict(id int) bool {

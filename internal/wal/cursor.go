@@ -1,0 +1,236 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Replication-facing addressing and integrity primitives. The WAL's
+// frames were always a shippable replication log — length-prefixed,
+// CRC-framed, strictly append-only — and this file gives external
+// readers (the repl subsystem, the `viralcast wal inspect` CLI) the
+// three things a log shipper needs without touching the committer:
+//
+//   - Cursors. A (segment, offset) pair addresses one frame boundary in
+//     the log. Cursors are stable across restarts (segment sequence
+//     numbers are never reused) and totally ordered.
+//
+//   - Chain fingerprints. Each segment carries a running fingerprint:
+//     seeded from the segment's sequence number and folded over every
+//     record payload in order. Two logs agree at a cursor iff they hold
+//     byte-identical record history for that segment prefix — a cheap,
+//     incremental check a follower and primary can compare on reconnect
+//     to detect silent divergence (a torn tail the follower never saw,
+//     bit rot, or a primary that compacted and rewrote history).
+//
+//   - Positional reads. ReadFrameAt parses one frame at an absolute
+//     offset without any shared state with the committer, so a streaming
+//     reader can tail the active segment while commits land.
+
+// Cursor addresses a frame boundary in the log: byte offset Off within
+// segment Seg. The zero Cursor is "nowhere"; the smallest real position
+// is {Seg: 1, Off: SegmentHeaderLen}.
+type Cursor struct {
+	Seg uint64 `json:"seg"`
+	Off int64  `json:"off"`
+}
+
+// Less orders cursors by log position.
+func (c Cursor) Less(o Cursor) bool {
+	if c.Seg != o.Seg {
+		return c.Seg < o.Seg
+	}
+	return c.Off < o.Off
+}
+
+func (c Cursor) String() string { return fmt.Sprintf("%d:%d", c.Seg, c.Off) }
+
+// SegmentHeaderLen is the byte length of the magic line that opens
+// every segment file — the offset of a segment's first frame.
+const SegmentHeaderLen = int64(len(segMagic))
+
+// ChainSeed returns the chain fingerprint of the empty prefix of
+// segment seq. Seeding with the sequence number ties a fingerprint to
+// the segment's identity, so the same records written under a different
+// segment number do not masquerade as the same history.
+func ChainSeed(seq uint64) uint32 {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], seq)
+	return crc32.ChecksumIEEE(b[:])
+}
+
+// ChainUpdate folds one record payload into a chain fingerprint.
+func ChainUpdate(fp uint32, payload []byte) uint32 {
+	return crc32.Update(fp, crc32.IEEETable, payload)
+}
+
+// ReadFrameAt reads the frame starting at absolute offset off of a
+// segment file, returning its payload and the offset just past the
+// frame. io.EOF means off is exactly the end of the file (a clean
+// boundary); any partial header, partial payload, implausible length,
+// or CRC mismatch comes back wrapped in ErrTorn. At the active tail of
+// a live log, ErrTorn may simply mean a commit's write is mid-flight —
+// callers that tail a live segment should retry; callers reading a
+// sealed segment should treat it as corruption.
+func ReadFrameAt(f io.ReaderAt, off int64) (payload []byte, next int64, err error) {
+	var hdr [frameHeaderSize]byte
+	n, err := f.ReadAt(hdr[:], off)
+	if n == 0 && err == io.EOF {
+		return nil, off, io.EOF
+	}
+	if n < frameHeaderSize {
+		return nil, off, fmt.Errorf("%w: truncated frame header at offset %d", ErrTorn, off)
+	}
+	length := binary.LittleEndian.Uint32(hdr[0:4])
+	wantCRC := binary.LittleEndian.Uint32(hdr[4:8])
+	if length == 0 || length > MaxRecordBytes {
+		return nil, off, fmt.Errorf("%w: implausible payload length %d at offset %d", ErrTorn, length, off)
+	}
+	payload = make([]byte, length)
+	if m, err := f.ReadAt(payload, off+frameHeaderSize); m < int(length) {
+		return nil, off, fmt.Errorf("%w: truncated payload at offset %d (want %d bytes): %v", ErrTorn, off, length, err)
+	}
+	if got := crc32.ChecksumIEEE(payload); got != wantCRC {
+		return nil, off, fmt.Errorf("%w: payload crc32 %08x at offset %d, frame says %08x", ErrTorn, got, off, wantCRC)
+	}
+	return payload, off + frameHeaderSize + int64(length), nil
+}
+
+// SegmentChainAt scans the segment file at path from its first frame up
+// to exactly offset off, returning the chain fingerprint and record
+// count of that prefix. An off that is not a frame boundary — mid
+// frame, beyond the intact prefix, or before the magic line — is an
+// error: a cursor pointing there addresses history this log does not
+// have.
+func SegmentChainAt(path string, off int64) (fp uint32, records int, err error) {
+	seq, ok := parseSegmentName(filepath.Base(path))
+	if !ok {
+		return 0, 0, fmt.Errorf("wal: %q is not a segment file name", path)
+	}
+	if off < SegmentHeaderLen {
+		return 0, 0, fmt.Errorf("wal: cursor offset %d is inside the segment header", off)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, fmt.Errorf("wal: %w", err)
+	}
+	defer f.Close()
+	if err := checkMagicAt(f, path); err != nil {
+		return 0, 0, err
+	}
+	fp = ChainSeed(seq)
+	pos := SegmentHeaderLen
+	for pos < off {
+		payload, next, err := ReadFrameAt(f, pos)
+		if err != nil {
+			return 0, 0, fmt.Errorf("wal: %s: cursor offset %d is past the intact prefix: %w", path, off, err)
+		}
+		if next > off {
+			return 0, 0, fmt.Errorf("wal: %s: offset %d is not a frame boundary (frame spans %d..%d)", path, off, pos, next)
+		}
+		fp = ChainUpdate(fp, payload)
+		records++
+		pos = next
+	}
+	return fp, records, nil
+}
+
+// SegmentChain scans the whole intact prefix of a segment file,
+// returning its chain fingerprint, record count, and the offset just
+// past the last intact frame. Torn reports whether unreadable bytes
+// follow that prefix.
+func SegmentChain(path string) (fp uint32, records int, goodBytes int64, torn bool, err error) {
+	seq, ok := parseSegmentName(filepath.Base(path))
+	if !ok {
+		return 0, 0, 0, false, fmt.Errorf("wal: %q is not a segment file name", path)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, 0, false, fmt.Errorf("wal: %w", err)
+	}
+	defer f.Close()
+	if err := checkMagicAt(f, path); err != nil {
+		return 0, 0, 0, false, err
+	}
+	fp = ChainSeed(seq)
+	pos := SegmentHeaderLen
+	for {
+		payload, next, err := ReadFrameAt(f, pos)
+		if err == io.EOF {
+			return fp, records, pos, false, nil
+		}
+		if err != nil {
+			return fp, records, pos, true, nil
+		}
+		fp = ChainUpdate(fp, payload)
+		records++
+		pos = next
+	}
+}
+
+// checkMagicAt verifies the magic line of an open segment file.
+func checkMagicAt(f io.ReaderAt, path string) error {
+	magic := make([]byte, len(segMagic))
+	if n, _ := f.ReadAt(magic, 0); n < len(segMagic) {
+		return fmt.Errorf("wal: %s is shorter than its magic line", path)
+	}
+	if string(magic) != segMagic {
+		return fmt.Errorf("wal: %s is not a viralcast WAL segment (starts %q)", path, firstLine(magic))
+	}
+	return nil
+}
+
+// End reports the log's current append position (the cursor the next
+// record will be written at) and the total records the log has seen
+// this instance — replayed at Open, appended since, and written by
+// compaction snapshots. The pair is read atomically under the commit
+// lock, so a streamed record index compared against a later End() is
+// never ahead of it.
+func (l *Log) End() (Cursor, uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.seg == nil {
+		return Cursor{}, l.totalRecs
+	}
+	return Cursor{Seg: l.seg.seq, Off: l.seg.size}, l.totalRecs
+}
+
+// RecordsBefore reports how many records (in this instance's End()
+// coordinate system) precede the first frame of segment seq. It is
+// known for every segment currently on disk.
+func (l *Log) RecordsBefore(seq uint64) (uint64, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	base, ok := l.recBase[seq]
+	return base, ok
+}
+
+// CutSegment rotates the log to a fresh segment and returns the new
+// segment's start cursor, invoking fn (which may be nil) while the
+// commit lock is still held. It is the consistency primitive behind
+// replication snapshots, with the same ordering argument as Compact:
+// any event committed before the cut is in a segment below the
+// returned cursor and therefore — because the store apply happens
+// before the WAL commit — already visible to whatever state fn
+// snapshots; any event not visible to fn commits at or after the
+// returned cursor and will be shipped by the stream. The overlap
+// (visible to fn AND committed after the cut) is absorbed by SI-dedup
+// on replay, exactly as with compaction.
+func (l *Log) CutSegment(fn func()) (Cursor, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.usableLocked(); err != nil {
+		return Cursor{}, err
+	}
+	if err := l.rotateLocked(); err != nil {
+		return Cursor{}, err
+	}
+	if fn != nil {
+		fn()
+	}
+	return Cursor{Seg: l.seg.seq, Off: l.seg.size}, nil
+}

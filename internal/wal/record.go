@@ -77,6 +77,21 @@ func decodeEventPayload(p []byte) (Event, error) {
 	return Event{Cascade: int(casc), Node: int(node), Time: t}, nil
 }
 
+// EncodeEvent returns the canonical record-payload encoding of ev —
+// the bytes a frame carries, and the unit the chain fingerprints and
+// snapshot checksums are computed over.
+func EncodeEvent(ev Event) []byte { return appendEventPayload(nil, ev) }
+
+// DecodeEvent decodes a record payload written by EncodeEvent.
+func DecodeEvent(p []byte) (Event, error) { return decodeEventPayload(p) }
+
+// AppendFrame wraps payload in the WAL's length+CRC frame and appends
+// it to dst. The framing is deterministic: the same payload always
+// produces the same frame bytes, which is what lets a replication
+// follower rebuild a byte-identical copy of the primary's segments
+// from streamed payloads.
+func AppendFrame(dst, payload []byte) []byte { return appendFrame(dst, payload) }
+
 // appendFrame wraps payload in a length+CRC frame and appends it to buf.
 func appendFrame(buf, payload []byte) []byte {
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))

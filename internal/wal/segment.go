@@ -20,6 +20,22 @@ func segmentName(seq uint64) string {
 	return fmt.Sprintf("wal-%016d.log", seq)
 }
 
+// SegmentName exposes the segment file-name convention to external log
+// writers (the replication mirror) and readers.
+func SegmentName(seq uint64) string { return segmentName(seq) }
+
+// CreateSegmentFile creates segment seq in dir with the magic line
+// written and fsynced (file and directory), returning the open file
+// positioned for appends. The replication follower uses it to build a
+// byte-identical mirror of the primary's segments.
+func CreateSegmentFile(dir string, seq uint64) (*os.File, error) {
+	seg, err := createSegment(dir, seq)
+	if err != nil {
+		return nil, err
+	}
+	return seg.f, nil
+}
+
 // parseSegmentName extracts the sequence number from a segment file
 // name, reporting false for anything that is not a WAL segment.
 func parseSegmentName(name string) (uint64, bool) {

@@ -114,6 +114,15 @@ type Log struct {
 	// fsync may hold for seconds.
 	poison atomic.Pointer[error]
 
+	// recBase maps each on-disk segment to the number of records (in
+	// this instance's counting) that precede its first frame, and
+	// totalRecs counts every record the instance has seen: replayed at
+	// Open, appended since, and written by compaction snapshots. Both
+	// guarded by mu; together they let a streaming reader convert a
+	// cursor into a record index and compute replication lag.
+	recBase   map[uint64]uint64
+	totalRecs uint64
+
 	// sendMu lets Close fence out new Appends without racing the ones
 	// already enqueueing.
 	sendMu sync.RWMutex
@@ -147,11 +156,12 @@ func Open(dir string, opt Options, replay func(Event) error) (*Log, error) {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
 	l := &Log{
-		dir:   dir,
-		opt:   opt,
-		reqCh: make(chan *appendReq, 1024),
-		quit:  make(chan struct{}),
-		done:  make(chan struct{}),
+		dir:     dir,
+		opt:     opt,
+		recBase: make(map[uint64]uint64),
+		reqCh:   make(chan *appendReq, 1024),
+		quit:    make(chan struct{}),
+		done:    make(chan struct{}),
 	}
 	segs, err := ListSegments(dir)
 	if err != nil {
@@ -159,11 +169,13 @@ func Open(dir string, opt Options, replay func(Event) error) (*Log, error) {
 	}
 	nextSeq := uint64(1)
 	for _, si := range segs {
+		l.recBase[si.Seq] = l.totalRecs
 		scan, err := ScanSegment(si.Path, replay)
 		if err != nil {
 			return nil, err
 		}
 		l.replayed.Add(uint64(scan.Records))
+		l.totalRecs += uint64(scan.Records)
 		if scan.Torn {
 			// The tail after the last intact frame is unreadable —
 			// chop it so the segment verifies clean from here on. Only
@@ -190,6 +202,7 @@ func Open(dir string, opt Options, replay func(Event) error) (*Log, error) {
 		return nil, err
 	}
 	l.seg = seg
+	l.recBase[nextSeq] = l.totalRecs
 	l.segments.Store(uint64(len(segs) + 1))
 	if !opt.NoGroupCommit {
 		go l.commitLoop()
@@ -398,6 +411,7 @@ func (l *Log) commit(batch []*appendReq) error {
 	l.bytes.Add(uint64(written))
 	for _, r := range batch {
 		l.appends.Add(uint64(r.records))
+		l.totalRecs += uint64(r.records)
 	}
 	// The batch is durable but not yet acknowledged — the hard-kill
 	// site for kill-and-recover tests: everything committed so far must
@@ -456,6 +470,7 @@ func (l *Log) rotateLocked() error {
 		l.opt.Logf("wal: closing sealed segment %d: %v", l.seg.seq, err)
 	}
 	l.seg = seg
+	l.recBase[seg.seq] = l.totalRecs
 	l.segments.Add(1)
 	return nil
 }
@@ -496,6 +511,7 @@ func (l *Log) Compact(snapshot func() []Event) (removed int, err error) {
 		}
 		l.fsyncs.Add(1)
 		l.bytes.Add(uint64(n))
+		l.totalRecs += uint64(len(evs))
 	}
 	segs, err := ListSegments(l.dir)
 	if err != nil {
@@ -508,6 +524,7 @@ func (l *Log) Compact(snapshot func() []Event) (removed int, err error) {
 		if err := os.Remove(si.Path); err != nil {
 			return removed, fmt.Errorf("wal: compaction: %w", err)
 		}
+		delete(l.recBase, si.Seq)
 		removed++
 	}
 	if removed > 0 {

@@ -5,7 +5,9 @@
 # the serving daemon, the write-ahead log), and a live smoke test of
 # viralcastd including crash replay: the daemon is SIGKILLed mid-stream
 # and restarted on the same WAL directory, which must restore the
-# ingested cascade.
+# ingested cascade. The final stage is a replication failover: a
+# primary/follower pair, the primary SIGKILLed, the follower promoted,
+# and the durably-acknowledged prefix verified on the promoted node.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -19,7 +21,7 @@ echo "== go test ./..."
 go test -shuffle=on ./...
 
 echo "== go test -race (concurrent packages, incl. the chaos soak)"
-go test -race -shuffle=on ./internal/pool/ ./internal/infer/ ./internal/slpa/ ./internal/serve/ ./internal/wal/ ./internal/inflmax/ ./internal/core/
+go test -race -shuffle=on ./internal/pool/ ./internal/infer/ ./internal/slpa/ ./internal/serve/ ./internal/wal/ ./internal/repl/ ./internal/inflmax/ ./internal/core/
 
 echo "== bench smoke (every benchmark must compile and run once)"
 go test -run=NONE -bench=. -benchtime=1x ./...
@@ -32,10 +34,13 @@ rm -rf "$bench_tmp"
 echo "== viralcastd smoke test"
 tmp="$(mktemp -d)"
 daemon_pid=""
+follower_pid=""
 cleanup() {
-  if [[ -n "$daemon_pid" ]] && kill -0 "$daemon_pid" 2>/dev/null; then
-    kill -9 "$daemon_pid" 2>/dev/null || true
-  fi
+  for pid in "$daemon_pid" "$follower_pid"; do
+    if [[ -n "$pid" ]] && kill -0 "$pid" 2>/dev/null; then
+      kill -9 "$pid" 2>/dev/null || true
+    fi
+  done
   rm -rf "$tmp"
 }
 trap cleanup EXIT
@@ -117,5 +122,64 @@ kill -TERM "$daemon_pid"
 wait "$daemon_pid" || { echo "overload daemon did not drain cleanly:" >&2; cat "$tmp/daemon3.log" >&2; exit 1; }
 daemon_pid=""
 echo "overload smoke passed (shed with Retry-After, admitted within budget)"
+
+# Replication failover: a primary/follower pair on random ports. The
+# primary takes the smoke ingest under a live follower, the follower
+# must report itself current and read-only, and after a SIGKILL of the
+# primary a promotion must leave the follower serving every
+# durably-acknowledged event and accepting writes on its own log.
+echo "== viralcastd replication failover smoke test"
+rm -f "$tmp/addr"
+"$tmp/viralcast" serve -addr 127.0.0.1:0 -addr-file "$tmp/addr" \
+  -model "$tmp/model.txt" -cascades "$tmp/cascades.txt" -seed 7 \
+  -flush-every 0 -wal-dir "$tmp/repl-wal-primary" 2>"$tmp/primary.log" &
+daemon_pid=$!
+for _ in $(seq 1 100); do
+  [[ -s "$tmp/addr" ]] && break
+  if ! kill -0 "$daemon_pid" 2>/dev/null; then
+    echo "replication primary died during startup:" >&2
+    cat "$tmp/primary.log" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+[[ -s "$tmp/addr" ]] || { echo "replication primary never published its address" >&2; exit 1; }
+primary="http://$(cat "$tmp/addr")"
+go run ./scripts/smoke -base "$primary" -wal
+
+rm -f "$tmp/addr2"
+"$tmp/viralcast" serve -addr 127.0.0.1:0 -addr-file "$tmp/addr2" \
+  -model "$tmp/model.txt" -cascades "$tmp/cascades.txt" -seed 7 \
+  -flush-every 0 -wal-dir "$tmp/repl-wal-follower" -follow "$primary" \
+  2>"$tmp/follower.log" &
+follower_pid=$!
+for _ in $(seq 1 100); do
+  [[ -s "$tmp/addr2" ]] && break
+  if ! kill -0 "$follower_pid" 2>/dev/null; then
+    echo "follower died during startup:" >&2
+    cat "$tmp/follower.log" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+[[ -s "$tmp/addr2" ]] || { echo "follower never published its address" >&2; exit 1; }
+follower="http://$(cat "$tmp/addr2")"
+go run ./scripts/smoke -base "$follower" -follow
+
+kill -9 "$daemon_pid"
+wait "$daemon_pid" 2>/dev/null || true
+daemon_pid=""
+"$tmp/viralcast" promote -base "$follower"
+go run ./scripts/smoke -base "$follower" -post-promote
+echo "replication failover passed (follower promoted, durable prefix served)"
+
+kill -TERM "$follower_pid"
+wait "$follower_pid" || { echo "promoted follower did not drain cleanly:" >&2; cat "$tmp/follower.log" >&2; exit 1; }
+follower_pid=""
+
+# The mirrored log is a first-class WAL: the offline tools must read it,
+# including the per-record replication cursors.
+"$tmp/viralcast" wal inspect -dir "$tmp/repl-wal-follower" -records
+"$tmp/viralcast" wal verify -dir "$tmp/repl-wal-follower"
 
 echo "ci.sh: all checks passed"

@@ -16,6 +16,14 @@
 // contract — in-limit requests succeed within their deadline, the
 // excess is shed with 429 + Retry-After, and honoring the hint gets a
 // shed request through.
+//
+// With -follow it checks the replication-follower contract instead:
+// wait for /readyz to report `"replication": "current"`, require the
+// primary's smoke cascade to have replicated, require local ingestion
+// to 409 with a machine-readable pointer at the primary, and require
+// the repl_* metrics. With -post-promote it checks a freshly promoted
+// follower: role primary, the replicated prefix still served, and
+// ingestion (with the replayed duplicate guard intact) accepted again.
 package main
 
 import (
@@ -25,6 +33,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math/rand"
 	"net/http"
 	"os"
 	"strconv"
@@ -37,6 +46,8 @@ func main() {
 	walOn := flag.Bool("wal", false, "daemon runs with -wal-dir: assert the wal_* metrics move")
 	postCrash := flag.Bool("post-crash", false, "daemon was restarted after a hard kill: verify WAL replay instead of ingesting")
 	overload := flag.Bool("overload", false, "daemon runs with a tiny -max-inflight: assert load shedding and Retry-After")
+	follow := flag.Bool("follow", false, "daemon runs with -follow: wait for replication to be current and assert the follower contract")
+	postPromote := flag.Bool("post-promote", false, "daemon is a freshly promoted follower: assert it serves the replicated prefix and ingests again")
 	flag.Parse()
 	if *base == "" {
 		log.Fatal("smoke: -base is required")
@@ -52,6 +63,16 @@ func main() {
 	if *overload {
 		checkOverload(client, *base)
 		fmt.Println("smoke: overload checks passed")
+		return
+	}
+	if *follow {
+		checkFollower(client, *base)
+		fmt.Println("smoke: follower replication checks passed")
+		return
+	}
+	if *postPromote {
+		checkPostPromote(client, *base)
+		fmt.Println("smoke: post-promotion checks passed")
 		return
 	}
 
@@ -136,15 +157,25 @@ type walMetrics struct {
 	WALSegments  float64            `json:"wal_segments"`
 	OverloadShed map[string]float64 `json:"overload_shed"`
 	Deadlines    float64            `json:"deadline_exceeded"`
+
+	ReplRole       string  `json:"repl_role"`
+	ReplState      string  `json:"repl_state"`
+	ReplLagRecords float64 `json:"repl_lag_records"`
+	ReplReconnects float64 `json:"repl_reconnects"`
+	ReplPromotions float64 `json:"repl_promotions"`
 }
 
 // waitUp gives a freshly exec'd daemon time to bind: connection-refused
-// during startup is retried with backoff, bounded at ~10s. Any HTTP
-// status counts as "up" — readiness semantics belong to the callers.
+// during startup is retried with jittered exponential backoff, bounded
+// at ~15s overall. The jitter matters when ci.sh launches several
+// daemons back to back — synchronized retry waves against a box that is
+// already busy compiling are exactly how flaky smoke runs happen. Any
+// HTTP status counts as "up" — readiness semantics belong to the
+// callers.
 func waitUp(client *http.Client, base string) {
-	backoff := 50 * time.Millisecond
 	var lastErr error
-	for i := 0; i < 20; i++ {
+	deadline := time.Now().Add(15 * time.Second)
+	for attempt := 0; time.Now().Before(deadline); attempt++ {
 		resp, err := client.Get(base + "/healthz")
 		if err == nil {
 			io.Copy(io.Discard, resp.Body)
@@ -152,12 +183,130 @@ func waitUp(client *http.Client, base string) {
 			return
 		}
 		lastErr = err
-		time.Sleep(backoff)
-		if backoff < time.Second {
-			backoff *= 2
-		}
+		time.Sleep(jitteredBackoff(attempt, 50*time.Millisecond, time.Second))
 	}
 	log.Fatalf("smoke: daemon never came up at %s: %v", base, lastErr)
+}
+
+// jitteredBackoff is the retry schedule shared by waitUp and the
+// replication-current wait: exponential from min, capped at max, with
+// the upper half of each interval randomized.
+func jitteredBackoff(attempt int, min, max time.Duration) time.Duration {
+	d := min
+	for i := 0; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+}
+
+// checkFollower verifies the follower contract: replication converges
+// to "current", the primary's smoke cascade is served read-only, local
+// writes 409 with the primary's address, and the lag/reconnect metrics
+// are published.
+func checkFollower(client *http.Client, base string) {
+	// A bootstrapping follower is healthy but not yet servable; wait for
+	// /readyz to report the replication stream fully caught up.
+	var ready struct {
+		Role        string  `json:"role"`
+		Replication string  `json:"replication"`
+		ReadOnly    bool    `json:"read_only"`
+		Primary     string  `json:"primary"`
+		Lag         float64 `json:"replication_lag_records"`
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for attempt := 0; ; attempt++ {
+		expect(client, "GET", base+"/readyz", nil, 200, &ready)
+		if ready.Replication == "current" && ready.Lag == 0 {
+			break
+		}
+		if !time.Now().Before(deadline) {
+			log.Fatalf("smoke: follower never became current: %+v", ready)
+		}
+		time.Sleep(jitteredBackoff(attempt, 50*time.Millisecond, time.Second))
+	}
+	if ready.Role != "follower" || !ready.ReadOnly || ready.Primary == "" {
+		log.Fatalf("smoke: follower readyz contract violated: %+v", ready)
+	}
+
+	// The cascade the primary smoke pass ingested must have replicated.
+	var pred struct {
+		Viral *bool `json:"viral"`
+		Size  int   `json:"size"`
+	}
+	expect(client, "GET", base+"/v1/cascades/31337/predict", nil, 200, &pred)
+	if pred.Viral == nil || pred.Size < 5 {
+		log.Fatalf("smoke: primary's cascade not replicated: %+v", pred)
+	}
+
+	// Local writes are re-routed, not absorbed.
+	events := map[string]any{"events": []map[string]any{
+		{"cascade": 31337, "node": 9, "time": 0.9},
+	}}
+	var rejected struct {
+		Reason  string `json:"reason"`
+		Primary string `json:"primary"`
+	}
+	expect(client, "POST", base+"/v1/events", events, 409, &rejected)
+	if rejected.Reason != "follower" || rejected.Primary == "" {
+		log.Fatalf("smoke: follower ingest rejection not machine-readable: %+v", rejected)
+	}
+
+	m := getMetrics(client, base)
+	if m.ReplRole != "follower" || m.ReplState != "current" {
+		log.Fatalf("smoke: repl metrics wrong: role=%q state=%q", m.ReplRole, m.ReplState)
+	}
+	fmt.Printf("smoke: follower current (lag %v records, %v reconnects, primary %s)\n",
+		m.ReplLagRecords, m.ReplReconnects, ready.Primary)
+}
+
+// checkPostPromote verifies a follower that was promoted after its
+// primary was hard-killed: it is a writable primary now, still serves
+// the replicated prefix, and the duplicate guard survived into the
+// promoted store.
+func checkPostPromote(client *http.Client, base string) {
+	var ready struct {
+		Role string `json:"role"`
+	}
+	expect(client, "GET", base+"/readyz", nil, 200, &ready)
+	if ready.Role != "primary" {
+		log.Fatalf("smoke: promoted node still reports role %q", ready.Role)
+	}
+	m := getMetrics(client, base)
+	if m.ReplRole != "primary" || m.ReplPromotions < 1 {
+		log.Fatalf("smoke: promoted metrics wrong: role=%q promotions=%v", m.ReplRole, m.ReplPromotions)
+	}
+
+	// The durable replicated prefix survived the failover.
+	var pred struct {
+		Viral *bool `json:"viral"`
+		Size  int   `json:"size"`
+	}
+	expect(client, "GET", base+"/v1/cascades/31337/predict", nil, 200, &pred)
+	if pred.Viral == nil || pred.Size < 5 {
+		log.Fatalf("smoke: replicated prefix lost in promotion: %+v", pred)
+	}
+	before := pred.Size
+
+	// Writable again: a duplicate of a replicated node is rejected, a
+	// fresh node lands, and both go through the promoted node's own WAL.
+	events := map[string]any{"events": []map[string]any{
+		{"cascade": 31337, "node": 1, "time": 0.05},
+		{"cascade": 31337, "node": 7, "time": 0.70},
+	}}
+	var ingested struct {
+		Accepted int `json:"accepted"`
+	}
+	expect(client, "POST", base+"/v1/events", events, 200, &ingested)
+	if ingested.Accepted != 1 {
+		log.Fatalf("smoke: post-promotion ingest accepted %d, want 1 (dup rejected, new node in)", ingested.Accepted)
+	}
+	expect(client, "GET", base+"/v1/cascades/31337/predict", nil, 200, &pred)
+	if pred.Size != before+1 {
+		log.Fatalf("smoke: post-promotion cascade size %d, want %d", pred.Size, before+1)
+	}
 }
 
 // checkOverload hammers a daemon configured with -max-inflight 1
