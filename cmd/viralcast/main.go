@@ -7,6 +7,14 @@
 //	    Generate an SBM network with a planted model and write the
 //	    simulated cascades in the text format of internal/cascade.
 //
+//	viralcast simulate -model model.txt -trials 500 -window 4
+//	    Campaign mode: Monte Carlo what-if comparison of candidate seed
+//	    sets against a fitted model — reach distributions, time-to-size
+//	    milestones, and pairwise win rates. -seed-sets names explicit
+//	    campaigns ("celf:0,1,2;top:5,6"); by default it pits CELF seeds
+//	    against the top-influence nodes at the same -budget. The same
+//	    engine serves POST /v1/simulate on the daemon.
+//
 //	viralcast infer -n 2000 -in cascades.txt -topics 4 -out model.txt
 //	    Fit influence/selectivity embeddings from observed cascades with
 //	    the hierarchical community-parallel algorithm.
@@ -95,7 +103,7 @@ func main() {
 	var err error
 	switch os.Args[1] {
 	case "simulate":
-		err = cmdSimulate(os.Args[2:])
+		err = cmdSimulate(ctx, os.Args[2:])
 	case "infer":
 		err = cmdInfer(ctx, os.Args[2:])
 	case "influencers":
@@ -170,15 +178,33 @@ func usage() {
 	fmt.Fprintln(os.Stderr, "run 'viralcast <subcommand> -h' for subcommand flags")
 }
 
-func cmdSimulate(args []string) error {
+func cmdSimulate(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("simulate", flag.ExitOnError)
 	n := fs.Int("n", 2000, "number of nodes")
 	cascades := fs.Int("cascades", 3000, "number of cascades to simulate")
-	window := fs.Float64("window", 10, "observation window")
+	window := fs.Float64("window", 10, "observation window (campaign mode: the scenario horizon)")
 	seed := fs.Uint64("seed", 1, "random seed")
 	out := fs.String("out", "", "output file (default stdout)")
+	model := fs.String("model", "", "campaign mode: run a Monte Carlo what-if comparison against this embeddings file instead of generating SBM cascades")
+	sets := fs.String("seed-sets", "", `campaign mode: candidate campaigns as "name:0,1,2;other:5,6" (default: CELF vs top influencers at -budget)`)
+	trials := fs.Int("trials", 200, "campaign mode: Monte Carlo replications per seed set")
+	budget := fs.Int("budget", 5, "campaign mode: seeds per auto-generated candidate set")
+	maxSize := fs.Int("max-size", 0, "campaign mode: stop each trial at this cascade size (0 = no cap)")
+	milestones := fs.String("milestones", "", "campaign mode: comma-separated time-to-size milestones (default 5,10,25,50)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *model != "" {
+		return runCampaign(ctx, campaignOpts{
+			model:      *model,
+			sets:       *sets,
+			trials:     *trials,
+			horizon:    *window,
+			seed:       *seed,
+			budget:     *budget,
+			maxSize:    *maxSize,
+			milestones: *milestones,
+		})
 	}
 	e := experiments.DefaultSBM()
 	e.N = *n

@@ -18,7 +18,7 @@ import (
 func simulateFixture(t *testing.T) string {
 	t.Helper()
 	path := filepath.Join(t.TempDir(), "cascades.txt")
-	err := cmdSimulate([]string{
+	err := cmdSimulate(context.Background(), []string{
 		"-n", "200", "-cascades", "150", "-window", "8", "-seed", "3", "-out", path,
 	})
 	if err != nil {
@@ -73,6 +73,38 @@ func TestCmdInferWritesModel(t *testing.T) {
 	}
 	if sys.N != 200 || sys.Embeddings.K() != 2 {
 		t.Fatalf("loaded system is %d nodes x %d topics, want 200 x 2", sys.N, sys.Embeddings.K())
+	}
+}
+
+// TestCmdSimulateCampaign drives the offline scenario engine through
+// the CLI: infer a model from simulated cascades, then run a what-if
+// comparison against it, both with explicit seed sets and with the
+// default CELF-vs-top-influencers pairing.
+func TestCmdSimulateCampaign(t *testing.T) {
+	path := simulateFixture(t)
+	model := filepath.Join(t.TempDir(), "model.csv")
+	if err := cmdInfer(context.Background(), []string{"-in", path, "-topics", "2", "-iters", "4", "-out", model}); err != nil {
+		t.Fatal(err)
+	}
+	err := cmdSimulate(context.Background(), []string{
+		"-model", model, "-seed-sets", "a:0,1,2;b:10,11,12",
+		"-trials", "20", "-window", "2", "-seed", "5", "-milestones", "3,10",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = cmdSimulate(context.Background(), []string{
+		"-model", model, "-trials", "10", "-window", "2", "-budget", "3",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Malformed seed sets must be rejected, not silently skipped.
+	err = cmdSimulate(context.Background(), []string{
+		"-model", model, "-seed-sets", "a:0,x,2", "-trials", "5", "-window", "2",
+	})
+	if err == nil || !strings.Contains(err.Error(), "not an integer") {
+		t.Fatalf("bad -seed-sets error = %v", err)
 	}
 }
 

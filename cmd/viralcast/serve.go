@@ -46,6 +46,7 @@ func cmdServe(ctx context.Context, args []string) error {
 	maxInflight := fs.Int("max-inflight", 0, "concurrent requests allowed on the compute endpoints (predict/influencers/seeds); 0 = default 16, -1 = unlimited")
 	queue := fs.Int("queue", 0, "requests beyond -max-inflight that may wait for a compute slot before 429s; 0 = default 64, -1 = no queue")
 	requestTimeout := fs.Duration("request-timeout", 0, "per-request budget on the /v1 data plane; exceeded requests answer 503 (0 disables)")
+	simulateMaxTrials := fs.Int("simulate-max-trials", 0, "cap on total Monte Carlo trials (trials x seed sets) per POST /v1/simulate request; 0 = default 4096")
 	retryAfter := fs.Duration("retry-after", time.Second, "backoff hint sent with 429 shed responses")
 	pprofFlag := fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (control plane: ungated by admission control, like /metrics)")
 	readHeaderTimeout := fs.Duration("read-header-timeout", 0, "slowloris guard: close connections whose headers dribble past this (0 = default 5s, -1ns disables)")
@@ -67,15 +68,16 @@ func cmdServe(ctx context.Context, args []string) error {
 	}
 	logger := log.New(os.Stderr, "viralcastd: ", log.LstdFlags)
 	srv, err := serve.New(serve.Config{
-		Loader:         loader,
-		CacheTTL:       *cacheTTL,
-		FlushEvery:     *flushEvery,
-		DrainTimeout:   *drain,
-		WALDir:         *walDir,
-		WALSync:        *walSync,
-		WALMaxSegment:  *walMaxSegment,
-		FollowURL:      *follow,
-		RequestTimeout: *requestTimeout,
+		Loader:            loader,
+		CacheTTL:          *cacheTTL,
+		FlushEvery:        *flushEvery,
+		DrainTimeout:      *drain,
+		WALDir:            *walDir,
+		WALSync:           *walSync,
+		WALMaxSegment:     *walMaxSegment,
+		FollowURL:         *follow,
+		RequestTimeout:    *requestTimeout,
+		SimulateMaxTrials: *simulateMaxTrials,
 		Admission: serve.AdmissionConfig{
 			Compute:    serve.ClassLimit{MaxInflight: *maxInflight, MaxQueue: *queue},
 			RetryAfter: *retryAfter,

@@ -1,0 +1,99 @@
+// Scenario demonstrates the Monte Carlo what-if engine: after fitting a
+// model, don't just ask for the *expected* coverage of a seed set — run
+// the campaign many times and look at the whole distribution. Two seed
+// sets with similar means can have very different tails, and the tail
+// is what a "will this go viral" bet actually pays on. The example
+// trains on SBM cascades, picks a CELF seed set and a top-influencer
+// set at the same budget, and compares their reach distributions,
+// time-to-size milestones, and head-to-head win rate.
+//
+// Run with: go run ./examples/scenario
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"viralcast"
+	"viralcast/internal/scenario"
+)
+
+func main() {
+	// The horizon is deliberately tight: with a fitted dense hazard
+	// model the spread saturates the whole network given enough time,
+	// and every campaign looks identical at the end state. The
+	// interesting comparison is the *race* — who reaches more, sooner,
+	// before the window closes.
+	const (
+		nodes   = 400
+		window  = 10.0
+		budget  = 5
+		horizon = 0.08
+		trials  = 400
+	)
+	cs, err := viralcast.SimulateSBM(nodes, 600, window, 33)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := viralcast.Train(cs, nodes, viralcast.TrainConfig{
+		Topics: 4, MaxIter: 20, Workers: 4, Seed: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Two candidate campaigns at the same budget: the CELF-optimized
+	// seed set versus simply paying the top-influence nodes.
+	picks, err := sys.SelectSeeds(budget, horizon)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var celf []int
+	for _, s := range picks {
+		celf = append(celf, s.Node)
+	}
+	var top []int
+	for _, inf := range sys.TopInfluencers(budget) {
+		top = append(top, inf.Node)
+	}
+	fmt.Printf("celf seeds:            %v\n", celf)
+	fmt.Printf("top-influencer seeds:  %v\n\n", top)
+
+	eng, err := scenario.New(sys.Embeddings, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := eng.Run(context.Background(), scenario.Spec{
+		SeedSets: []scenario.SeedSet{
+			{Name: "celf", Nodes: celf},
+			{Name: "top-influencers", Nodes: top},
+		},
+		Trials:     trials,
+		Horizon:    horizon,
+		BaseSeed:   7,
+		Milestones: []int{10, 25, 50, 100},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%d trials per set, horizon %g:\n\n", res.Trials, res.Horizon)
+	for _, s := range res.Sets {
+		fmt.Printf("%-16s mean %.1f  p50 %.0f  p90 %.0f  p99 %.0f  range [%d, %d]\n",
+			s.Name, s.Reach.Mean, s.Reach.P50, s.Reach.P90, s.Reach.P99, s.Reach.Min, s.Reach.Max)
+		for _, m := range s.Milestones {
+			if m.Reached == 0 {
+				fmt.Printf("    size %3d: never reached\n", m.Size)
+				continue
+			}
+			fmt.Printf("    size %3d: reached in %4.0f%% of trials, median time %.2f\n",
+				m.Size, m.Reached*100, m.P50Time)
+		}
+	}
+	fmt.Printf("\nhead-to-head: celf out-spreads top-influencers in %.0f%% of trials\n",
+		res.WinRate[0][1]*100)
+	fmt.Println("(identical seed + spec always reproduces these exact numbers — the")
+	fmt.Println(" engine's trials are coordinate-addressed, so results are independent")
+	fmt.Println(" of worker count; the daemon serves the same engine at POST /v1/simulate)")
+}

@@ -2,6 +2,7 @@ package cascade
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 
 	"viralcast/internal/graph"
@@ -17,19 +18,43 @@ import (
 // keeps the earliest tentative infection it receives — the single-source
 // property of the model. The spread is truncated at the observation
 // window (paper §VI-A).
+//
+// With a nil graph the simulator runs in dense mode: every other node is
+// a candidate target of every infection, exactly the topology the A·Bᵀ
+// hazard model itself defines (zero-rate pairs simply never fire). Dense
+// mode is how the scenario engine simulates campaigns against a serving
+// generation, which carries embeddings but no explicit graph.
 type Simulator struct {
-	G      *graph.Graph
-	A, B   *vecmath.Matrix // ground-truth influence and selectivity
-	Window float64         // observation window; infections after it are discarded
+	G      *graph.Graph // nil = dense/complete topology over the embedding rows
+	A, B   *vecmath.Matrix
+	Window float64 // observation window; infections after it are discarded
 }
 
-// NewSimulator validates the inputs and returns a simulator.
+// NewSimulator validates the inputs and returns a graph-backed simulator.
 func NewSimulator(g *graph.Graph, a, b *vecmath.Matrix, window float64) (*Simulator, error) {
-	if g == nil || a == nil || b == nil {
+	if g == nil {
 		return nil, fmt.Errorf("cascade: nil simulator input")
 	}
-	if a.RowsN != g.N() || b.RowsN != g.N() {
+	s, err := NewDenseSimulator(a, b, window)
+	if err != nil {
+		return nil, err
+	}
+	if a.RowsN != g.N() {
 		return nil, fmt.Errorf("cascade: embedding rows (%d, %d) != graph nodes %d", a.RowsN, b.RowsN, g.N())
+	}
+	s.G = g
+	return s, nil
+}
+
+// NewDenseSimulator validates the inputs and returns a simulator over the
+// complete topology implied by the embeddings alone: the hazard of u
+// infecting any v is A[u]·B[v], with no adjacency restriction.
+func NewDenseSimulator(a, b *vecmath.Matrix, window float64) (*Simulator, error) {
+	if a == nil || b == nil {
+		return nil, fmt.Errorf("cascade: nil simulator input")
+	}
+	if a.RowsN != b.RowsN {
+		return nil, fmt.Errorf("cascade: A has %d rows but B has %d", a.RowsN, b.RowsN)
 	}
 	if a.ColsN != b.ColsN {
 		return nil, fmt.Errorf("cascade: A has %d topics but B has %d", a.ColsN, b.ColsN)
@@ -40,7 +65,15 @@ func NewSimulator(g *graph.Graph, a, b *vecmath.Matrix, window float64) (*Simula
 	if !vecmath.AllNonneg(a.Data) || !vecmath.AllNonneg(b.Data) {
 		return nil, fmt.Errorf("cascade: embeddings must be non-negative (they parameterize hazard rates)")
 	}
-	return &Simulator{G: g, A: a, B: b, Window: window}, nil
+	return &Simulator{A: a, B: b, Window: window}, nil
+}
+
+// N returns the node-universe size of the simulation.
+func (s *Simulator) N() int {
+	if s.G != nil {
+		return s.G.N()
+	}
+	return s.A.RowsN
 }
 
 // event is a tentative infection in the simulation's priority queue.
@@ -71,11 +104,33 @@ func (h *eventHeap) Pop() any {
 // Run simulates a single cascade with the given id, starting from seed at
 // time 0. The cascade always contains at least the seed.
 func (s *Simulator) Run(id, seed int, rng *xrand.RNG) (*Cascade, error) {
-	if seed < 0 || seed >= s.G.N() {
-		return nil, fmt.Errorf("cascade: seed %d out of range [0,%d)", seed, s.G.N())
+	return s.RunSeeds(id, []int{seed}, 0, rng)
+}
+
+// RunSeeds simulates one cascade seeded by the whole set at time 0 — a
+// campaign: every seed starts infected simultaneously and their spreads
+// compete for the same susceptible population (a node reached by two
+// seeds' frontiers keeps the earliest infection, as always). Duplicate
+// seeds are collapsed. maxSize > 0 stops the simulation as soon as that
+// many nodes are infected — the early-stop hook for "time to size X"
+// queries and for bounding trial cost; 0 means no cap. The infection
+// order of the returned cascade is deterministic given the rng state.
+func (s *Simulator) RunSeeds(id int, seeds []int, maxSize int, rng *xrand.RNG) (*Cascade, error) {
+	n := s.N()
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("cascade: empty seed set")
+	}
+	for _, seed := range seeds {
+		if seed < 0 || seed >= n {
+			return nil, fmt.Errorf("cascade: seed %d out of range [0,%d)", seed, n)
+		}
 	}
 	infected := make(map[int]float64, 16)
-	h := &eventHeap{{time: 0, node: seed}}
+	h := &eventHeap{}
+	for _, seed := range seeds {
+		*h = append(*h, event{time: 0, node: seed})
+	}
+	heap.Init(h)
 	c := &Cascade{ID: id}
 	for h.Len() > 0 {
 		e := heap.Pop(h).(event)
@@ -87,32 +142,66 @@ func (s *Simulator) Run(id, seed int, rng *xrand.RNG) (*Cascade, error) {
 		}
 		infected[e.node] = e.time
 		c.Infections = append(c.Infections, Infection{Node: e.node, Time: e.time})
-		ts, _ := s.G.Neighbors(e.node)
+		if maxSize > 0 && len(infected) >= maxSize {
+			break // early stop: the question was only ever "how fast to maxSize"
+		}
 		au := s.A.Row(e.node)
-		for _, v := range ts {
-			if _, done := infected[v]; done {
+		if s.G != nil {
+			ts, _ := s.G.Neighbors(e.node)
+			for _, v := range ts {
+				s.attempt(h, infected, au, e.time, v, rng)
+			}
+			continue
+		}
+		// Dense mode: every still-susceptible node is a candidate. The
+		// rng draw happens only for positive rates, so the consumed
+		// stream — and therefore the trajectory — is identical however
+		// the candidate scan is reached.
+		for v := 0; v < n; v++ {
+			if v == e.node {
 				continue
 			}
-			rate := vecmath.Dot(au, s.B.Row(v))
-			if rate <= 0 {
-				continue // zero hazard: u can never infect v
-			}
-			heap.Push(h, event{time: e.time + rng.Exp(rate), node: v})
+			s.attempt(h, infected, au, e.time, v, rng)
 		}
 	}
 	return c, nil
+}
+
+// attempt schedules u→v's tentative infection if v is susceptible and
+// the pair's hazard is positive.
+func (s *Simulator) attempt(h *eventHeap, infected map[int]float64, au []float64, t float64, v int, rng *xrand.RNG) {
+	if _, done := infected[v]; done {
+		return
+	}
+	rate := vecmath.Dot(au, s.B.Row(v))
+	if rate <= 0 {
+		return // zero hazard: u can never infect v
+	}
+	heap.Push(h, event{time: t + rng.Exp(rate), node: v})
 }
 
 // RunMany simulates count cascades with uniformly random seeds, ids
 // firstID..firstID+count-1 (paper §VI-A: "a random node is chosen as the
 // initiator").
 func (s *Simulator) RunMany(firstID, count int, rng *xrand.RNG) ([]*Cascade, error) {
+	return s.RunManyCtx(context.Background(), firstID, count, rng)
+}
+
+// RunManyCtx is RunMany with cancellation, checked between trials: a
+// fired deadline or SIGINT stops the batch at the next trial boundary
+// and discards the partial work (the caller asked a question it no
+// longer wants half-answered). Within-trial state never leaks, so a
+// canceled batch leaves no trace.
+func (s *Simulator) RunManyCtx(ctx context.Context, firstID, count int, rng *xrand.RNG) ([]*Cascade, error) {
 	if count < 0 {
 		return nil, fmt.Errorf("cascade: negative count %d", count)
 	}
 	out := make([]*Cascade, 0, count)
 	for i := 0; i < count; i++ {
-		c, err := s.Run(firstID+i, rng.Intn(s.G.N()), rng)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		c, err := s.Run(firstID+i, rng.Intn(s.N()), rng)
 		if err != nil {
 			return nil, err
 		}

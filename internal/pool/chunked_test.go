@@ -1,0 +1,61 @@
+package pool
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestChunkedCtxCoversEveryIndexExactlyOnce(t *testing.T) {
+	for _, tc := range []struct{ workers, n, chunk int }{
+		{1, 1, 1}, {4, 100, 7}, {8, 100, 100}, {3, 10, 0}, {16, 5, 2},
+	} {
+		hits := make([]int, tc.n)
+		var mu sync.Mutex
+		err := ChunkedCtx(context.Background(), tc.workers, tc.n, tc.chunk, func(lo, hi int) error {
+			if lo < 0 || hi > tc.n || lo >= hi {
+				t.Errorf("bad range [%d,%d) for n=%d", lo, hi, tc.n)
+			}
+			mu.Lock()
+			for i := lo; i < hi; i++ {
+				hits[i]++
+			}
+			mu.Unlock()
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("%+v: %v", tc, err)
+		}
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("%+v: index %d visited %d times", tc, i, h)
+			}
+		}
+	}
+}
+
+func TestChunkedCtxPropagatesErrorAndCancellation(t *testing.T) {
+	boom := errors.New("boom")
+	err := ChunkedCtx(context.Background(), 4, 50, 5, func(lo, hi int) error {
+		if lo == 20 {
+			return boom
+		}
+		return nil
+	})
+	if err != boom {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err = ChunkedCtx(ctx, 4, 50, 5, func(lo, hi int) error { return nil })
+	if err != context.Canceled {
+		t.Fatalf("canceled err = %v, want context.Canceled", err)
+	}
+	if err := ChunkedCtx(context.Background(), 4, 0, 5, func(lo, hi int) error {
+		t.Error("task invoked for n=0")
+		return nil
+	}); err != nil {
+		t.Fatalf("n=0 err = %v", err)
+	}
+}

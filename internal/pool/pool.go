@@ -91,6 +91,35 @@ func RunCtx(ctx context.Context, workers, n int, task func(i int) error) error {
 	return firstErr
 }
 
+// ChunkedCtx runs task over contiguous index ranges [lo, hi) covering
+// [0, n), at most `workers` ranges in flight, with RunCtx's barrier,
+// cancellation, and panic semantics. It exists for workloads whose unit
+// of work is too small to schedule one goroutine each — Monte Carlo
+// trials, per-row scans — where per-task channel traffic would dominate
+// the work itself. Chunks are fixed-size and deterministic, so a task
+// writing results by index produces identical placement at any worker
+// count. chunk <= 0 defaults to ceil(n/workers) (one range per worker).
+func ChunkedCtx(ctx context.Context, workers, n, chunk int, task func(lo, hi int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if chunk <= 0 {
+		chunk = (n + workers - 1) / workers
+	}
+	chunks := (n + chunk - 1) / chunk
+	return RunCtx(ctx, workers, chunks, func(c int) error {
+		lo := c * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		return task(lo, hi)
+	})
+}
+
 // Map runs task(0..n-1) under Run's discipline and collects the results
 // in index order, so output placement is deterministic regardless of
 // scheduling. On error the partial results are discarded.

@@ -1,0 +1,39 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"testing"
+)
+
+// BenchmarkScenarioEngine sweeps the replication count on a fixed
+// two-campaign question over a 150-node universe — the data behind
+// EXPERIMENTS.md's trials-vs-latency table. Latency should scale close
+// to linearly in trials once past the fixed per-run setup (topic
+// attribution scan, slot allocation).
+func BenchmarkScenarioEngine(b *testing.B) {
+	m := testModel(150, 3)
+	e, err := New(m, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, trials := range []int{16, 64, 256, 1024} {
+		b.Run(fmt.Sprintf("trials=%d", trials), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				spec := Spec{
+					SeedSets: []SeedSet{
+						{Name: "a", Nodes: []int{0, 1, 2}},
+						{Name: "b", Nodes: []int{40, 41, 42}},
+					},
+					Trials:   trials,
+					Horizon:  2,
+					BaseSeed: uint64(i + 1), // a fresh question per iteration
+				}
+				if _, err := e.Run(context.Background(), spec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

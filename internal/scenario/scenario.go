@@ -1,0 +1,425 @@
+// Package scenario is the Monte Carlo what-if engine: given candidate
+// seed sets and a time horizon, it replays many stochastic cascades per
+// set against a trained embedding model and reports the resulting
+// spread *distributions* — not just expected reach but its quantiles,
+// time-to-size curves, per-topic composition, and head-to-head win
+// rates between the candidate campaigns.
+//
+// Determinism is the design center. Each trial owns an RNG derived from
+// (base seed, set index, trial index) via xrand.Derive, and every trial
+// writes into a slot addressed by those same coordinates, so the merged
+// result is bit-identical at any worker count and under any scheduling.
+// That is what lets the serving layer cache results by (generation,
+// spec hash) and lets two replicas answer the same question the same
+// way.
+package scenario
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+
+	"viralcast/internal/cascade"
+	"viralcast/internal/embed"
+	"viralcast/internal/pool"
+	"viralcast/internal/stats"
+	"viralcast/internal/xrand"
+)
+
+// MaxSeedSets bounds how many candidate campaigns one spec may compare.
+// The pairwise win-rate matrix is quadratic in this number, and a
+// comparison across more than a handful of alternatives is a screening
+// problem, not a simulation problem.
+const MaxSeedSets = 16
+
+// defaultTrials is the replication count when the spec leaves it unset:
+// enough for stable medians (standard error of the mean shrinks as
+// σ/√trials, see DESIGN.md) while staying interactive.
+const defaultTrials = 100
+
+// trialChunk is how many trials a worker claims at a time. Trials are
+// tens of microseconds to low milliseconds each; chunking amortizes the
+// scheduling cost while keeping the tail balanced.
+const trialChunk = 8
+
+// SeedSet is one candidate campaign: the nodes seeded at time zero.
+type SeedSet struct {
+	Name string `json:"name,omitempty"`
+	// Nodes are the seed node ids. Duplicates are collapsed in
+	// normalization, order preserved.
+	Nodes []int `json:"nodes"`
+	// Budget > 0 truncates Nodes to its first Budget entries — "what
+	// does this ranking buy me at budget b" without editing the list.
+	Budget int `json:"budget,omitempty"`
+}
+
+// Spec describes one simulation request. The zero values of optional
+// fields mean "use the default"; Normalize resolves them so that a
+// normalized spec is canonical — equal specs marshal to equal bytes,
+// which is what Hash fingerprints.
+type Spec struct {
+	SeedSets []SeedSet `json:"seed_sets"`
+	// Trials is the replication count per seed set (default 100).
+	Trials int `json:"trials,omitempty"`
+	// Horizon is the simulated observation window; required, > 0.
+	Horizon float64 `json:"horizon"`
+	// BaseSeed roots every trial's RNG substream. The same spec with
+	// the same seed is bit-reproducible; vary it to resample.
+	BaseSeed uint64 `json:"seed,omitempty"`
+	// MaxSize > 0 stops each trial once that many nodes are infected,
+	// bounding trial cost when only the early race matters.
+	MaxSize int `json:"max_size,omitempty"`
+	// Milestones are the cascade sizes for which time-to-size is
+	// reported (default 5, 10, 25, 50, filtered to the node count).
+	Milestones []int `json:"milestones,omitempty"`
+}
+
+// Normalize validates spec against a universe of n nodes and resolves
+// defaults, returning the canonical form. The receiver is not modified.
+func (sp Spec) Normalize(n int) (Spec, error) {
+	if n <= 0 {
+		return Spec{}, fmt.Errorf("scenario: empty node universe")
+	}
+	out := sp
+	if len(sp.SeedSets) == 0 {
+		return Spec{}, fmt.Errorf("scenario: no seed sets")
+	}
+	if len(sp.SeedSets) > MaxSeedSets {
+		return Spec{}, fmt.Errorf("scenario: %d seed sets exceeds limit %d", len(sp.SeedSets), MaxSeedSets)
+	}
+	if out.Trials == 0 {
+		out.Trials = defaultTrials
+	}
+	if out.Trials < 0 {
+		return Spec{}, fmt.Errorf("scenario: negative trials %d", out.Trials)
+	}
+	if !(out.Horizon > 0) || math.IsInf(out.Horizon, 0) {
+		return Spec{}, fmt.Errorf("scenario: horizon must be positive and finite, got %v", out.Horizon)
+	}
+	if out.MaxSize < 0 {
+		return Spec{}, fmt.Errorf("scenario: negative max_size %d", out.MaxSize)
+	}
+	if out.MaxSize >= n {
+		out.MaxSize = 0 // a cap the universe can't exceed is no cap
+	}
+
+	out.SeedSets = make([]SeedSet, len(sp.SeedSets))
+	names := make(map[string]bool, len(sp.SeedSets))
+	for i, set := range sp.SeedSets {
+		ns := set
+		if ns.Name == "" {
+			ns.Name = fmt.Sprintf("set-%d", i)
+		}
+		if names[ns.Name] {
+			return Spec{}, fmt.Errorf("scenario: duplicate seed set name %q", ns.Name)
+		}
+		names[ns.Name] = true
+		// Dedupe preserving order: a campaign can't seed a node twice,
+		// and a canonical node list keeps the hash honest.
+		seen := make(map[int]bool, len(ns.Nodes))
+		nodes := make([]int, 0, len(ns.Nodes))
+		for _, v := range ns.Nodes {
+			if v < 0 || v >= n {
+				return Spec{}, fmt.Errorf("scenario: set %q seed %d out of range [0,%d)", ns.Name, v, n)
+			}
+			if !seen[v] {
+				seen[v] = true
+				nodes = append(nodes, v)
+			}
+		}
+		if ns.Budget < 0 {
+			return Spec{}, fmt.Errorf("scenario: set %q negative budget %d", ns.Name, ns.Budget)
+		}
+		if ns.Budget > 0 && ns.Budget < len(nodes) {
+			nodes = nodes[:ns.Budget]
+		}
+		ns.Budget = 0 // spent: the truncation is now explicit in Nodes
+		if len(nodes) == 0 {
+			return Spec{}, fmt.Errorf("scenario: set %q has no seeds", ns.Name)
+		}
+		ns.Nodes = nodes
+		out.SeedSets[i] = ns
+	}
+
+	if len(sp.Milestones) == 0 {
+		out.Milestones = []int{5, 10, 25, 50}
+	} else {
+		out.Milestones = append([]int(nil), sp.Milestones...)
+	}
+	for _, m := range out.Milestones {
+		if m <= 0 {
+			return Spec{}, fmt.Errorf("scenario: milestone %d must be positive", m)
+		}
+	}
+	sort.Ints(out.Milestones)
+	ms := out.Milestones[:0]
+	for i, m := range out.Milestones {
+		if m > n {
+			continue // unreachable in this universe
+		}
+		if i > 0 && m == out.Milestones[i-1] {
+			continue
+		}
+		ms = append(ms, m)
+	}
+	out.Milestones = ms
+	return out, nil
+}
+
+// Hash fingerprints a normalized spec: the SHA-256 of its canonical
+// JSON encoding. Two requests that normalize to the same spec share a
+// hash and therefore a cache slot.
+func (sp Spec) Hash() string {
+	raw, err := json.Marshal(sp)
+	if err != nil {
+		// Spec contains only marshalable fields; this cannot happen.
+		panic(fmt.Sprintf("scenario: spec hash: %v", err))
+	}
+	sum := sha256.Sum256(raw)
+	return hex.EncodeToString(sum[:16])
+}
+
+// Dist summarizes a reach (cascade size) sample.
+type Dist struct {
+	Mean float64 `json:"mean"`
+	P50  float64 `json:"p50"`
+	P90  float64 `json:"p90"`
+	P99  float64 `json:"p99"`
+	Min  int     `json:"min"`
+	Max  int     `json:"max"`
+}
+
+// Milestone reports how the campaign races to a given size.
+type Milestone struct {
+	Size int `json:"size"`
+	// Reached is the fraction of trials whose cascade grew to Size
+	// within the horizon.
+	Reached float64 `json:"reached"`
+	// P50Time is the median time to reach Size among the trials that
+	// did, or -1 when none did (NaN is not representable in JSON).
+	P50Time float64 `json:"p50_time"`
+}
+
+// TopicReach is the expected number of infections whose node belongs to
+// a topic (nodes are assigned to their argmax selectivity topic).
+type TopicReach struct {
+	Topic     int     `json:"topic"`
+	MeanReach float64 `json:"mean_reach"`
+}
+
+// SetResult is the aggregated outcome of one seed set's trials.
+type SetResult struct {
+	Name       string       `json:"name"`
+	Seeds      []int        `json:"seeds"`
+	Reach      Dist         `json:"reach"`
+	Milestones []Milestone  `json:"milestones"`
+	Topics     []TopicReach `json:"topics"`
+}
+
+// Result is a full scenario run. WinRate[i][j] is the fraction of
+// trial pairs (matched by trial index, so both sides face the same
+// substream coordinate) in which set i out-spread set j; ties count
+// half, and the diagonal is 0.5 by convention.
+type Result struct {
+	Trials      int         `json:"trials"`
+	Horizon     float64     `json:"horizon"`
+	BaseSeed    uint64      `json:"seed"`
+	MaxSize     int         `json:"max_size,omitempty"`
+	Sets        []SetResult `json:"sets"`
+	WinRate     [][]float64 `json:"win_rate"`
+	TotalTrials int         `json:"total_trials"`
+}
+
+// Engine runs scenarios against one embedding model. It is stateless
+// between runs and safe for concurrent use.
+type Engine struct {
+	m       *embed.Model
+	workers int
+}
+
+// New returns an engine over the model, running trials on up to
+// `workers` goroutines (<= 0 means GOMAXPROCS).
+func New(m *embed.Model, workers int) (*Engine, error) {
+	if m == nil || m.A == nil || m.B == nil {
+		return nil, fmt.Errorf("scenario: nil model")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{m: m, workers: workers}, nil
+}
+
+// N returns the node-universe size the engine simulates over.
+func (e *Engine) N() int { return e.m.N() }
+
+// Run normalizes spec, executes Trials cascade simulations per seed
+// set, and aggregates. The context is checked between trials: a fired
+// deadline abandons the batch and returns ctx.Err() with no partial
+// result. Output is bit-identical for a given (model, normalized spec)
+// at any worker count.
+func (e *Engine) Run(ctx context.Context, spec Spec) (*Result, error) {
+	spec, err := spec.Normalize(e.m.N())
+	if err != nil {
+		return nil, err
+	}
+	sim, err := cascade.NewDenseSimulator(e.m.A, e.m.B, spec.Horizon)
+	if err != nil {
+		return nil, err
+	}
+
+	// topicOf[v] is v's argmax selectivity topic, the attribution used
+	// for the per-topic breakdown. Ties go to the lower topic index.
+	k := e.m.K()
+	topicOf := make([]int, e.m.N())
+	for v := range topicOf {
+		row := e.m.B.Row(v)
+		best := 0
+		for t := 1; t < k; t++ {
+			if row[t] > row[best] {
+				best = t
+			}
+		}
+		topicOf[v] = best
+	}
+
+	// Slot arrays indexed by idx = set*Trials + trial. Workers write
+	// disjoint slots, so the merge is a no-op and order-independent.
+	nSets := len(spec.SeedSets)
+	total := nSets * spec.Trials
+	sizes := make([]int, total)
+	mTimes := make([]float64, total*len(spec.Milestones))
+	topicHits := make([]int, total*k)
+
+	runTrial := func(idx int) error {
+		set, trial := idx/spec.Trials, idx%spec.Trials
+		rng := xrand.New(xrand.Derive(spec.BaseSeed, uint64(set), uint64(trial)))
+		c, err := sim.RunSeeds(idx, spec.SeedSets[set].Nodes, spec.MaxSize, rng)
+		if err != nil {
+			return err
+		}
+		sizes[idx] = c.Size()
+		for mi, msize := range spec.Milestones {
+			t := -1.0
+			if c.Size() >= msize {
+				t = c.Infections[msize-1].Time
+			}
+			mTimes[idx*len(spec.Milestones)+mi] = t
+		}
+		for _, inf := range c.Infections {
+			topicHits[idx*k+topicOf[inf.Node]]++
+		}
+		return nil
+	}
+	err = pool.ChunkedCtx(ctx, e.workers, total, trialChunk, func(lo, hi int) error {
+		for idx := lo; idx < hi; idx++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := runTrial(idx); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		Trials:      spec.Trials,
+		Horizon:     spec.Horizon,
+		BaseSeed:    spec.BaseSeed,
+		MaxSize:     spec.MaxSize,
+		Sets:        make([]SetResult, nSets),
+		WinRate:     make([][]float64, nSets),
+		TotalTrials: total,
+	}
+	for s := 0; s < nSets; s++ {
+		res.Sets[s] = e.aggregateSet(spec, s, sizes, mTimes, topicHits, k)
+	}
+	for i := 0; i < nSets; i++ {
+		res.WinRate[i] = make([]float64, nSets)
+		for j := 0; j < nSets; j++ {
+			res.WinRate[i][j] = winRate(sizes, spec.Trials, i, j)
+		}
+	}
+	return res, nil
+}
+
+// aggregateSet folds set s's slots into its SetResult.
+func (e *Engine) aggregateSet(spec Spec, s int, sizes []int, mTimes []float64, topicHits []int, k int) SetResult {
+	T := spec.Trials
+	lo := s * T
+	out := SetResult{Name: spec.SeedSets[s].Name, Seeds: spec.SeedSets[s].Nodes}
+
+	sample := make([]float64, T)
+	out.Reach.Min, out.Reach.Max = sizes[lo], sizes[lo]
+	var sum float64
+	for t := 0; t < T; t++ {
+		sz := sizes[lo+t]
+		sample[t] = float64(sz)
+		sum += float64(sz)
+		if sz < out.Reach.Min {
+			out.Reach.Min = sz
+		}
+		if sz > out.Reach.Max {
+			out.Reach.Max = sz
+		}
+	}
+	sort.Float64s(sample)
+	out.Reach.Mean = sum / float64(T)
+	out.Reach.P50 = stats.Quantile(sample, 0.50)
+	out.Reach.P90 = stats.Quantile(sample, 0.90)
+	out.Reach.P99 = stats.Quantile(sample, 0.99)
+
+	nm := len(spec.Milestones)
+	out.Milestones = make([]Milestone, nm)
+	for mi, msize := range spec.Milestones {
+		var reached []float64
+		for t := 0; t < T; t++ {
+			if mt := mTimes[(lo+t)*nm+mi]; mt >= 0 {
+				reached = append(reached, mt)
+			}
+		}
+		m := Milestone{Size: msize, Reached: float64(len(reached)) / float64(T), P50Time: -1}
+		if len(reached) > 0 {
+			sort.Float64s(reached)
+			m.P50Time = stats.Quantile(reached, 0.50)
+		}
+		out.Milestones[mi] = m
+	}
+
+	out.Topics = make([]TopicReach, k)
+	for topic := 0; topic < k; topic++ {
+		var hits int
+		for t := 0; t < T; t++ {
+			hits += topicHits[(lo+t)*k+topic]
+		}
+		out.Topics[topic] = TopicReach{Topic: topic, MeanReach: float64(hits) / float64(T)}
+	}
+	return out
+}
+
+// winRate compares sets i and j trial-by-trial over the shared sizes
+// array; ties score half a win each side.
+func winRate(sizes []int, trials, i, j int) float64 {
+	if i == j {
+		return 0.5
+	}
+	var wins float64
+	for t := 0; t < trials; t++ {
+		si, sj := sizes[i*trials+t], sizes[j*trials+t]
+		switch {
+		case si > sj:
+			wins++
+		case si == sj:
+			wins += 0.5
+		}
+	}
+	return wins / float64(trials)
+}

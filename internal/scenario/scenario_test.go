@@ -1,0 +1,242 @@
+package scenario
+
+import (
+	"context"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"viralcast/internal/embed"
+	"viralcast/internal/xrand"
+)
+
+// testModel builds a small positive-embedding model with two clearly
+// separated topics so topic attribution is exercised.
+func testModel(n, k int) *embed.Model {
+	m := embed.NewModel(n, k)
+	rng := xrand.New(42)
+	m.InitUniform(rng, 0.05, 0.4)
+	return m
+}
+
+func testSpec() Spec {
+	return Spec{
+		SeedSets: []SeedSet{
+			{Name: "celf", Nodes: []int{0, 1, 2}},
+			{Name: "random", Nodes: []int{10, 11, 12}},
+		},
+		Trials:   40,
+		Horizon:  2,
+		BaseSeed: 99,
+	}
+}
+
+func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
+	m := testModel(60, 3)
+	var results []*Result
+	for _, workers := range []int{1, 8} {
+		e, err := New(m, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := e.Run(context.Background(), testSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, r)
+	}
+	if !reflect.DeepEqual(results[0], results[1]) {
+		a, _ := json.Marshal(results[0])
+		b, _ := json.Marshal(results[1])
+		t.Fatalf("worker counts disagree:\n1: %s\n8: %s", a, b)
+	}
+	// And the encoded form — what the cache stores — must match too.
+	a, _ := json.Marshal(results[0])
+	b, _ := json.Marshal(results[1])
+	if string(a) != string(b) {
+		t.Fatal("JSON encodings differ across worker counts")
+	}
+}
+
+func TestRunResultShape(t *testing.T) {
+	m := testModel(60, 3)
+	e, _ := New(m, 4)
+	spec := testSpec()
+	r, err := e.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Sets) != 2 || r.Trials != 40 || r.TotalTrials != 80 {
+		t.Fatalf("shape: %d sets, %d trials, %d total", len(r.Sets), r.Trials, r.TotalTrials)
+	}
+	for _, s := range r.Sets {
+		if s.Reach.Mean < float64(len(s.Seeds)) {
+			t.Fatalf("set %s mean reach %v below its own seed count", s.Name, s.Reach.Mean)
+		}
+		if s.Reach.Min > int(s.Reach.P50) || float64(s.Reach.Max) < s.Reach.P99 {
+			t.Fatalf("set %s quantiles out of order: %+v", s.Name, s.Reach)
+		}
+		if len(s.Topics) != 3 {
+			t.Fatalf("set %s has %d topic rows, want 3", s.Name, len(s.Topics))
+		}
+		var topicSum float64
+		for _, tr := range s.Topics {
+			topicSum += tr.MeanReach
+		}
+		if diff := topicSum - s.Reach.Mean; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("set %s topic reaches sum to %v, mean reach %v", s.Name, topicSum, s.Reach.Mean)
+		}
+		for _, ms := range s.Milestones {
+			if ms.Reached > 0 && ms.P50Time < 0 {
+				t.Fatalf("milestone %d reached %v but no median time", ms.Size, ms.Reached)
+			}
+			if ms.Reached == 0 && ms.P50Time != -1 {
+				t.Fatalf("unreached milestone %d has time %v, want -1 sentinel", ms.Size, ms.P50Time)
+			}
+		}
+	}
+	// Win rates are complementary and the diagonal is the convention 0.5.
+	if r.WinRate[0][0] != 0.5 || r.WinRate[1][1] != 0.5 {
+		t.Fatalf("diagonal win rate: %v", r.WinRate)
+	}
+	if sum := r.WinRate[0][1] + r.WinRate[1][0]; sum < 1-1e-9 || sum > 1+1e-9 {
+		t.Fatalf("win rates not complementary: %v", r.WinRate)
+	}
+}
+
+func TestRunMaxSizeCapsReach(t *testing.T) {
+	m := testModel(60, 2)
+	e, _ := New(m, 4)
+	spec := testSpec()
+	spec.MaxSize = 7
+	r, err := e.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range r.Sets {
+		if s.Reach.Max > 7 {
+			t.Fatalf("set %s max reach %d exceeds max_size 7", s.Name, s.Reach.Max)
+		}
+	}
+}
+
+func TestRunCancellation(t *testing.T) {
+	m := testModel(60, 2)
+	e, _ := New(m, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.Run(ctx, testSpec()); err != context.Canceled {
+		t.Fatalf("canceled run = %v, want context.Canceled", err)
+	}
+}
+
+func TestNormalizeDefaultsAndValidation(t *testing.T) {
+	base := Spec{SeedSets: []SeedSet{{Nodes: []int{1, 1, 2}}}, Horizon: 3}
+	n, err := base.Normalize(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Trials != 100 {
+		t.Fatalf("default trials = %d", n.Trials)
+	}
+	if n.SeedSets[0].Name != "set-0" {
+		t.Fatalf("default name = %q", n.SeedSets[0].Name)
+	}
+	if !reflect.DeepEqual(n.SeedSets[0].Nodes, []int{1, 2}) {
+		t.Fatalf("dedupe: %v", n.SeedSets[0].Nodes)
+	}
+	if !reflect.DeepEqual(n.Milestones, []int{5, 10, 25, 50}) {
+		t.Fatalf("default milestones: %v", n.Milestones)
+	}
+
+	// Budget truncates after dedupe and is consumed by normalization.
+	b := Spec{SeedSets: []SeedSet{{Nodes: []int{4, 4, 5, 6}, Budget: 2}}, Horizon: 1}
+	nb, err := b.Normalize(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(nb.SeedSets[0].Nodes, []int{4, 5}) || nb.SeedSets[0].Budget != 0 {
+		t.Fatalf("budget: %+v", nb.SeedSets[0])
+	}
+
+	// Milestones beyond the universe are dropped; duplicates collapse.
+	msSpec := Spec{SeedSets: []SeedSet{{Nodes: []int{0}}}, Horizon: 1, Milestones: []int{8, 3, 3, 500}}
+	nm, err := msSpec.Normalize(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(nm.Milestones, []int{3, 8}) {
+		t.Fatalf("milestones: %v", nm.Milestones)
+	}
+
+	// A cap at or above the universe size is no cap.
+	capSpec := Spec{SeedSets: []SeedSet{{Nodes: []int{0}}}, Horizon: 1, MaxSize: 10}
+	nc, err := capSpec.Normalize(10)
+	if err != nil || nc.MaxSize != 0 {
+		t.Fatalf("max_size clamp: %d, %v", nc.MaxSize, err)
+	}
+
+	bad := []Spec{
+		{Horizon: 1},                                          // no sets
+		{SeedSets: []SeedSet{{Nodes: []int{0}}}},              // no horizon
+		{SeedSets: []SeedSet{{Nodes: []int{0}}}, Horizon: -1}, // bad horizon
+		{SeedSets: []SeedSet{{Nodes: []int{50}}}, Horizon: 1}, // seed out of range
+		{SeedSets: []SeedSet{{Nodes: nil}}, Horizon: 1},       // empty set
+		{SeedSets: []SeedSet{{Nodes: []int{0}}}, Horizon: 1, Trials: -1},
+		{SeedSets: []SeedSet{{Nodes: []int{0}}}, Horizon: 1, MaxSize: -1},
+		{SeedSets: []SeedSet{{Nodes: []int{0}}}, Horizon: 1, Milestones: []int{0}},
+		{SeedSets: []SeedSet{{Name: "x", Nodes: []int{0}}, {Name: "x", Nodes: []int{1}}}, Horizon: 1},
+		{SeedSets: []SeedSet{{Nodes: []int{0}, Budget: -1}}, Horizon: 1},
+	}
+	for i, sp := range bad {
+		if _, err := sp.Normalize(10); err == nil {
+			t.Errorf("bad spec %d accepted", i)
+		}
+	}
+	tooMany := Spec{Horizon: 1}
+	for i := 0; i <= MaxSeedSets; i++ {
+		tooMany.SeedSets = append(tooMany.SeedSets, SeedSet{Nodes: []int{i}})
+	}
+	if _, err := tooMany.Normalize(100); err == nil {
+		t.Error("over-limit seed set count accepted")
+	}
+}
+
+func TestHashCanonical(t *testing.T) {
+	// Two differently-written requests that normalize identically must
+	// share a hash — that is what makes the serving cache effective.
+	a := Spec{SeedSets: []SeedSet{{Nodes: []int{3, 3, 4}}}, Horizon: 2, Milestones: []int{10, 5, 5}}
+	b := Spec{SeedSets: []SeedSet{{Name: "set-0", Nodes: []int{3, 4, 3, 4}}}, Horizon: 2, Milestones: []int{5, 10}}
+	na, err := a.Normalize(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb, err := b.Normalize(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if na.Hash() != nb.Hash() {
+		t.Fatal("equivalent specs hash differently")
+	}
+	nc := na
+	nc.BaseSeed = 1
+	if nc.Hash() == na.Hash() {
+		t.Fatal("seed change did not change the hash")
+	}
+	if na.Hash() != na.Hash() {
+		t.Fatal("hash is not stable")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, 1); err == nil {
+		t.Fatal("nil model accepted")
+	}
+	e, err := New(testModel(10, 2), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.N() != 10 {
+		t.Fatalf("N = %d", e.N())
+	}
+}

@@ -51,6 +51,7 @@ func (s *Server) routes() http.Handler {
 	add("GET /v1/rate", "rate", classRead, s.handleRate)
 	add("GET /v1/influencers", "influencers", classCompute, s.handleInfluencers)
 	add("GET /v1/seeds", "seeds", classCompute, s.handleSeeds)
+	add("POST /v1/simulate", "simulate", classCompute, s.handleSimulate)
 	control("POST /v1/reload", "reload", s.handleReload)
 	control("POST /v1/flush", "flush", s.handleFlush)
 	control("GET /healthz", "healthz", s.handleHealthz)

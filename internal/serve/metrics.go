@@ -4,6 +4,8 @@ import (
 	"expvar"
 	"fmt"
 	"net/http"
+	"sort"
+	"sync"
 	"time"
 
 	"viralcast/internal/repl"
@@ -38,6 +40,54 @@ type Metrics struct {
 	followerRejects *expvar.Int // ingest/flush requests 409ed on a follower
 	replUnservable  *expvar.Int // data-plane requests 503ed while not servable
 	promotions      *expvar.Int // follower→primary promotions
+
+	scenarioTrials *expvar.Int  // Monte Carlo trials completed by /v1/simulate
+	scenarioRuns   *expvar.Int  // scenario batches computed (cache misses that ran)
+	scenarioActive *expvar.Int  // scenario batches running right now (gauge)
+	scenarioLat    *latencyRing // recent scenario batch latencies (p50/p99)
+}
+
+// latencyRing keeps the most recent observations of a sparse, possibly
+// long-running operation so /metrics can report live quantiles. The
+// bucketed histogram above is wrong for this: scenario batches span
+// microseconds (tiny cached models) to seconds (4k trials on a big
+// universe), and the interesting question is "what are batches costing
+// lately", not "since process start".
+type latencyRing struct {
+	mu  sync.Mutex
+	buf [128]float64 // milliseconds
+	n   uint64       // total observations ever; buf index is n % len
+}
+
+func (r *latencyRing) observe(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	r.mu.Lock()
+	r.buf[r.n%uint64(len(r.buf))] = ms
+	r.n++
+	r.mu.Unlock()
+}
+
+// quantile returns the q-quantile of the retained window in
+// milliseconds, or -1 before the first observation.
+func (r *latencyRing) quantile(q float64) float64 {
+	r.mu.Lock()
+	n := int(min64(r.n, uint64(len(r.buf))))
+	sample := make([]float64, n)
+	copy(sample, r.buf[:n])
+	r.mu.Unlock()
+	if n == 0 {
+		return -1
+	}
+	sort.Float64s(sample)
+	idx := int(q * float64(n-1))
+	return sample[idx]
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
 }
 
 // metricsHooks are the live-read closures behind the gauge metrics;
@@ -82,6 +132,11 @@ func newMetrics(hooks metricsHooks) *Metrics {
 		followerRejects: new(expvar.Int),
 		replUnservable:  new(expvar.Int),
 		promotions:      new(expvar.Int),
+
+		scenarioTrials: new(expvar.Int),
+		scenarioRuns:   new(expvar.Int),
+		scenarioActive: new(expvar.Int),
+		scenarioLat:    &latencyRing{},
 	}
 	for _, b := range latencyBuckets {
 		m.latency.Set(fmt.Sprintf("le_%gms", b), new(expvar.Int))
@@ -163,6 +218,19 @@ func newMetrics(hooks metricsHooks) *Metrics {
 	m.root.Set("repl_lag_records", replGauge(func(st repl.Status) any { return st.LagRecords }))
 	m.root.Set("repl_lag_seconds", replGauge(func(st repl.Status) any { return st.LagSeconds }))
 	m.root.Set("repl_reconnects", replGauge(func(st repl.Status) any { return st.Reconnects }))
+
+	// Scenario-engine surface: work volume (trials), batch cadence, a
+	// live gauge of in-flight simulations, and recent-batch latency
+	// quantiles. Always published, zero/-1 before the first simulate.
+	m.root.Set("scenario_trials_total", m.scenarioTrials)
+	m.root.Set("scenario_runs_total", m.scenarioRuns)
+	m.root.Set("scenario_active", m.scenarioActive)
+	m.root.Set("scenario_batch_latency_ms_p50", expvar.Func(func() any {
+		return m.scenarioLat.quantile(0.50)
+	}))
+	m.root.Set("scenario_batch_latency_ms_p99", expvar.Func(func() any {
+		return m.scenarioLat.quantile(0.99)
+	}))
 
 	m.root.Set("wal_enabled", expvar.Func(func() any {
 		_, on := hooks.walStats()

@@ -4,9 +4,11 @@
 package serve
 
 import (
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strconv"
+	"strings"
 	"testing"
 	"time"
 )
@@ -127,6 +129,37 @@ func BenchmarkInfluencersRequest(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		if w.Code != http.StatusOK {
+			b.Fatal(w.Code)
+		}
+	}
+}
+
+// BenchmarkSimulate measures an uncached POST /v1/simulate end to end:
+// spec parse, normalization, the Monte Carlo batch on all cores, the
+// aggregation, and the response encoding. The seed varies per iteration
+// so every request misses the cache — this is the cost a *new* what-if
+// question pays, the number EXPERIMENTS.md's trials-vs-latency table is
+// anchored on.
+func BenchmarkSimulate(b *testing.B) {
+	srv, err := New(Config{Loader: benchLoader(b), CacheTTL: time.Hour})
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := srv.Handler()
+	const spec = `{"seed_sets":[{"name":"a","nodes":[0,1,2]},{"name":"b","nodes":[40,41,42]}],"trials":32,"horizon":2,"seed":%d}`
+	warm := httptest.NewRequest("POST", "/v1/simulate", strings.NewReader(fmt.Sprintf(spec, 0)))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, warm)
+	if w.Code != http.StatusOK {
+		b.Fatalf("simulate = %d: %s", w.Code, w.Body.String())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest("POST", "/v1/simulate", strings.NewReader(fmt.Sprintf(spec, i+1)))
 		w := httptest.NewRecorder()
 		h.ServeHTTP(w, req)
 		if w.Code != http.StatusOK {

@@ -94,6 +94,11 @@ type Config struct {
 	// Admission bounds per-route-class concurrency; see
 	// AdmissionConfig. The zero value enables generous defaults.
 	Admission AdmissionConfig
+	// SimulateMaxTrials caps the total Monte Carlo trials (trials ×
+	// seed sets) one POST /v1/simulate request may ask for; bigger
+	// requests answer 400 with the cap so clients can split or shrink
+	// the question. Default 4096.
+	SimulateMaxTrials int
 	// EnablePprof exposes net/http/pprof under /debug/pprof/ on the
 	// control plane — ungated by admission control and request budgets
 	// (like /metrics), so a live daemon can be profiled even while it is
@@ -171,6 +176,9 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.DrainTimeout <= 0 {
 		cfg.DrainTimeout = 10 * time.Second
+	}
+	if cfg.SimulateMaxTrials <= 0 {
+		cfg.SimulateMaxTrials = 4096
 	}
 	// Slowloris guards: a connection that cannot produce its headers or
 	// body promptly is an attack or a casualty — either way not worth a

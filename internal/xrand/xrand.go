@@ -63,6 +63,27 @@ func (r *RNG) Split() *RNG {
 	return New(r.Uint64())
 }
 
+// Derive maps (seed, ids...) to a substream seed through a splitmix64
+// chain, so callers can address an unbounded family of independent
+// streams by coordinate — New(Derive(base, i, j)) is the same generator
+// no matter which worker asks, in which order, or how many siblings
+// exist. This is what makes parallel Monte Carlo merges
+// order-independent: stream identity comes from the coordinates, not
+// from how many times a shared generator was advanced before the split.
+func Derive(seed uint64, ids ...uint64) uint64 {
+	state := seed
+	out := splitmix64(&state)
+	for _, id := range ids {
+		// XOR each coordinate into the fully mixed previous output, not
+		// the raw counter state: small structured ids (set 0 trial 1 vs
+		// set 1 trial 0) must land on unrelated streams, which takes a
+		// full avalanche between folds.
+		state = out ^ id
+		out = splitmix64(&state)
+	}
+	return out
+}
+
 // Float64 returns a uniform float64 in [0, 1).
 func (r *RNG) Float64() float64 {
 	return float64(r.Uint64()>>11) * 0x1p-53

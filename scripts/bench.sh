@@ -23,6 +23,7 @@ pkgs=(
   ./internal/inflmax/
   ./internal/core/
   ./internal/serve/
+  ./internal/scenario/
 )
 
 raw="$(mktemp)"

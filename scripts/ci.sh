@@ -2,7 +2,8 @@
 # ci.sh — the repo's verification gate: static checks, build, the full
 # test suite, the race detector on the packages that exercise
 # concurrency (the worker pool, the parallel/Hogwild optimizers, SLPA,
-# the serving daemon, the write-ahead log), and a live smoke test of
+# the serving daemon, the write-ahead log, the Monte Carlo scenario
+# engine), and a live smoke test of
 # viralcastd including crash replay: the daemon is SIGKILLed mid-stream
 # and restarted on the same WAL directory, which must restore the
 # ingested cascade. The final stage is a replication failover: a
@@ -21,7 +22,7 @@ echo "== go test ./..."
 go test -shuffle=on ./...
 
 echo "== go test -race (concurrent packages, incl. the chaos soak)"
-go test -race -shuffle=on ./internal/pool/ ./internal/infer/ ./internal/slpa/ ./internal/serve/ ./internal/wal/ ./internal/repl/ ./internal/inflmax/ ./internal/core/
+go test -race -shuffle=on ./internal/pool/ ./internal/infer/ ./internal/slpa/ ./internal/serve/ ./internal/wal/ ./internal/repl/ ./internal/inflmax/ ./internal/core/ ./internal/scenario/
 
 echo "== bench smoke (every benchmark must compile and run once)"
 go test -run=NONE -bench=. -benchtime=1x ./...
@@ -51,12 +52,14 @@ go build -o "$tmp/viralcast" ./cmd/viralcast
 "$tmp/viralcast" infer -in "$tmp/cascades.txt" -topics 2 -iters 6 -seed 7 -out "$tmp/model.txt"
 
 # start_daemon LOGFILE: launch viralcastd with durable ingestion on a
-# random port and wait for the bound address file.
+# random port and wait for the bound address file. The tight
+# -simulate-max-trials lets the smoke client prove the scenario-engine
+# cap rejects oversized campaigns before any compute is admitted.
 start_daemon() {
   rm -f "$tmp/addr"
   "$tmp/viralcast" serve -addr 127.0.0.1:0 -addr-file "$tmp/addr" \
     -model "$tmp/model.txt" -cascades "$tmp/cascades.txt" -seed 7 \
-    -flush-every 0 -wal-dir "$tmp/wal" 2>"$1" &
+    -flush-every 0 -wal-dir "$tmp/wal" -simulate-max-trials 256 2>"$1" &
   daemon_pid=$!
   for _ in $(seq 1 100); do
     [[ -s "$tmp/addr" ]] && break
@@ -71,7 +74,7 @@ start_daemon() {
 }
 
 start_daemon "$tmp/daemon.log"
-go run ./scripts/smoke -base "http://$(cat "$tmp/addr")" -wal
+go run ./scripts/smoke -base "http://$(cat "$tmp/addr")" -wal -simulate-cap 256
 
 # Crash replay: the smoke cascade above only ever lived in the daemon's
 # memory, so a hard kill (no drain, no flush) would have lost it before

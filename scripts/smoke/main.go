@@ -1,9 +1,12 @@
 // Command smoke is the CI client for the viralcastd smoke test: given a
 // running daemon's base URL, it checks the health probes, streams a
 // small cascade in, asserts a 200 prediction, exercises a hot reload,
-// and verifies the metrics counters moved. Exits non-zero on the first
-// failed expectation; scripts/ci.sh drives it against a daemon on a
-// random port.
+// runs a small Monte Carlo campaign through POST /v1/simulate (schema
+// validated field by field, repeat must hit the cache; with
+// -simulate-cap N an over-cap campaign must 400), and verifies the
+// metrics counters moved. Exits non-zero on the first failed
+// expectation; scripts/ci.sh drives it against a daemon on a random
+// port.
 //
 // With -wal it additionally asserts the write-ahead-log counters moved
 // (the daemon must be running with -wal-dir). With -post-crash it runs
@@ -36,7 +39,9 @@ import (
 	"math/rand"
 	"net/http"
 	"os"
+	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 )
@@ -46,6 +51,7 @@ func main() {
 	walOn := flag.Bool("wal", false, "daemon runs with -wal-dir: assert the wal_* metrics move")
 	postCrash := flag.Bool("post-crash", false, "daemon was restarted after a hard kill: verify WAL replay instead of ingesting")
 	overload := flag.Bool("overload", false, "daemon runs with a tiny -max-inflight: assert load shedding and Retry-After")
+	simCap := flag.Int("simulate-cap", 0, "daemon runs with -simulate-max-trials N: assert an over-cap campaign is rejected with 400")
 	follow := flag.Bool("follow", false, "daemon runs with -follow: wait for replication to be current and assert the follower contract")
 	postPromote := flag.Bool("post-promote", false, "daemon is a freshly promoted follower: assert it serves the replicated prefix and ingests again")
 	flag.Parse()
@@ -127,9 +133,15 @@ func main() {
 	}
 	expect(client, "GET", *base+"/v1/cascades/31337/predict", nil, 200, &pred)
 
+	checkSimulate(client, *base, *simCap)
+
 	metrics := getMetrics(client, *base)
 	if metrics.Requests["predict"] < 2 || metrics.Requests["events"] < 1 || metrics.Events != 5 {
 		log.Fatalf("smoke: metrics did not move: %+v", metrics)
+	}
+	if metrics.ScenarioRuns < 1 || metrics.ScenarioTrials < 40 {
+		log.Fatalf("smoke: scenario metrics did not move: runs=%v trials=%v",
+			metrics.ScenarioRuns, metrics.ScenarioTrials)
 	}
 	if *walOn {
 		if !metrics.WALEnabled {
@@ -163,6 +175,9 @@ type walMetrics struct {
 	ReplLagRecords float64 `json:"repl_lag_records"`
 	ReplReconnects float64 `json:"repl_reconnects"`
 	ReplPromotions float64 `json:"repl_promotions"`
+
+	ScenarioRuns   float64 `json:"scenario_runs_total"`
+	ScenarioTrials float64 `json:"scenario_trials_total"`
 }
 
 // waitUp gives a freshly exec'd daemon time to bind: connection-refused
@@ -427,6 +442,142 @@ func checkOverload(client *http.Client, base string) {
 	}
 	fmt.Printf("smoke: overload ok (%d succeeded, %d shed with Retry-After, %d deadline-cut, overload_shed=%v)\n",
 		succeeded, shed, deadlineCut, m.OverloadShed)
+}
+
+// checkSimulate POSTs a small Monte Carlo campaign to /v1/simulate and
+// validates the response schema field by field — a mismatch names the
+// exact offending field path instead of a generic decode error. The
+// identical spec is then re-POSTed and must come back from the
+// generation-keyed cache. With cap > 0 (the daemon runs with
+// -simulate-max-trials) an over-cap campaign must be rejected with a
+// 400 that names the limit, before any compute is admitted.
+func checkSimulate(client *http.Client, base string, maxTrials int) {
+	spec := map[string]any{
+		"seed_sets": []map[string]any{
+			{"name": "a", "nodes": []int{1, 2, 3}},
+			{"name": "b", "nodes": []int{10, 11, 12}},
+		},
+		"trials":  20,
+		"horizon": 2.0,
+		"seed":    7,
+	}
+	var sim map[string]any
+	expect(client, "POST", base+"/v1/simulate", spec, 200, &sim)
+	if err := checkSchema(sim, map[string]string{
+		"trials":            "number",
+		"horizon":           "number",
+		"seed":              "number",
+		"total_trials":      "number",
+		"cached":            "bool",
+		"generation":        "number",
+		"sets":              "array",
+		"sets.0.name":       "string",
+		"sets.0.seeds":      "array",
+		"sets.0.reach.mean": "number",
+		"sets.0.reach.p50":  "number",
+		"sets.0.reach.p90":  "number",
+		"sets.0.reach.p99":  "number",
+		"sets.0.reach.min":  "number",
+		"sets.0.reach.max":  "number",
+		"sets.1.name":       "string",
+		"win_rate":          "array",
+		"win_rate.0.1":      "number",
+	}); err != nil {
+		log.Fatalf("smoke: /v1/simulate schema: %v", err)
+	}
+	if got, _ := jsonPath(sim, "total_trials"); got != float64(40) {
+		log.Fatalf("smoke: /v1/simulate total_trials = %v, want 40", got)
+	}
+
+	var again map[string]any
+	expect(client, "POST", base+"/v1/simulate", spec, 200, &again)
+	if cached, _ := jsonPath(again, "cached"); cached != true {
+		log.Fatal("smoke: repeated identical campaign spec was not served from the cache")
+	}
+
+	if maxTrials > 0 {
+		over := map[string]any{
+			"seed_sets": []map[string]any{{"nodes": []int{1}}},
+			"trials":    maxTrials + 1,
+			"horizon":   1.0,
+		}
+		var rej struct {
+			Error string `json:"error"`
+		}
+		expect(client, "POST", base+"/v1/simulate", over, 400, &rej)
+		if !strings.Contains(rej.Error, strconv.Itoa(maxTrials)) {
+			log.Fatalf("smoke: over-cap rejection does not name the limit %d: %q", maxTrials, rej.Error)
+		}
+	}
+	fmt.Println("smoke: simulate ok (schema valid, cache hit on repeat)")
+}
+
+// checkSchema requires each dot-separated path in want to resolve to
+// the given JSON kind ("number", "string", "bool", "array", "object").
+// The returned error names the first offending field path, checked in
+// sorted order so failures are deterministic.
+func checkSchema(doc any, want map[string]string) error {
+	paths := make([]string, 0, len(want))
+	for p := range want {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		v, err := jsonPath(doc, p)
+		if err != nil {
+			return err
+		}
+		kind := "null"
+		switch v.(type) {
+		case float64:
+			kind = "number"
+		case string:
+			kind = "string"
+		case bool:
+			kind = "bool"
+		case []any:
+			kind = "array"
+		case map[string]any:
+			kind = "object"
+		}
+		if kind != want[p] {
+			return fmt.Errorf("%s: is %s, want %s", p, kind, want[p])
+		}
+	}
+	return nil
+}
+
+// jsonPath descends a dot-separated path through a decoded JSON
+// document; numeric segments index arrays ("win_rate.0.1" is
+// doc["win_rate"][0][1]). A miss reports the exact path prefix at
+// fault — `sets.0.reach.p90: field missing` — so schema failures point
+// at the offending field rather than the whole body.
+func jsonPath(doc any, path string) (any, error) {
+	cur := doc
+	segs := strings.Split(path, ".")
+	for i, seg := range segs {
+		at := strings.Join(segs[:i+1], ".")
+		switch v := cur.(type) {
+		case map[string]any:
+			next, ok := v[seg]
+			if !ok {
+				return nil, fmt.Errorf("%s: field missing", at)
+			}
+			cur = next
+		case []any:
+			idx, err := strconv.Atoi(seg)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %q indexes an array but is not a number", at, seg)
+			}
+			if idx < 0 || idx >= len(v) {
+				return nil, fmt.Errorf("%s: index %d out of range (array has %d elements)", at, idx, len(v))
+			}
+			cur = v[idx]
+		default:
+			return nil, fmt.Errorf("%s: cannot descend into %T", at, cur)
+		}
+	}
+	return cur, nil
 }
 
 func getMetrics(client *http.Client, base string) walMetrics {
