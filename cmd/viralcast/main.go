@@ -54,6 +54,14 @@
 //	    from the primary's snapshot, mirror its write-ahead log, serve
 //	    reads once caught up, and redirect ingestion to the primary.
 //
+//	viralcast route -addr :8080 -shards http://s0:9090,http://s1:9091,http://s2:9092
+//	    Run the fleet front-end over sharded daemons (each started with
+//	    -shard-id i -ring-size N): cascade-scoped requests route to the
+//	    owning shard by consistent hash, global rankings scatter-gather
+//	    and merge byte-identically to a single daemon, and a dead shard
+//	    degrades answers to explicit partials instead of failures.
+//	    -replicas-of "1=http://f1:9191" adds follower retry/hedging.
+//
 //	viralcast promote -base http://follower:8081
 //	    Flip a follower into a writable primary (failover): truncate at
 //	    the last verified frame, open the mirrored log for writes, and
@@ -118,6 +126,8 @@ func main() {
 		err = cmdCluster(os.Args[2:])
 	case "serve":
 		err = cmdServe(ctx, os.Args[2:])
+	case "route":
+		err = cmdRoute(ctx, os.Args[2:])
 	case "promote":
 		err = cmdPromote(os.Args[2:])
 	case "wal":
@@ -174,7 +184,7 @@ func reportInterrupted(err error, path string) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: viralcast <simulate|infer|influencers|predict|analyze|gdelt|cluster|serve|promote|wal|version> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: viralcast <simulate|infer|influencers|predict|analyze|gdelt|cluster|serve|route|promote|wal|version> [flags]")
 	fmt.Fprintln(os.Stderr, "run 'viralcast <subcommand> -h' for subcommand flags")
 }
 

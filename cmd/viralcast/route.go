@@ -1,0 +1,112 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"viralcast/internal/router"
+)
+
+// cmdRoute runs the fleet front-end: a stateless router that owns a
+// consistent-hash ring over the -shards list, proxies cascade-scoped
+// requests to the owning shard, and scatter-gathers the global queries
+// with a merge byte-identical to a single daemon. Each shard must be a
+// viralcastd started with -shard-id i -ring-size N matching its
+// position in the -shards list; -replicas-of attaches read followers
+// for retry/hedging.
+func cmdRoute(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("route", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port)")
+	addrFile := fs.String("addr-file", "", "write the bound address to this file once listening (for scripts)")
+	shards := fs.String("shards", "", `comma-separated shard base URLs in ring order (required); position i must be the daemon started with -shard-id i`)
+	replicas := fs.String("replicas-of", "", `comma-separated "i=url" pairs attaching a read follower to shard i (e.g. "0=http://host:9090,2=http://host:9092")`)
+	requestTimeout := fs.Duration("request-timeout", 0, "per-request budget, propagated to shard calls; slow shards degrade the answer to a partial within it (0 disables)")
+	hedge := fs.Duration("hedge", 0, "launch a parallel follower attempt for reads once the primary has been silent this long (0 = sequential retry)")
+	cacheTTL := fs.Duration("cache-ttl", 5*time.Second, "TTL for cached merged rankings (partials are never cached)")
+	probeEvery := fs.Duration("probe-every", 2*time.Second, "background shard health-probe cadence")
+	fanoutWorkers := fs.Int("fanout-workers", 0, "bound on scatter-gather parallelism (0 = one worker per shard)")
+	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	fleet, err := parseShards(*shards, *replicas)
+	if err != nil {
+		return err
+	}
+	logger := log.New(os.Stderr, "viralcast-router: ", log.LstdFlags)
+	rt, err := router.New(router.Config{
+		Shards:         fleet,
+		RequestTimeout: *requestTimeout,
+		Hedge:          *hedge,
+		CacheTTL:       *cacheTTL,
+		ProbeEvery:     *probeEvery,
+		FanoutWorkers:  *fanoutWorkers,
+		DrainTimeout:   *drain,
+		Logf:           func(format string, a ...any) { logger.Printf(format, a...) },
+	})
+	if err != nil {
+		return err
+	}
+	bound, err := rt.Listen(*addr)
+	if err != nil {
+		return err
+	}
+	logger.Printf("routing %d shards, listening on %s", len(fleet), bound)
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound.String()), 0o644); err != nil {
+			return err
+		}
+	}
+	return rt.Serve(ctx)
+}
+
+// parseShards turns the -shards list and the -replicas-of pairs into
+// the router's fleet description.
+func parseShards(shardList, replicaList string) ([]router.Shard, error) {
+	if shardList == "" {
+		return nil, fmt.Errorf("route: -shards is required (comma-separated shard base URLs in ring order)")
+	}
+	var fleet []router.Shard
+	for _, raw := range strings.Split(shardList, ",") {
+		u := strings.TrimSpace(raw)
+		if u == "" {
+			return nil, fmt.Errorf("route: -shards has an empty entry")
+		}
+		if !strings.Contains(u, "://") {
+			u = "http://" + u
+		}
+		fleet = append(fleet, router.Shard{Primary: strings.TrimRight(u, "/")})
+	}
+	if replicaList == "" {
+		return fleet, nil
+	}
+	for _, raw := range strings.Split(replicaList, ",") {
+		pair := strings.TrimSpace(raw)
+		if pair == "" {
+			continue
+		}
+		idx, u, ok := strings.Cut(pair, "=")
+		if !ok {
+			return nil, fmt.Errorf("route: -replicas-of entry %q is not i=url", pair)
+		}
+		i, err := strconv.Atoi(strings.TrimSpace(idx))
+		if err != nil || i < 0 || i >= len(fleet) {
+			return nil, fmt.Errorf("route: -replicas-of shard index %q outside fleet [0, %d)", idx, len(fleet))
+		}
+		u = strings.TrimSpace(u)
+		if !strings.Contains(u, "://") {
+			u = "http://" + u
+		}
+		if fleet[i].Follower != "" {
+			return nil, fmt.Errorf("route: shard %d has two followers; one is the limit", i)
+		}
+		fleet[i].Follower = strings.TrimRight(u, "/")
+	}
+	return fleet, nil
+}

@@ -49,6 +49,8 @@ func cmdServe(ctx context.Context, args []string) error {
 	simulateMaxTrials := fs.Int("simulate-max-trials", 0, "cap on total Monte Carlo trials (trials x seed sets) per POST /v1/simulate request; 0 = default 4096")
 	retryAfter := fs.Duration("retry-after", time.Second, "backoff hint sent with 429 shed responses")
 	pprofFlag := fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (control plane: ungated by admission control, like /metrics)")
+	shardID := fs.Int("shard-id", -1, "this daemon's index in a routed fleet (requires -ring-size; see `viralcast route`)")
+	ringSize := fs.Int("ring-size", 0, "size of the routed fleet this daemon belongs to (0 = unsharded standalone daemon)")
 	readHeaderTimeout := fs.Duration("read-header-timeout", 0, "slowloris guard: close connections whose headers dribble past this (0 = default 5s, -1ns disables)")
 	readTimeout := fs.Duration("read-timeout", 0, "bound on reading a whole request including its body (0 = default 30s, -1ns disables)")
 	idleTimeout := fs.Duration("idle-timeout", 0, "bound on idle keep-alive connections (0 = default 2m, -1ns disables)")
@@ -78,6 +80,8 @@ func cmdServe(ctx context.Context, args []string) error {
 		FollowURL:         *follow,
 		RequestTimeout:    *requestTimeout,
 		SimulateMaxTrials: *simulateMaxTrials,
+		ShardID:           *shardID,
+		RingSize:          *ringSize,
 		Admission: serve.AdmissionConfig{
 			Compute:    serve.ClassLimit{MaxInflight: *maxInflight, MaxQueue: *queue},
 			RetryAfter: *retryAfter,

@@ -354,7 +354,54 @@ const influencerCheckStride = 1024
 // the node range across GOMAXPROCS workers; each worker checks ctx per
 // stride and abandons the ranking with ctx.Err() once canceled.
 func (s *System) TopInfluencersCtx(ctx context.Context, k int) ([]Influencer, error) {
-	return s.topInfluencers(ctx, k, 0)
+	return s.topInfluencersRange(ctx, k, 0, 0, s.N)
+}
+
+// TopInfluencersRangeCtx ranks only the nodes in [lo, hi) — the stripe
+// a sharded daemon owns when a routing front-end partitions the node
+// universe across processes. The stripe-local top-k is exact, so
+// merging every shard's stripe ranking with MergeTopInfluencers
+// recovers the single-node global ranking byte for byte (the same
+// lemma the per-worker heaps inside one process rely on, lifted to
+// processes). Bounds are clamped to [0, N); an empty range ranks
+// nothing.
+func (s *System) TopInfluencersRangeCtx(ctx context.Context, k, lo, hi int) ([]Influencer, error) {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > s.N {
+		hi = s.N
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return s.topInfluencersRange(ctx, k, 0, lo, hi)
+}
+
+// MergeTopInfluencers merges per-partition candidate rankings into the
+// global top-k under the published order (score descending, node id
+// ascending on ties). Provided each input list is the exact top-k of a
+// partition of the node universe and the partitions are disjoint, the
+// result is identical to ranking the union directly: any node in the
+// global top-k is, a fortiori, in the top-k of its own partition, so
+// the union of partition winners contains every global winner. This is
+// the PR 5 per-worker heap merge exported as a standalone primitive so
+// a scatter-gathering router can merge per-shard heaps the same way one
+// process merges per-worker heaps. k < 0 keeps every candidate.
+func MergeTopInfluencers(k int, lists ...[]Influencer) []Influencer {
+	total := 0
+	for _, l := range lists {
+		total += len(l)
+	}
+	merged := make([]Influencer, 0, total)
+	for _, l := range lists {
+		merged = append(merged, l...)
+	}
+	sort.Slice(merged, func(i, j int) bool { return rankBelow(merged[j], merged[i]) })
+	if k >= 0 && k < len(merged) {
+		merged = merged[:k]
+	}
+	return merged
 }
 
 // rankBelow is the inverse of the published influencer order: a ranks
@@ -368,13 +415,15 @@ func rankBelow(a, b Influencer) bool {
 	return a.Node > b.Node
 }
 
-// topInfluencers is the parallel heap-based selection; workers <= 0
-// uses GOMAXPROCS. Every worker owns a contiguous node stripe and its
-// stripe-local top-k is exact, so the merged result is identical for
-// any worker count.
-func (s *System) topInfluencers(ctx context.Context, k, workers int) ([]Influencer, error) {
-	if k > s.N {
-		k = s.N
+// topInfluencersRange is the parallel heap-based selection over the
+// node range [rlo, rhi); workers <= 0 uses GOMAXPROCS. Every worker
+// owns a contiguous node stripe of the range and its stripe-local
+// top-k is exact, so the merged result is identical for any worker
+// count.
+func (s *System) topInfluencersRange(ctx context.Context, k, workers, rlo, rhi int) ([]Influencer, error) {
+	span := rhi - rlo
+	if k > span {
+		k = span
 	}
 	if k <= 0 {
 		return []Influencer{}, nil
@@ -385,14 +434,14 @@ func (s *System) topInfluencers(ctx context.Context, k, workers int) ([]Influenc
 	// Below this many rows per worker the stripe bookkeeping costs more
 	// than it parallelizes away.
 	const minStripe = 4096
-	if max := (s.N + minStripe - 1) / minStripe; workers > max {
+	if max := (span + minStripe - 1) / minStripe; workers > max {
 		workers = max
 	}
 	agg := s.aggregates()
 	heaps := make([][]Influencer, workers)
 	err := pool.RunCtx(ctx, workers, workers, func(w int) error {
-		lo := w * s.N / workers
-		hi := (w + 1) * s.N / workers
+		lo := rlo + w*span/workers
+		hi := rlo + (w+1)*span/workers
 		h := make([]Influencer, 0, k)
 		for u := lo; u < hi; u++ {
 			if (u-lo)%influencerCheckStride == 0 {
@@ -419,16 +468,8 @@ func (s *System) topInfluencers(ctx context.Context, k, workers int) ([]Influenc
 		return nil, err
 	}
 	// Merge: at most workers*k exact stripe winners; a full sort of this
-	// small set recovers the global order.
-	merged := make([]Influencer, 0, workers*k)
-	for _, h := range heaps {
-		merged = append(merged, h...)
-	}
-	sort.Slice(merged, func(i, j int) bool { return rankBelow(merged[j], merged[i]) })
-	if k < len(merged) {
-		merged = merged[:k]
-	}
-	return merged, nil
+	// small set recovers the range's global order.
+	return MergeTopInfluencers(k, heaps...), nil
 }
 
 // siftUpInfluencer and siftDownInfluencer maintain a slice min-heap

@@ -46,7 +46,7 @@ func TestTopInfluencersMatchesFullSortReference(t *testing.T) {
 			t.Fatal(err)
 		}
 		for _, workers := range []int{1, 2, 3, 4, 8} {
-			got, err := sys.topInfluencers(ctx, k, workers)
+			got, err := sys.topInfluencersRange(ctx, k, workers, 0, sys.N)
 			if err != nil {
 				t.Fatalf("k=%d workers=%d: %v", k, workers, err)
 			}
@@ -83,11 +83,77 @@ func TestTopInfluencersTieBreaksOnNodeID(t *testing.T) {
 	}
 }
 
+// TestTopInfluencersRangeMergeEqualsGlobal is the sharding lemma the
+// routing front-end relies on: partition the node universe into any
+// number of contiguous stripes, rank each stripe's top-k independently
+// (one "shard" each), and MergeTopInfluencers over the stripe rankings
+// must reproduce the single-process global ranking exactly — including
+// the deliberate score ties in tieSystem, which must keep breaking
+// toward the smaller node id across stripe boundaries.
+func TestTopInfluencersRangeMergeEqualsGlobal(t *testing.T) {
+	const n = 500
+	sys := tieSystem(n, 3, 41)
+	ctx := context.Background()
+	for _, k := range []int{1, 7, n / 2, n} {
+		want, err := sys.TopInfluencersCtx(ctx, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, shards := range []int{1, 2, 3, 5, 11} {
+			parts := make([][]Influencer, shards)
+			for i := 0; i < shards; i++ {
+				lo, hi := i*n/shards, (i+1)*n/shards
+				part, err := sys.TopInfluencersRangeCtx(ctx, k, lo, hi)
+				if err != nil {
+					t.Fatalf("k=%d shard %d/%d: %v", k, i, shards, err)
+				}
+				if len(part) > k {
+					t.Fatalf("k=%d shard %d/%d: stripe returned %d > k candidates", k, i, shards, len(part))
+				}
+				for _, inf := range part {
+					if inf.Node < lo || inf.Node >= hi {
+						t.Fatalf("k=%d shard %d/%d: node %d outside stripe [%d,%d)", k, i, shards, inf.Node, lo, hi)
+					}
+				}
+				parts[i] = part
+			}
+			got := MergeTopInfluencers(k, parts...)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("k=%d shards=%d: merged stripe rankings diverge from the global ranking\n got %v\nwant %v",
+					k, shards, got, want)
+			}
+		}
+	}
+}
+
+func TestTopInfluencersRangeClampsBounds(t *testing.T) {
+	sys := tieSystem(60, 2, 13)
+	ctx := context.Background()
+	all, err := sys.TopInfluencersRangeCtx(ctx, 60, -10, 999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := sys.TopInfluencersCtx(ctx, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(all, want) {
+		t.Fatal("clamped out-of-bounds range differs from the full ranking")
+	}
+	empty, err := sys.TopInfluencersRangeCtx(ctx, 5, 40, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(empty) != 0 {
+		t.Fatalf("inverted range returned %d candidates", len(empty))
+	}
+}
+
 func TestTopInfluencersCancellation(t *testing.T) {
 	sys := tieSystem(5000, 2, 3)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := sys.topInfluencers(ctx, 10, 4); err == nil {
+	if _, err := sys.topInfluencersRange(ctx, 10, 4, 0, sys.N); err == nil {
 		t.Fatal("canceled context did not abort the parallel ranking")
 	}
 }
@@ -183,7 +249,7 @@ func BenchmarkTopInfluencers(b *testing.B) {
 		b.Run(fmt.Sprintf("heap-workers-%d", w), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := sys.topInfluencers(ctx, k, w); err != nil {
+				if _, err := sys.topInfluencersRange(ctx, k, w, 0, sys.N); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -120,6 +120,63 @@ func ChunkedCtx(ctx context.Context, workers, n, chunk int, task func(lo, hi int
 	})
 }
 
+// GatherCtx runs task(0..n-1) with at most `workers` in flight and
+// collects per-index results AND per-index errors — no first-error
+// short-circuit, no discarding of sibling results. It is the fan-out
+// primitive for scatter-gather serving: a router querying N shards
+// wants every shard's answer that arrived plus a precise record of
+// which shards failed, so it can merge the successes into a partial
+// result instead of throwing the whole fan-out away because one shard
+// was down. Panics are contained into that index's error slot. Once
+// ctx is done no new tasks are scheduled; unscheduled indexes carry
+// ctx.Err() so the caller can tell "never attempted" from "attempted
+// and failed" only by the error value, and the barrier still holds for
+// the tasks already in flight.
+func GatherCtx[T any](ctx context.Context, workers, n int, task func(i int) (T, error)) ([]T, []error) {
+	out := make([]T, n)
+	errs := make([]error, n)
+	if n <= 0 {
+		return out, errs
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	i := 0
+	for ; i < n; i++ {
+		if ctx.Err() != nil {
+			break
+		}
+		select {
+		case <-ctx.Done():
+		case sem <- struct{}{}:
+		}
+		if ctx.Err() != nil {
+			break
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			defer func() {
+				if r := recover(); r != nil {
+					errs[i] = fmt.Errorf("pool: task %d panicked: %v\n%s", i, r, debug.Stack())
+				}
+			}()
+			out[i], errs[i] = task(i)
+		}(i)
+	}
+	for j := i; j < n; j++ {
+		errs[j] = ctx.Err()
+	}
+	wg.Wait()
+	return out, errs
+}
+
 // Map runs task(0..n-1) under Run's discipline and collects the results
 // in index order, so output placement is deterministic regardless of
 // scheduling. On error the partial results are discarded.

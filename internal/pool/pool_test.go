@@ -1,8 +1,10 @@
 package pool
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -119,5 +121,79 @@ func TestMapDiscardsOnError(t *testing.T) {
 	}
 	if out != nil {
 		t.Fatal("partial results returned on error")
+	}
+}
+
+func TestGatherCollectsResultsAndErrors(t *testing.T) {
+	out, errs := GatherCtx(context.Background(), 3, 10, func(i int) (int, error) {
+		if i%4 == 1 {
+			return 0, fmt.Errorf("task %d failed", i)
+		}
+		return i * 10, nil
+	})
+	if len(out) != 10 || len(errs) != 10 {
+		t.Fatalf("lengths %d/%d, want 10/10", len(out), len(errs))
+	}
+	for i := range out {
+		if i%4 == 1 {
+			if errs[i] == nil {
+				t.Fatalf("errs[%d] = nil, want failure", i)
+			}
+			continue
+		}
+		// A failing sibling must not discard this index's result.
+		if errs[i] != nil || out[i] != i*10 {
+			t.Fatalf("index %d: out=%d err=%v", i, out[i], errs[i])
+		}
+	}
+}
+
+func TestGatherContainsPanicsPerIndex(t *testing.T) {
+	out, errs := GatherCtx(context.Background(), 2, 4, func(i int) (string, error) {
+		if i == 2 {
+			panic("boom")
+		}
+		return "ok", nil
+	})
+	if errs[2] == nil || !strings.Contains(errs[2].Error(), "panicked") {
+		t.Fatalf("panic not contained into errs[2]: %v", errs[2])
+	}
+	for _, i := range []int{0, 1, 3} {
+		if errs[i] != nil || out[i] != "ok" {
+			t.Fatalf("index %d poisoned by sibling panic: out=%q err=%v", i, out[i], errs[i])
+		}
+	}
+}
+
+func TestGatherCancellationMarksUnscheduled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var sawCancel atomic.Bool
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, errs := GatherCtx(ctx, 1, 5, func(i int) (int, error) {
+			if i == 0 {
+				close(started)
+				<-release
+			}
+			return i, nil
+		})
+		// With one worker wedged on task 0 and the context canceled,
+		// later indexes must carry ctx.Err(), not silently hold zero
+		// values that look like successes.
+		for j := 1; j < 5; j++ {
+			if errs[j] == context.Canceled {
+				sawCancel.Store(true)
+			}
+		}
+	}()
+	<-started
+	cancel()
+	close(release)
+	<-done
+	if !sawCancel.Load() {
+		t.Fatal("no unscheduled index carried ctx.Err() after cancellation")
 	}
 }

@@ -1,0 +1,77 @@
+package router
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// flightCache is the router's merged-result cache: TTL-bounded entries
+// plus singleflight deduplication, with one twist the serve-side
+// ttlCache does not need — the fill function decides per result
+// whether it may be cached. A complete merged ranking is cacheable; a
+// partial result (some shard missing) is delivered to every waiter of
+// the flight but never stored, so the next request re-asks the fleet
+// and heals as soon as the shard returns. Errors are likewise never
+// cached.
+type flightCache struct {
+	ttl time.Duration
+
+	mu       sync.Mutex
+	entries  map[string]flightEntry
+	inflight map[string]*flight
+}
+
+type flightEntry struct {
+	val     any
+	expires time.Time
+}
+
+type flight struct {
+	done      chan struct{}
+	val       any
+	cacheable bool
+	err       error
+}
+
+func newFlightCache(ttl time.Duration) *flightCache {
+	return &flightCache{
+		ttl:      ttl,
+		entries:  make(map[string]flightEntry),
+		inflight: make(map[string]*flight),
+	}
+}
+
+// do returns the cached value for key, or runs fill (once across
+// concurrent callers) and caches the result iff fill says it may.
+// hit reports whether the answer came from cache or a shared flight.
+func (c *flightCache) do(ctx context.Context, key string, fill func() (val any, cacheable bool, err error)) (val any, hit bool, err error) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok && time.Now().Before(e.expires) {
+		c.mu.Unlock()
+		return e.val, true, nil
+	}
+	if f, ok := c.inflight[key]; ok {
+		c.mu.Unlock()
+		select {
+		case <-f.done:
+			return f.val, true, f.err
+		case <-ctx.Done():
+			// The flight keeps running for the waiters that stayed.
+			return nil, false, ctx.Err()
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	c.inflight[key] = f
+	c.mu.Unlock()
+
+	f.val, f.cacheable, f.err = fill()
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if f.err == nil && f.cacheable {
+		c.entries[key] = flightEntry{val: f.val, expires: time.Now().Add(c.ttl)}
+	}
+	c.mu.Unlock()
+	close(f.done)
+	return f.val, false, f.err
+}

@@ -1,0 +1,147 @@
+package router
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"viralcast/internal/serve"
+)
+
+// TestRouterPartialAfterShardSIGKILL is the process-level chaos
+// acceptance test: a real shard process (this test binary re-exec'd)
+// joins two in-process shards behind a router; the fleet first proves
+// byte-identity with a single-node oracle, then the shard process is
+// SIGKILLed — no drain, no goodbye — and the router must keep
+// answering within its request budget with a well-formed partial: 200,
+// "partial": true, the dead shard named, the surviving stripes exact.
+func TestRouterPartialAfterShardSIGKILL(t *testing.T) {
+	const childEnv = "VIRALCAST_ROUTER_SHARD_DIR"
+	if dir := os.Getenv(childEnv); dir != "" {
+		runShardChild(t, dir)
+		return
+	}
+	if testing.Short() {
+		t.Skip("re-execs the test binary; skipped in -short")
+	}
+
+	dir := t.TempDir()
+	cmd := exec.Command(os.Args[0], "-test.run=TestRouterPartialAfterShardSIGKILL$", "-test.v")
+	cmd.Env = append(os.Environ(), childEnv+"="+dir)
+	var childOut bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &childOut, &childOut
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill() //nolint:errcheck // cleanup on failure paths
+
+	// The child writes its listen address once it is serving.
+	addrFile := filepath.Join(dir, "addr")
+	var childURL string
+	deadline := time.Now().Add(90 * time.Second)
+	for childURL == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("child shard never published its address\nchild output:\n%s", childOut.String())
+		}
+		if b, err := os.ReadFile(addrFile); err == nil && len(b) > 0 {
+			childURL = "http://" + strings.TrimSpace(string(b))
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// Shards 0 and 2 in-process; shard 1 is the child process.
+	const ringSize = 3
+	shards := make([]Shard, ringSize)
+	for _, i := range []int{0, 2} {
+		srv, err := serve.New(serve.Config{
+			Loader: fixtureLoader(t), CacheTTL: time.Minute, ShardID: i, RingSize: ringSize,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		shards[i] = Shard{Primary: ts.URL}
+	}
+	shards[1] = Shard{Primary: childURL}
+	const budget = 3 * time.Second
+	rt, err := New(Config{Shards: shards, RequestTimeout: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(rt.Handler())
+	defer ts.Close()
+
+	// Phase 1: the full fleet is byte-identical to a single-node oracle.
+	oracle := newOracle(t)
+	code, routed := getRaw(t, ts.URL+"/v1/influencers?k=10")
+	codeO, direct := getRaw(t, oracle.URL+"/v1/influencers?k=10")
+	if code != http.StatusOK || codeO != http.StatusOK {
+		t.Fatalf("healthy fleet: router %d, oracle %d\nchild output:\n%s", code, codeO, childOut.String())
+	}
+	if got, want := rawField(t, routed, "influencers"), rawField(t, direct, "influencers"); !bytes.Equal(got, want) {
+		t.Fatalf("fleet with a real shard process diverges from the oracle\n got %s\nwant %s", got, want)
+	}
+
+	// Phase 2: SIGKILL the shard process and require a fast partial.
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	cmd.Wait() //nolint:errcheck // the kill is the expected exit
+	start := time.Now()
+	code, body := getRaw(t, ts.URL+"/v1/influencers?k=7") // fresh k: past the router cache
+	elapsed := time.Since(start)
+	if code != http.StatusOK {
+		t.Fatalf("post-kill answer: code %d body %s", code, body)
+	}
+	if elapsed >= budget {
+		t.Fatalf("partial answer took %v, past the %v budget", elapsed, budget)
+	}
+	got := decodeJSON(t, body)
+	if got["partial"] != true {
+		t.Fatalf("SIGKILLed shard did not degrade the answer to partial: %s", body)
+	}
+	if !reflect.DeepEqual(got["missing_shards"], []any{"shard-1"}) {
+		t.Fatalf("missing_shards = %v, want [shard-1]", got["missing_shards"])
+	}
+	if got["cached"] != false {
+		t.Fatalf("partial answer claims to be cached: %s", body)
+	}
+}
+
+// runShardChild is the re-exec'd shard: an ordinary sharded daemon on
+// a real TCP listener, address dropped atomically for the parent, then
+// serving until the parent SIGKILLs it.
+func runShardChild(t *testing.T, dir string) {
+	srv, err := serve.New(serve.Config{
+		Loader: fixtureLoader(t), CacheTTL: time.Minute, ShardID: 1, RingSize: 3,
+	})
+	if err != nil {
+		t.Fatalf("child: %v", err)
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("child: %v", err)
+	}
+	tmp := filepath.Join(dir, "addr.tmp")
+	if err := os.WriteFile(tmp, []byte(addr.String()), 0o644); err != nil {
+		t.Fatalf("child: %v", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, "addr")); err != nil {
+		t.Fatalf("child: %v", err)
+	}
+	if err := srv.Serve(context.Background()); err != nil {
+		t.Fatalf("child: serve: %v", err)
+	}
+	t.Fatal("child shard outlived its SIGKILL")
+}

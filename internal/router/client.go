@@ -1,0 +1,254 @@
+package router
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Shard is one ring member: the primary daemon's base URL and,
+// optionally, the base URL of its replication follower (PR 6). The
+// follower is a read-only understudy — the router retries idempotent
+// reads against it when the primary is down or slow, and never sends
+// it ingestion (a follower 409s writes by design).
+type Shard struct {
+	Primary  string
+	Follower string
+}
+
+// maxRelayBytes bounds how much of a shard response the router will
+// buffer for relay or merging; a response past this is a shard bug,
+// not a bigger buffer's job.
+const maxRelayBytes = 64 << 20
+
+// reply is one shard HTTP exchange, buffered for relay or decoding.
+type reply struct {
+	status       int
+	contentType  string
+	body         []byte
+	fromFollower bool
+}
+
+// client is the router's HTTP access to the fleet. All calls propagate
+// the caller's context, so the per-request budget and client
+// disconnects bound every shard call.
+type client struct {
+	hc      *http.Client
+	hedge   time.Duration
+	metrics *Metrics
+}
+
+func newClient(hedge time.Duration, m *Metrics) *client {
+	return &client{
+		hc: &http.Client{Transport: &http.Transport{
+			MaxIdleConnsPerHost: 32,
+			IdleConnTimeout:     90 * time.Second,
+		}},
+		hedge:   hedge,
+		metrics: m,
+	}
+}
+
+// do performs one HTTP exchange against base. Any HTTP status is a
+// successful exchange (the shard answered; 4xx/5xx bodies are relayed
+// to the client as-is) — an error means transport failure: the shard
+// is unreachable, the connection died, or the context expired.
+func (c *client) do(ctx context.Context, method, base, path string, body []byte) (*reply, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, strings.TrimRight(base, "/")+path, rd)
+	if err != nil {
+		return nil, fmt.Errorf("building request: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxRelayBytes+1))
+	if err != nil {
+		return nil, fmt.Errorf("reading response: %w", err)
+	}
+	if len(data) > maxRelayBytes {
+		return nil, fmt.Errorf("response exceeds relay limit %d bytes", maxRelayBytes)
+	}
+	return &reply{
+		status:      resp.StatusCode,
+		contentType: resp.Header.Get("Content-Type"),
+		body:        data,
+	}, nil
+}
+
+// read performs an idempotent GET against a shard with the configured
+// resilience: primary first; on transport failure, a jittered retry
+// against the follower (when one exists). With a hedge delay
+// configured, the follower attempt instead launches in parallel once
+// the primary has been silent that long, and the first answer wins —
+// trading duplicate reads for tail latency, the classic hedged-request
+// bargain. Reads are safe to duplicate; ingestion never comes here.
+func (c *client) read(ctx context.Context, sh Shard, path string) (*reply, error) {
+	if sh.Follower == "" {
+		return c.do(ctx, http.MethodGet, sh.Primary, path, nil)
+	}
+	if c.hedge > 0 {
+		return c.readHedged(ctx, sh, path)
+	}
+	rep, err := c.do(ctx, http.MethodGet, sh.Primary, path, nil)
+	if err == nil {
+		return rep, nil
+	}
+	// Jitter before hitting the follower so a fleet-wide primary
+	// failure does not convert into a synchronized follower stampede.
+	select {
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-time.After(retryJitter()):
+	}
+	c.metrics.followerRetries.Add(1)
+	rep, ferr := c.do(ctx, http.MethodGet, sh.Follower, path, nil)
+	if ferr != nil {
+		return nil, fmt.Errorf("primary: %v; follower: %w", err, ferr)
+	}
+	rep.fromFollower = true
+	return rep, nil
+}
+
+// readHedged races the primary against a follower attempt launched
+// after the hedge delay. Results funnel through one channel; the first
+// transport-level success wins and the loser's context is canceled.
+func (c *client) readHedged(ctx context.Context, sh Shard, path string) (*reply, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type outcome struct {
+		rep      *reply
+		err      error
+		follower bool
+	}
+	results := make(chan outcome, 2)
+	launch := func(base string, follower bool) {
+		go func() {
+			rep, err := c.do(ctx, http.MethodGet, base, path, nil)
+			if rep != nil {
+				rep.fromFollower = follower
+			}
+			results <- outcome{rep: rep, err: err, follower: follower}
+		}()
+	}
+	launch(sh.Primary, false)
+	hedgeTimer := time.NewTimer(c.hedge)
+	defer hedgeTimer.Stop()
+	launched, pending := 1, 1
+	var firstErr error
+	for {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-hedgeTimer.C:
+			if launched == 1 {
+				c.metrics.hedges.Add(1)
+				launch(sh.Follower, true)
+				launched, pending = 2, pending+1
+			}
+		case out := <-results:
+			pending--
+			if out.err == nil {
+				if out.follower {
+					c.metrics.hedgeWins.Add(1)
+				}
+				return out.rep, nil
+			}
+			if firstErr == nil {
+				firstErr = out.err
+			}
+			if launched == 1 {
+				// The primary failed before the hedge fired: no point
+				// waiting out the delay, go to the follower now.
+				if !hedgeTimer.Stop() {
+					<-hedgeTimer.C
+				}
+				c.metrics.followerRetries.Add(1)
+				launch(sh.Follower, true)
+				launched, pending = 2, pending+1
+				continue
+			}
+			if pending == 0 {
+				return nil, fmt.Errorf("primary and follower both failed: %w", firstErr)
+			}
+		}
+	}
+}
+
+// retryJitter is the pause before a follower retry: uniform in
+// [5ms, 30ms), enough to decorrelate a thundering herd without
+// burning a visible slice of the request budget.
+func retryJitter() time.Duration {
+	return 5*time.Millisecond + time.Duration(rand.Int63n(int64(25*time.Millisecond)))
+}
+
+// probeResult is what the health prober learned about one shard.
+type probeResult struct {
+	Healthy       bool    `json:"healthy"`
+	Misconfigured bool    `json:"misconfigured,omitempty"`
+	ShardID       int     `json:"shard_id"`
+	RingSize      int     `json:"ring_size"`
+	Status        string  `json:"status,omitempty"`
+	Generation    uint64  `json:"generation,omitempty"`
+	Nodes         int     `json:"nodes,omitempty"`
+	Error         string  `json:"error,omitempty"`
+	AgeSeconds    float64 `json:"age_seconds"`
+}
+
+// probe asks one shard's /readyz for its identity and compares it to
+// the ring slot the router put it in. A shard claiming a different
+// slot (or a different fleet size) is flagged misconfigured — merging
+// its stripe would silently corrupt the global ranking, which is
+// exactly the failure the shard_id/ring_size fields exist to prevent.
+// A standalone daemon (shard_id -1, ring_size 0) is accepted only in a
+// one-shard ring, where its full-universe answers are the stripe.
+func (c *client) probe(ctx context.Context, index, fleet int, sh Shard) probeResult {
+	rep, err := c.read(ctx, sh, "/readyz")
+	if err != nil {
+		return probeResult{ShardID: -1, Error: err.Error()}
+	}
+	var ready struct {
+		Status     string `json:"status"`
+		ShardID    *int   `json:"shard_id"`
+		RingSize   int    `json:"ring_size"`
+		Generation uint64 `json:"generation"`
+		Nodes      int    `json:"nodes"`
+	}
+	if uerr := json.Unmarshal(rep.body, &ready); uerr != nil || ready.ShardID == nil {
+		return probeResult{ShardID: -1, Error: fmt.Sprintf("readyz status %d is not a shard-aware body: %v", rep.status, uerr)}
+	}
+	pr := probeResult{
+		ShardID:    *ready.ShardID,
+		RingSize:   ready.RingSize,
+		Status:     ready.Status,
+		Generation: ready.Generation,
+		Nodes:      ready.Nodes,
+	}
+	if rep.status != http.StatusOK {
+		pr.Error = fmt.Sprintf("readyz answered %d", rep.status)
+		return pr
+	}
+	standalone := pr.ShardID == -1 && pr.RingSize == 0 && fleet == 1
+	if !standalone && (pr.ShardID != index || pr.RingSize != fleet) {
+		pr.Misconfigured = true
+		pr.Error = fmt.Sprintf("shard reports shard_id=%d ring_size=%d but the router placed it at slot %d of %d",
+			pr.ShardID, pr.RingSize, index, fleet)
+		return pr
+	}
+	pr.Healthy = true
+	return pr
+}

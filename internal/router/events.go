@@ -1,0 +1,161 @@
+package router
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+
+	"viralcast/internal/pool"
+)
+
+// event mirrors the daemon's ingest wire format (internal/serve.Event).
+type event struct {
+	Cascade int     `json:"cascade"`
+	Node    int     `json:"node"`
+	Time    float64 `json:"time"`
+}
+
+// eventReject mirrors the daemon's per-event rejection record; Index
+// is always in the *caller's* batch coordinates after merging.
+type eventReject struct {
+	Index int    `json:"index"`
+	Error string `json:"error"`
+}
+
+// handleEvents splits an ingest batch by ring ownership — each event
+// goes to the shard that owns its cascade — fans the sub-batches out
+// in parallel, and merges the shard responses back into one answer in
+// the caller's coordinates. A shard that cannot take its sub-batch
+// (down, deadline, or a non-200 like a read-only 503) degrades the
+// response to a partial: its events come back individually rejected
+// with the cause, the shard is named in missing_shards, and everything
+// the healthy shards accepted stays accepted. Ingestion is never
+// retried against followers — a follower 409s writes by design, and a
+// duplicate-looking retry hides real double-sends from the WAL.
+func (rt *Router) handleEvents(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRelayBytes))
+	if err != nil {
+		writeError(w, http.StatusRequestEntityTooLarge, "body too large or unreadable: %v", err)
+		return
+	}
+	events, err := decodeEventBatch(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if len(events) == 0 {
+		writeError(w, http.StatusBadRequest, "empty event batch")
+		return
+	}
+
+	// Group by owner, remembering each event's original index so the
+	// merged rejects and the per-shard answers line back up.
+	n := len(rt.cfg.Shards)
+	subBatch := make([][]event, n)
+	subIndex := make([][]int, n)
+	owners := make([]int, 0, n)
+	for i, ev := range events {
+		o := rt.ring.Owner(ev.Cascade)
+		if subBatch[o] == nil {
+			owners = append(owners, o)
+		}
+		subBatch[o] = append(subBatch[o], ev)
+		subIndex[o] = append(subIndex[o], i)
+	}
+
+	type shardAck struct {
+		Accepted int            `json:"accepted"`
+		Rejected []eventReject  `json:"rejected"`
+		Sizes    map[string]int `json:"sizes"`
+	}
+	replies, errs := pool.GatherCtx(r.Context(), rt.cfg.FanoutWorkers, len(owners), func(j int) (shardAck, error) {
+		o := owners[j]
+		payload, err := json.Marshal(map[string]any{"events": subBatch[o]})
+		if err != nil {
+			return shardAck{}, err
+		}
+		rep, err := rt.client.do(r.Context(), http.MethodPost, rt.cfg.Shards[o].Primary, "/v1/events", payload)
+		if err != nil {
+			return shardAck{}, err
+		}
+		if rep.status != http.StatusOK {
+			return shardAck{}, fmt.Errorf("shard answered %d: %s", rep.status, truncateBody(rep.body))
+		}
+		var ack shardAck
+		if err := json.Unmarshal(rep.body, &ack); err != nil {
+			return shardAck{}, fmt.Errorf("decoding shard ack: %w", err)
+		}
+		return ack, nil
+	})
+
+	accepted := 0
+	rejected := []eventReject{}
+	sizes := make(map[string]int)
+	var missing []string
+	for j, o := range owners {
+		if errs[j] != nil {
+			rt.shardFailed(o, errs[j])
+			missing = append(missing, ShardName(o))
+			for _, orig := range subIndex[o] {
+				rejected = append(rejected, eventReject{
+					Index: orig,
+					Error: fmt.Sprintf("%s did not ingest: %v", ShardName(o), errs[j]),
+				})
+			}
+			continue
+		}
+		ack := replies[j]
+		accepted += ack.Accepted
+		for _, rej := range ack.Rejected {
+			if rej.Index < 0 || rej.Index >= len(subIndex[o]) {
+				rej.Error = fmt.Sprintf("%s (sub-batch index %d out of range)", rej.Error, rej.Index)
+				rej.Index = -1
+			} else {
+				rej.Index = subIndex[o][rej.Index]
+			}
+			rejected = append(rejected, rej)
+		}
+		for id, size := range ack.Sizes {
+			sizes[id] = size
+		}
+	}
+	sort.Slice(rejected, func(a, b int) bool { return rejected[a].Index < rejected[b].Index })
+	sort.Strings(missing)
+
+	resp := map[string]any{
+		"accepted": accepted,
+		"rejected": rejected,
+		"sizes":    sizes,
+	}
+	if len(missing) > 0 {
+		rt.metrics.partials.Add(1)
+		resp["partial"] = true
+		resp["missing_shards"] = missing
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// decodeEventBatch accepts the daemon's two body shapes — a batch
+// envelope or one bare event — and rejects unknown fields the same
+// way, so the router's contract matches a direct daemon's.
+func decodeEventBatch(body []byte) ([]event, error) {
+	strict := func(v any) error {
+		dec := json.NewDecoder(bytes.NewReader(body))
+		dec.DisallowUnknownFields()
+		return dec.Decode(v)
+	}
+	var batch struct {
+		Events []event `json:"events"`
+	}
+	if err := strict(&batch); err == nil && batch.Events != nil {
+		return batch.Events, nil
+	}
+	var one event
+	if err := strict(&one); err != nil {
+		return nil, fmt.Errorf("body must be {\"events\": [...]} or a single {cascade, node, time} object")
+	}
+	return []event{one}, nil
+}

@@ -12,6 +12,7 @@ import (
 	"strconv"
 	"sync"
 
+	"viralcast/internal/core"
 	"viralcast/internal/repl"
 	"viralcast/internal/wal"
 )
@@ -409,6 +410,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		EarlyCutoff: pred.EarlyCutoff(),
 		Threshold:   pred.Threshold(),
 		Generation:  cur.gen,
+		ShardID:     s.ShardID(),
 	})
 }
 
@@ -423,6 +425,10 @@ type predictResponse struct {
 	EarlyCutoff float64 `json:"early_cutoff"`
 	Threshold   int     `json:"threshold"`
 	Generation  uint64  `json:"generation"`
+	// ShardID is the answering daemon's ring index (-1 unsharded), so a
+	// routed client can assert ring affinity: the same cascade id must
+	// always land on the same shard.
+	ShardID int `json:"shard_id"`
 }
 
 type rateResponse struct {
@@ -432,17 +438,20 @@ type rateResponse struct {
 	Generation uint64  `json:"generation"`
 }
 
+// influencersResponse and seedsResponse carry concrete slices rather
+// than `any` so the router can decode a shard's answer into the same
+// types, merge, and re-encode byte-identically to a single-node oracle.
 type influencersResponse struct {
-	Influencers any    `json:"influencers"`
-	Cached      bool   `json:"cached"`
-	Generation  uint64 `json:"generation"`
+	Influencers []core.Influencer `json:"influencers"`
+	Cached      bool              `json:"cached"`
+	Generation  uint64            `json:"generation"`
 }
 
 type seedsResponse struct {
-	Seeds      any     `json:"seeds"`
-	Horizon    float64 `json:"horizon"`
-	Cached     bool    `json:"cached"`
-	Generation uint64  `json:"generation"`
+	Seeds      []core.Seed `json:"seeds"`
+	Horizon    float64     `json:"horizon"`
+	Cached     bool        `json:"cached"`
+	Generation uint64      `json:"generation"`
 }
 
 // handleRate reports the inferred hazard rate of u infecting v.
@@ -468,7 +477,9 @@ func (s *Server) handleRate(w http.ResponseWriter, r *http.Request) {
 
 // handleInfluencers serves the top-k influencer ranking from the TTL
 // cache; the O(n·K) scan plus sort runs once per (k, generation) per
-// TTL window however many clients ask.
+// TTL window however many clients ask. A sharded daemon ranks only its
+// own node stripe — its k candidates are exactly what the router's
+// MergeTopInfluencers needs to reconstruct the global ranking.
 func (s *Server) handleInfluencers(w http.ResponseWriter, r *http.Request) {
 	k, err := queryInt(r, "k", 10)
 	if err != nil || k <= 0 {
@@ -476,9 +487,11 @@ func (s *Server) handleInfluencers(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	cur := s.current()
+	lo, hi := s.stripe(cur.sys.Sys.N)
+	// The stripe is fixed per process, so (k, gen) still keys uniquely.
 	key := fmt.Sprintf("influencers:k=%d:gen=%d", k, cur.gen)
 	val, hit, err := s.cache.DoCtx(r.Context(), key, func() (any, error) {
-		return cur.sys.Sys.TopInfluencersCtx(r.Context(), k)
+		return cur.sys.Sys.TopInfluencersRangeCtx(r.Context(), k, lo, hi)
 	})
 	s.countCache(hit)
 	if err != nil {
@@ -490,7 +503,7 @@ func (s *Server) handleInfluencers(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, &influencersResponse{
-		Influencers: val,
+		Influencers: val.([]core.Influencer),
 		Cached:      hit,
 		Generation:  cur.gen,
 	})
@@ -524,7 +537,7 @@ func (s *Server) handleSeeds(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, &seedsResponse{
-		Seeds:      val,
+		Seeds:      val.([]core.Seed),
 		Horizon:    horizon,
 		Cached:     hit,
 		Generation: cur.gen,
@@ -669,6 +682,11 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		"nodes":      cur.sys.Sys.N,
 		"predictor":  cur.sys.Pred != nil,
 		"generation": cur.gen,
+		// Sharding identity, always present (-1/0 when unsharded): the
+		// router's health probe compares these against its ring so a
+		// misconfigured member is rejected instead of silently merged.
+		"shard_id":  s.ShardID(),
+		"ring_size": s.RingSize(),
 	}
 	if st, ok := s.replStatus(); ok {
 		// Replication lag surface: load balancers and the smoke

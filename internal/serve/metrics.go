@@ -102,6 +102,10 @@ type metricsHooks struct {
 	health       func() healthSnapshot
 	replStatus   func() (repl.Status, bool)
 	isFollower   func() bool
+	// shardID/ringSize identify this daemon's place in a routed fleet;
+	// static for the process lifetime (-1/0 unsharded).
+	shardID  int
+	ringSize int
 }
 
 // newMetrics wires the metric tree. The wal_* counters are always
@@ -162,6 +166,12 @@ func newMetrics(hooks metricsHooks) *Metrics {
 	m.root.Set("uptime_seconds", expvar.Func(func() any {
 		return time.Since(hooks.started).Seconds()
 	}))
+
+	// Sharding identity, always published (-1/0 unsharded) so the
+	// router and dashboards can verify ring membership against a stable
+	// key set.
+	m.root.Set("shard_id", expvar.Func(func() any { return hooks.shardID }))
+	m.root.Set("ring_size", expvar.Func(func() any { return hooks.ringSize }))
 
 	// Overload-resilience surface: admission counters by route class,
 	// deadline/read-only rejects, and the degraded/stale health gauges.

@@ -94,6 +94,21 @@ type Config struct {
 	// Admission bounds per-route-class concurrency; see
 	// AdmissionConfig. The zero value enables generous defaults.
 	Admission AdmissionConfig
+	// ShardID/RingSize make this daemon one member of a sharded fleet
+	// behind a `viralcast route` front-end: RingSize is the fleet size
+	// and ShardID this member's index in [0, RingSize). A sharded
+	// member answers the row-decomposable global queries
+	// (/v1/influencers) for its own contiguous node stripe
+	// [ShardID·N/RingSize, (ShardID+1)·N/RingSize) — the router merges
+	// the per-shard stripe rankings back into the byte-identical global
+	// answer — and reports shard_id/ring_size on /readyz and /metrics
+	// so the router can detect a misconfigured ring member. RingSize 0
+	// (the default) is an ordinary unsharded daemon: full-universe
+	// answers, shard_id -1. Non-decomposable compute (seed selection,
+	// scenario simulation) always runs over the full model; the router
+	// treats those as replicated rather than partitioned work.
+	ShardID  int
+	RingSize int
 	// SimulateMaxTrials caps the total Monte Carlo trials (trials ×
 	// seed sets) one POST /v1/simulate request may ask for; bigger
 	// requests answer 400 with the cap so clients can split or shrink
@@ -180,6 +195,12 @@ func New(cfg Config) (*Server, error) {
 	if cfg.SimulateMaxTrials <= 0 {
 		cfg.SimulateMaxTrials = 4096
 	}
+	if cfg.RingSize < 0 {
+		return nil, fmt.Errorf("serve: Config.RingSize must be >= 0, got %d", cfg.RingSize)
+	}
+	if cfg.RingSize > 0 && (cfg.ShardID < 0 || cfg.ShardID >= cfg.RingSize) {
+		return nil, fmt.Errorf("serve: Config.ShardID %d outside ring [0, %d)", cfg.ShardID, cfg.RingSize)
+	}
 	// Slowloris guards: a connection that cannot produce its headers or
 	// body promptly is an attack or a casualty — either way not worth a
 	// goroutine. Negative disables (tests that intentionally dribble).
@@ -237,6 +258,8 @@ func New(cfg Config) (*Server, error) {
 		health:       s.healthSnapshot,
 		replStatus:   s.replStatus,
 		isFollower:   s.isFollower,
+		shardID:      s.ShardID(),
+		ringSize:     s.RingSize(),
 	})
 	lm, err := cfg.Loader()
 	if err != nil {
@@ -377,6 +400,32 @@ func (s *Server) Close() error {
 		return nil
 	}
 	return w.Close()
+}
+
+// ShardID reports this daemon's index in the serving ring, -1 when
+// unsharded. The -1 convention (rather than 0) keeps "first shard of a
+// fleet" and "not a fleet member at all" distinguishable in /readyz,
+// /metrics, and the per-prediction shard_id field.
+func (s *Server) ShardID() int {
+	if s.cfg.RingSize > 0 {
+		return s.cfg.ShardID
+	}
+	return -1
+}
+
+// RingSize reports the configured fleet size, 0 when unsharded.
+func (s *Server) RingSize() int { return s.cfg.RingSize }
+
+// stripe returns this shard's contiguous node-ownership range [lo, hi)
+// over an n-node universe — the same fixed-size partition the compute
+// plane uses for worker stripes, so the router's merged ranking is
+// byte-identical to a single process ranking all n rows. Unsharded
+// daemons own everything.
+func (s *Server) stripe(n int) (lo, hi int) {
+	if s.cfg.RingSize <= 0 {
+		return 0, n
+	}
+	return s.cfg.ShardID * n / s.cfg.RingSize, (s.cfg.ShardID + 1) * n / s.cfg.RingSize
 }
 
 // current returns the live generation. It is never nil after New.

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # bench.sh — the tracked perf trajectory: runs the serving/compute
 # microbenchmarks (kernels, influencer ranking, CELF seed selection,
-# request-path handlers) with allocation reporting at a fixed
+# request-path handlers, router fan-out) with allocation reporting at a fixed
 # -benchtime, and emits machine-readable BENCH_serve.json at the repo
 # root so subsequent PRs can diff ns/op, allocs/op, and ops/s against
 # this one.
@@ -24,6 +24,7 @@ pkgs=(
   ./internal/core/
   ./internal/serve/
   ./internal/scenario/
+  ./internal/router/
 )
 
 raw="$(mktemp)"

@@ -2,13 +2,17 @@
 # ci.sh — the repo's verification gate: static checks, build, the full
 # test suite, the race detector on the packages that exercise
 # concurrency (the worker pool, the parallel/Hogwild optimizers, SLPA,
-# the serving daemon, the write-ahead log, the Monte Carlo scenario
-# engine), and a live smoke test of
+# the serving daemon, the write-ahead log, the router, the Monte Carlo
+# scenario engine), and a live smoke test of
 # viralcastd including crash replay: the daemon is SIGKILLed mid-stream
 # and restarted on the same WAL directory, which must restore the
-# ingested cascade. The final stage is a replication failover: a
+# ingested cascade. Then a replication failover: a
 # primary/follower pair, the primary SIGKILLed, the follower promoted,
 # and the durably-acknowledged prefix verified on the promoted node.
+# The final stage is a routed fleet: three sharded daemons behind a
+# `viralcast route` front-end, smoke-tested through the router (ring
+# affinity, rankings byte-identical to an unsharded oracle, simulate),
+# then one shard SIGKILLed and the degraded-partial contract verified.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -22,7 +26,7 @@ echo "== go test ./..."
 go test -shuffle=on ./...
 
 echo "== go test -race (concurrent packages, incl. the chaos soak)"
-go test -race -shuffle=on ./internal/pool/ ./internal/infer/ ./internal/slpa/ ./internal/serve/ ./internal/wal/ ./internal/repl/ ./internal/inflmax/ ./internal/core/ ./internal/scenario/
+go test -race -shuffle=on ./internal/pool/ ./internal/infer/ ./internal/slpa/ ./internal/serve/ ./internal/wal/ ./internal/repl/ ./internal/inflmax/ ./internal/core/ ./internal/scenario/ ./internal/router/
 
 echo "== bench smoke (every benchmark must compile and run once)"
 go test -run=NONE -bench=. -benchtime=1x ./...
@@ -36,8 +40,10 @@ echo "== viralcastd smoke test"
 tmp="$(mktemp -d)"
 daemon_pid=""
 follower_pid=""
+router_pid=""
+shard_pids=()
 cleanup() {
-  for pid in "$daemon_pid" "$follower_pid"; do
+  for pid in "$daemon_pid" "$follower_pid" "$router_pid" ${shard_pids[@]+"${shard_pids[@]}"}; do
     if [[ -n "$pid" ]] && kill -0 "$pid" 2>/dev/null; then
       kill -9 "$pid" 2>/dev/null || true
     fi
@@ -184,5 +190,84 @@ follower_pid=""
 # including the per-record replication cursors.
 "$tmp/viralcast" wal inspect -dir "$tmp/repl-wal-follower" -records
 "$tmp/viralcast" wal verify -dir "$tmp/repl-wal-follower"
+
+# Routed fleet: three sharded daemons, one unsharded oracle, and a
+# `viralcast route` front-end, all on random ports. The smoke client
+# drives everything through the router: ring affinity via the shard_id
+# on predictions, merged rankings byte-identical to the oracle, and the
+# simulate relay. Then shard 1 is SIGKILLed — the router must converge
+# to degraded and answer fresh rankings as explicit partials naming it.
+echo "== sharded fleet + router smoke test"
+for i in 0 1 2; do
+  rm -f "$tmp/addr"
+  "$tmp/viralcast" serve -addr 127.0.0.1:0 -addr-file "$tmp/addr" \
+    -model "$tmp/model.txt" -cascades "$tmp/cascades.txt" -seed 7 \
+    -flush-every 0 -shard-id "$i" -ring-size 3 2>"$tmp/shard$i.log" &
+  shard_pids[$i]=$!
+  for _ in $(seq 1 100); do
+    [[ -s "$tmp/addr" ]] && break
+    if ! kill -0 "${shard_pids[$i]}" 2>/dev/null; then
+      echo "shard $i died during startup:" >&2
+      cat "$tmp/shard$i.log" >&2
+      exit 1
+    fi
+    sleep 0.1
+  done
+  [[ -s "$tmp/addr" ]] || { echo "shard $i never published its address" >&2; exit 1; }
+  shard_urls[$i]="http://$(cat "$tmp/addr")"
+done
+
+rm -f "$tmp/addr"
+"$tmp/viralcast" serve -addr 127.0.0.1:0 -addr-file "$tmp/addr" \
+  -model "$tmp/model.txt" -cascades "$tmp/cascades.txt" -seed 7 \
+  -flush-every 0 2>"$tmp/route-oracle.log" &
+daemon_pid=$!
+for _ in $(seq 1 100); do
+  [[ -s "$tmp/addr" ]] && break
+  if ! kill -0 "$daemon_pid" 2>/dev/null; then
+    echo "route oracle died during startup:" >&2
+    cat "$tmp/route-oracle.log" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+[[ -s "$tmp/addr" ]] || { echo "route oracle never published its address" >&2; exit 1; }
+oracle="http://$(cat "$tmp/addr")"
+
+rm -f "$tmp/addr"
+"$tmp/viralcast" route -addr 127.0.0.1:0 -addr-file "$tmp/addr" \
+  -shards "${shard_urls[0]},${shard_urls[1]},${shard_urls[2]}" \
+  -request-timeout 5s -probe-every 500ms 2>"$tmp/router.log" &
+router_pid=$!
+for _ in $(seq 1 100); do
+  [[ -s "$tmp/addr" ]] && break
+  if ! kill -0 "$router_pid" 2>/dev/null; then
+    echo "router died during startup:" >&2
+    cat "$tmp/router.log" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+[[ -s "$tmp/addr" ]] || { echo "router never published its address" >&2; exit 1; }
+router="http://$(cat "$tmp/addr")"
+go run ./scripts/smoke -base "$router" -route -oracle "$oracle"
+
+kill -9 "${shard_pids[1]}"
+wait "${shard_pids[1]}" 2>/dev/null || true
+shard_pids[1]=""
+go run ./scripts/smoke -base "$router" -route-partial shard-1
+
+kill -TERM "$router_pid"
+wait "$router_pid" || { echo "router did not drain cleanly:" >&2; cat "$tmp/router.log" >&2; exit 1; }
+router_pid=""
+for i in 0 2; do
+  kill -TERM "${shard_pids[$i]}"
+  wait "${shard_pids[$i]}" || { echo "shard $i did not drain cleanly:" >&2; cat "$tmp/shard$i.log" >&2; exit 1; }
+  shard_pids[$i]=""
+done
+kill -TERM "$daemon_pid"
+wait "$daemon_pid" || { echo "route oracle did not drain cleanly:" >&2; cat "$tmp/route-oracle.log" >&2; exit 1; }
+daemon_pid=""
+echo "sharded fleet smoke passed (routed answers byte-identical; SIGKILL degraded to partial)"
 
 echo "ci.sh: all checks passed"

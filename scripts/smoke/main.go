@@ -27,6 +27,17 @@
 // the repl_* metrics. With -post-promote it checks a freshly promoted
 // follower: role primary, the replicated prefix still served, and
 // ingestion (with the replayed duplicate guard intact) accepted again.
+//
+// With -route the base URL is a `viralcast route` front-end over a
+// sharded fleet: the client ingests cascades through the router,
+// asserts ring affinity (the same cascade id answers from the same
+// shard on every request, via the prediction's shard_id field, and the
+// ids spread over more than one shard), requires the merged top-k
+// rankings to be byte-identical to the single unsharded daemon named
+// by -oracle, and runs the simulate campaign through the router. With
+// -route-partial SHARD the fleet has a freshly killed member: the
+// router must report itself degraded and answer rankings as explicit
+// partials naming that shard, uncached.
 package main
 
 import (
@@ -54,6 +65,9 @@ func main() {
 	simCap := flag.Int("simulate-cap", 0, "daemon runs with -simulate-max-trials N: assert an over-cap campaign is rejected with 400")
 	follow := flag.Bool("follow", false, "daemon runs with -follow: wait for replication to be current and assert the follower contract")
 	postPromote := flag.Bool("post-promote", false, "daemon is a freshly promoted follower: assert it serves the replicated prefix and ingests again")
+	route := flag.Bool("route", false, "base is a `viralcast route` front-end: assert ring affinity and routed-vs-oracle byte identity")
+	oracle := flag.String("oracle", "", "with -route: single unsharded daemon whose rankings the routed answers must match byte for byte")
+	routePartial := flag.String("route-partial", "", "base is a router over a fleet with this shard freshly killed (e.g. shard-1): assert the degraded-partial contract")
 	flag.Parse()
 	if *base == "" {
 		log.Fatal("smoke: -base is required")
@@ -61,6 +75,16 @@ func main() {
 	client := &http.Client{Timeout: 30 * time.Second}
 	waitUp(client, *base)
 
+	if *route {
+		checkRoute(client, *base, *oracle)
+		fmt.Println("smoke: routed fleet checks passed")
+		return
+	}
+	if *routePartial != "" {
+		checkRoutePartial(client, *base, *routePartial)
+		fmt.Println("smoke: routed partial-degradation checks passed")
+		return
+	}
 	if *postCrash {
 		checkPostCrash(client, *base)
 		fmt.Println("smoke: post-crash recovery checks passed")
@@ -442,6 +466,209 @@ func checkOverload(client *http.Client, base string) {
 	}
 	fmt.Printf("smoke: overload ok (%d succeeded, %d shed with Retry-After, %d deadline-cut, overload_shed=%v)\n",
 		succeeded, shed, deadlineCut, m.OverloadShed)
+}
+
+// checkRoute exercises a healthy routed fleet end to end: every shard
+// up, ingestion split by the ring, cascade-scoped reads pinned to one
+// shard per id (and spreading over several shards across ids), the
+// merged rankings byte-identical to the unsharded oracle, and the
+// Monte Carlo campaign relayed with its cache semantics intact.
+func checkRoute(client *http.Client, base, oracle string) {
+	var hz struct {
+		Role string `json:"role"`
+	}
+	expect(client, "GET", base+"/healthz", nil, 200, &hz)
+	if hz.Role != "router" {
+		log.Fatalf("smoke: -route given but /healthz reports role %q, not a router", hz.Role)
+	}
+	var ready struct {
+		Status        string `json:"status"`
+		RingSize      int    `json:"ring_size"`
+		ShardsHealthy int    `json:"shards_healthy"`
+	}
+	expect(client, "GET", base+"/readyz", nil, 200, &ready)
+	if ready.Status != "ready" || ready.RingSize < 2 || ready.ShardsHealthy != ready.RingSize {
+		log.Fatalf("smoke: fleet not fully ready: %+v", ready)
+	}
+
+	// One small cascade per routed id, ingested through the router in a
+	// single batch that the ring splits across the shards.
+	const idBase, idCount = 41000, 30
+	evs := make([]map[string]any, 0, 3*idCount)
+	for i := 0; i < idCount; i++ {
+		id := idBase + i
+		evs = append(evs,
+			map[string]any{"cascade": id, "node": 1, "time": 0.10},
+			map[string]any{"cascade": id, "node": 2, "time": 0.25},
+			map[string]any{"cascade": id, "node": 3, "time": 0.40},
+		)
+	}
+	var ingested struct {
+		Accepted int  `json:"accepted"`
+		Partial  bool `json:"partial"`
+	}
+	expect(client, "POST", base+"/v1/events", map[string]any{"events": evs}, 200, &ingested)
+	if ingested.Partial || ingested.Accepted != len(evs) {
+		log.Fatalf("smoke: routed ingest accepted %d of %d (partial=%v)",
+			ingested.Accepted, len(evs), ingested.Partial)
+	}
+
+	// Ring affinity: the shard_id on a prediction names the shard that
+	// answered. The same cascade id must answer from the same shard on
+	// every request, and the ids must not all pile onto one shard.
+	shardOf := make(map[int]int, idCount)
+	hit := make(map[int]bool)
+	for pass := 0; pass < 2; pass++ {
+		for i := 0; i < idCount; i++ {
+			id := idBase + i
+			var pred struct {
+				Size    int  `json:"size"`
+				ShardID *int `json:"shard_id"`
+			}
+			expect(client, "GET", fmt.Sprintf("%s/v1/cascades/%d/predict", base, id), nil, 200, &pred)
+			if pred.ShardID == nil {
+				log.Fatalf("smoke: prediction for cascade %d carries no shard_id — daemons not sharded?", id)
+			}
+			if *pred.ShardID < 0 || *pred.ShardID >= ready.RingSize {
+				log.Fatalf("smoke: cascade %d answered by shard %d outside the ring [0, %d)",
+					id, *pred.ShardID, ready.RingSize)
+			}
+			if pass == 0 {
+				shardOf[id] = *pred.ShardID
+				hit[*pred.ShardID] = true
+			} else if *pred.ShardID != shardOf[id] {
+				log.Fatalf("smoke: cascade %d moved from shard %d to shard %d between requests",
+					id, shardOf[id], *pred.ShardID)
+			}
+			if pred.Size != 3 {
+				log.Fatalf("smoke: cascade %d has size %d on its shard, want 3", id, pred.Size)
+			}
+		}
+	}
+	if len(hit) < 2 {
+		log.Fatalf("smoke: all %d cascade ids landed on one shard — the ring is not spreading ownership", idCount)
+	}
+
+	// The merged rankings must be byte-identical to a single unsharded
+	// daemon over the same model: same scores, same order, same bytes.
+	if oracle != "" {
+		for _, q := range []struct{ path, field string }{
+			{"/v1/influencers?k=10", "influencers"},
+			{"/v1/influencers?k=25", "influencers"},
+			{"/v1/seeds?k=4", "seeds"},
+		} {
+			routed := rawJSONField(client, base+q.path, q.field)
+			direct := rawJSONField(client, oracle+q.path, q.field)
+			if !bytes.Equal(routed, direct) {
+				log.Fatalf("smoke: routed %s diverges from the oracle\nrouted: %s\noracle: %s",
+					q.path, routed, direct)
+			}
+		}
+		fmt.Println("smoke: routed rankings byte-identical to the oracle")
+	}
+
+	checkSimulate(client, base, 0)
+	fmt.Printf("smoke: route ok (%d cascades pinned across %d of %d shards)\n",
+		idCount, len(hit), ready.RingSize)
+}
+
+// checkRoutePartial runs against a router whose fleet just lost the
+// named shard to a SIGKILL: /readyz must converge to "degraded", and a
+// fresh ranking must still answer 200 — as an explicit partial naming
+// the dead shard, never from the cache.
+func checkRoutePartial(client *http.Client, base, missing string) {
+	var ready struct {
+		Status        string `json:"status"`
+		RingSize      int    `json:"ring_size"`
+		ShardsHealthy int    `json:"shards_healthy"`
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for attempt := 0; ; attempt++ {
+		expect(client, "GET", base+"/readyz", nil, 200, &ready)
+		if ready.Status == "degraded" {
+			break
+		}
+		if !time.Now().Before(deadline) {
+			log.Fatalf("smoke: router never noticed the dead shard: %+v", ready)
+		}
+		time.Sleep(jitteredBackoff(attempt, 50*time.Millisecond, time.Second))
+	}
+	if ready.ShardsHealthy != ready.RingSize-1 {
+		log.Fatalf("smoke: degraded fleet reports %d healthy of %d, want %d",
+			ready.ShardsHealthy, ready.RingSize, ready.RingSize-1)
+	}
+
+	// k=9 has not been asked before in this ci run, so the answer cannot
+	// come from the router's pre-outage cache.
+	var resp struct {
+		Influencers   []json.RawMessage `json:"influencers"`
+		Cached        bool              `json:"cached"`
+		Partial       bool              `json:"partial"`
+		MissingShards []string          `json:"missing_shards"`
+	}
+	expect(client, "GET", base+"/v1/influencers?k=9", nil, 200, &resp)
+	if !resp.Partial {
+		log.Fatalf("smoke: ranking after a shard SIGKILL is not marked partial: %+v", resp)
+	}
+	if resp.Cached {
+		log.Fatal("smoke: a partial ranking claims to be cached")
+	}
+	found := false
+	for _, name := range resp.MissingShards {
+		if name == missing {
+			found = true
+		}
+	}
+	if !found {
+		log.Fatalf("smoke: missing_shards %v does not name the killed %s", resp.MissingShards, missing)
+	}
+	if len(resp.Influencers) == 0 {
+		log.Fatal("smoke: partial ranking is empty — surviving shards' stripes were lost")
+	}
+
+	// The router's own metrics must record the degradation.
+	var m struct {
+		Partials      float64            `json:"partial_results"`
+		ShardsHealthy float64            `json:"shards_healthy"`
+		ShardHealth   map[string]bool    `json:"shard_health"`
+		ShardErrors   map[string]float64 `json:"shard_errors"`
+	}
+	expect(client, "GET", base+"/metrics", nil, 200, &m)
+	if m.Partials < 1 {
+		log.Fatalf("smoke: partial_results metric did not move: %+v", m)
+	}
+	if healthy, ok := m.ShardHealth[missing]; !ok || healthy {
+		log.Fatalf("smoke: shard_health does not mark %s down: %v", missing, m.ShardHealth)
+	}
+	fmt.Printf("smoke: partial ok (%d survivors answered, %s named missing, partial_results=%v)\n",
+		len(resp.Influencers), missing, m.Partials)
+}
+
+// rawJSONField GETs a URL and returns the named top-level field's raw
+// bytes, for exact byte-identity comparisons between envelopes whose
+// sibling fields (cached, shard identity) legitimately differ.
+func rawJSONField(client *http.Client, url, field string) []byte {
+	resp, err := client.Get(url)
+	if err != nil {
+		log.Fatalf("smoke: GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatalf("smoke: reading %s: %v", url, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("smoke: GET %s = %d: %s", url, resp.StatusCode, body)
+	}
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal(body, &doc); err != nil {
+		log.Fatalf("smoke: undecodable body from %s: %v", url, err)
+	}
+	raw, ok := doc[field]
+	if !ok {
+		log.Fatalf("smoke: %s response has no %q field: %s", url, field, body)
+	}
+	return raw
 }
 
 // checkSimulate POSTs a small Monte Carlo campaign to /v1/simulate and
