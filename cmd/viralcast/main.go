@@ -61,11 +61,19 @@
 //	    and merge byte-identically to a single daemon, and a dead shard
 //	    degrades answers to explicit partials instead of failures.
 //	    -replicas-of "1=http://f1:9191" adds follower retry/hedging.
+//	    -auto-failover arms the supervision layer: after -suspect-after
+//	    consecutive failed probes the router verifies the follower
+//	    (servable, within -min-follower-lag), promotes it at a fresh
+//	    fencing epoch, rewrites the ring slot, and quarantines the
+//	    fenced ex-primary — no operator in the loop.
 //
 //	viralcast promote -base http://follower:8081
 //	    Flip a follower into a writable primary (failover): truncate at
 //	    the last verified frame, open the mirrored log for writes, and
-//	    start accepting ingestion without a restart.
+//	    start accepting ingestion without a restart. Each promotion
+//	    bumps a persisted, CRC-signed fencing epoch; -epoch N presents
+//	    an explicit epoch, which must exceed anything the node has
+//	    persisted or observed (the only way to resurrect a fenced node).
 //
 //	viralcast wal <inspect|verify|replay> -dir wal/
 //	    Read-only tools for a daemon's write-ahead log directory:

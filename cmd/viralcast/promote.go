@@ -14,9 +14,18 @@ import (
 // failover: SIGKILL (or lose) the primary, then promote the follower
 // and repoint ingestion at it. Promoting a node that is already a
 // primary is a reported no-op, so the command is safe to re-run.
+//
+// Without -epoch the daemon bumps its persisted fencing epoch by one.
+// With -epoch N the promote carries an explicit epoch: the daemon
+// refuses it unless N is strictly above both its persisted epoch and
+// any fencing epoch it has observed — which is also the only way to
+// resurrect a fenced node, by deliberately presenting an epoch above
+// the fence. A stale script replaying an old epoch gets 409
+// {"reason":"fenced"} and changes nothing.
 func cmdPromote(args []string) error {
 	fs := flag.NewFlagSet("promote", flag.ExitOnError)
 	base := fs.String("base", "", "follower daemon base URL, e.g. http://127.0.0.1:8080 (required)")
+	epoch := fs.Uint64("epoch", 0, "explicit fencing epoch for the promotion; must exceed the node's persisted and observed epochs (0 = auto-bump)")
 	timeout := fs.Duration("timeout", 30*time.Second, "request timeout")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -24,27 +33,40 @@ func cmdPromote(args []string) error {
 	if *base == "" {
 		return fmt.Errorf("promote: -base is required")
 	}
+	var payload []byte
+	if *epoch > 0 {
+		payload, _ = json.Marshal(map[string]uint64{"epoch": *epoch})
+	}
 	client := &http.Client{Timeout: *timeout}
-	resp, err := client.Post(*base+"/v1/promote", "application/json", bytes.NewReader(nil))
+	resp, err := client.Post(*base+"/v1/promote", "application/json", bytes.NewReader(payload))
 	if err != nil {
 		return fmt.Errorf("promote: %w", err)
 	}
 	defer resp.Body.Close()
 	var body struct {
-		Role     string `json:"role"`
-		Promoted bool   `json:"promoted"`
-		Error    string `json:"error"`
+		Role     string  `json:"role"`
+		Promoted bool    `json:"promoted"`
+		Epoch    *uint64 `json:"epoch"`
+		Reason   string  `json:"reason"`
+		Error    string  `json:"error"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
 		return fmt.Errorf("promote: undecodable response (status %d): %w", resp.StatusCode, err)
 	}
+	if resp.StatusCode == http.StatusConflict && body.Reason == "fenced" {
+		return fmt.Errorf("promote: %s refused the epoch as stale (fenced); re-run with -epoch above the node's current fencing epoch", *base)
+	}
 	if resp.StatusCode != http.StatusOK {
 		return fmt.Errorf("promote: %s answered %d: %s", *base, resp.StatusCode, body.Error)
 	}
+	at := ""
+	if body.Epoch != nil {
+		at = fmt.Sprintf(" at epoch %d", *body.Epoch)
+	}
 	if body.Promoted {
-		fmt.Printf("promoted: %s is now the primary (role %s)\n", *base, body.Role)
+		fmt.Printf("promoted: %s is now the primary%s (role %s)\n", *base, at, body.Role)
 	} else {
-		fmt.Printf("no-op: %s was already a %s\n", *base, body.Role)
+		fmt.Printf("no-op: %s was already a %s%s\n", *base, body.Role, at)
 	}
 	return nil
 }

@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"viralcast/internal/wal"
@@ -75,11 +76,12 @@ type Status struct {
 // Follower tails a primary's WAL stream into a local byte mirror and a
 // local store. Create with New, run with Start, halt with Stop.
 type Follower struct {
-	cfg    Config
-	ctx    context.Context
-	cancel context.CancelFunc
-	done   chan struct{}
-	rng    *rand.Rand
+	cfg     Config
+	ctx     context.Context
+	cancel  context.CancelFunc
+	done    chan struct{}
+	started atomic.Bool
+	rng     *rand.Rand
 
 	mu          sync.Mutex
 	state       string
@@ -124,15 +126,25 @@ func New(cfg Config) (*Follower, error) {
 	}, nil
 }
 
-// Start launches the replication loop.
-func (f *Follower) Start() { go f.run() }
+// Start launches the replication loop. Idempotent: only the first
+// call spawns the loop.
+func (f *Follower) Start() {
+	if f.started.Swap(true) {
+		return
+	}
+	go f.run()
+}
 
 // Stop halts replication and waits for any in-flight apply to finish;
 // after Stop the mirror directory is quiescent and safe to open as a
-// WAL (promotion). Idempotent.
+// WAL (promotion). Safe before Start (a constructor error path tearing
+// down a never-started follower must not block on a loop that never
+// ran). Idempotent.
 func (f *Follower) Stop() {
 	f.cancel()
-	<-f.done
+	if f.started.Load() {
+		<-f.done
+	}
 }
 
 // Status reports the follower's current replication state.

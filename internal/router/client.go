@@ -8,6 +8,7 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -55,11 +56,23 @@ func newClient(hedge time.Duration, m *Metrics) *client {
 	}
 }
 
+// epochHeader mirrors internal/serve.EpochHeader without importing the
+// serving stack: the fencing epoch the sender believes is current.
+// Probes stamp it so every node the router touches — including a
+// restarted zombie ex-primary — learns the fleet's epoch and fences
+// itself when it is behind.
+const epochHeader = "X-Viralcast-Epoch"
+
 // do performs one HTTP exchange against base. Any HTTP status is a
 // successful exchange (the shard answered; 4xx/5xx bodies are relayed
 // to the client as-is) — an error means transport failure: the shard
 // is unreachable, the connection died, or the context expired.
 func (c *client) do(ctx context.Context, method, base, path string, body []byte) (*reply, error) {
+	return c.doEpoch(ctx, method, base, path, body, 0)
+}
+
+// doEpoch is do with the fencing-epoch header stamped (0 omits it).
+func (c *client) doEpoch(ctx context.Context, method, base, path string, body []byte, epoch uint64) (*reply, error) {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
@@ -70,6 +83,9 @@ func (c *client) do(ctx context.Context, method, base, path string, body []byte)
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if epoch > 0 {
+		req.Header.Set(epochHeader, strconv.FormatUint(epoch, 10))
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
@@ -196,6 +212,14 @@ func retryJitter() time.Duration {
 	return 5*time.Millisecond + time.Duration(rand.Int63n(int64(25*time.Millisecond)))
 }
 
+// get performs an epoch-stamped GET against one concrete base URL —
+// no follower fallback, no hedging. The failure detector and the
+// zombie fencer use it: both need to know about *this* process, not
+// whether anything in the chain can answer.
+func (c *client) get(ctx context.Context, base, path string, epoch uint64) (*reply, error) {
+	return c.doEpoch(ctx, http.MethodGet, base, path, nil, epoch)
+}
+
 // probeResult is what the health prober learned about one shard.
 type probeResult struct {
 	Healthy       bool    `json:"healthy"`
@@ -203,8 +227,12 @@ type probeResult struct {
 	ShardID       int     `json:"shard_id"`
 	RingSize      int     `json:"ring_size"`
 	Status        string  `json:"status,omitempty"`
+	Role          string  `json:"role,omitempty"`
 	Generation    uint64  `json:"generation,omitempty"`
 	Nodes         int     `json:"nodes,omitempty"`
+	Epoch         uint64  `json:"epoch"`
+	Fenced        bool    `json:"fenced,omitempty"`
+	FencingEpoch  uint64  `json:"fencing_epoch,omitempty"`
 	Error         string  `json:"error,omitempty"`
 	AgeSeconds    float64 `json:"age_seconds"`
 }
@@ -216,27 +244,42 @@ type probeResult struct {
 // exactly the failure the shard_id/ring_size fields exist to prevent.
 // A standalone daemon (shard_id -1, ring_size 0) is accepted only in a
 // one-shard ring, where its full-universe answers are the stripe.
-func (c *client) probe(ctx context.Context, index, fleet int, sh Shard) probeResult {
-	rep, err := c.read(ctx, sh, "/readyz")
+//
+// The probe goes to the slot's routing target directly — never the
+// follower — because it feeds the failure detector: "the follower can
+// answer reads" must not mask "the primary is dead". It carries the
+// router's epoch for the slot, and reads the target's fencing surface
+// back; a target that reports itself fenced is never healthy — its
+// writes are being refused, so routing ingest at it is a black hole.
+func (c *client) probe(ctx context.Context, index, fleet int, sh Shard, epoch uint64) probeResult {
+	rep, err := c.get(ctx, sh.Primary, "/readyz", epoch)
 	if err != nil {
 		return probeResult{ShardID: -1, Error: err.Error()}
 	}
 	var ready struct {
-		Status     string `json:"status"`
-		ShardID    *int   `json:"shard_id"`
-		RingSize   int    `json:"ring_size"`
-		Generation uint64 `json:"generation"`
-		Nodes      int    `json:"nodes"`
+		Status       string `json:"status"`
+		Role         string `json:"role"`
+		ShardID      *int   `json:"shard_id"`
+		RingSize     int    `json:"ring_size"`
+		Generation   uint64 `json:"generation"`
+		Nodes        int    `json:"nodes"`
+		Epoch        uint64 `json:"epoch"`
+		Fenced       bool   `json:"fenced"`
+		FencingEpoch uint64 `json:"fencing_epoch"`
 	}
 	if uerr := json.Unmarshal(rep.body, &ready); uerr != nil || ready.ShardID == nil {
 		return probeResult{ShardID: -1, Error: fmt.Sprintf("readyz status %d is not a shard-aware body: %v", rep.status, uerr)}
 	}
 	pr := probeResult{
-		ShardID:    *ready.ShardID,
-		RingSize:   ready.RingSize,
-		Status:     ready.Status,
-		Generation: ready.Generation,
-		Nodes:      ready.Nodes,
+		ShardID:      *ready.ShardID,
+		RingSize:     ready.RingSize,
+		Status:       ready.Status,
+		Role:         ready.Role,
+		Generation:   ready.Generation,
+		Nodes:        ready.Nodes,
+		Epoch:        ready.Epoch,
+		Fenced:       ready.Fenced,
+		FencingEpoch: ready.FencingEpoch,
 	}
 	if rep.status != http.StatusOK {
 		pr.Error = fmt.Sprintf("readyz answered %d", rep.status)
@@ -247,6 +290,10 @@ func (c *client) probe(ctx context.Context, index, fleet int, sh Shard) probeRes
 		pr.Misconfigured = true
 		pr.Error = fmt.Sprintf("shard reports shard_id=%d ring_size=%d but the router placed it at slot %d of %d",
 			pr.ShardID, pr.RingSize, index, fleet)
+		return pr
+	}
+	if pr.Fenced {
+		pr.Error = fmt.Sprintf("fenced at epoch %d by fencing epoch %d", pr.Epoch, pr.FencingEpoch)
 		return pr
 	}
 	pr.Healthy = true

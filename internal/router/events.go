@@ -77,7 +77,7 @@ func (rt *Router) handleEvents(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return shardAck{}, err
 		}
-		rep, err := rt.client.do(r.Context(), http.MethodPost, rt.cfg.Shards[o].Primary, "/v1/events", payload)
+		rep, err := rt.client.do(r.Context(), http.MethodPost, rt.shard(o).Primary, "/v1/events", payload)
 		if err != nil {
 			return shardAck{}, err
 		}

@@ -29,9 +29,10 @@ type Metrics struct {
 	cacheHits       *expvar.Int
 	cacheMiss       *expvar.Int
 	probes          *expvar.Int // health-probe rounds completed
+	failovers       *expvar.Int // automatic promotions completed
 }
 
-func newRouterMetrics(ringSize int, started time.Time, health func() []probeResult) *Metrics {
+func newRouterMetrics(ringSize int, started time.Time, health func() []probeResult, det *detector) *Metrics {
 	m := &Metrics{
 		root:            new(expvar.Map).Init(),
 		requests:        new(expvar.Map).Init(),
@@ -47,6 +48,7 @@ func newRouterMetrics(ringSize int, started time.Time, health func() []probeResu
 		cacheHits:       new(expvar.Int),
 		cacheMiss:       new(expvar.Int),
 		probes:          new(expvar.Int),
+		failovers:       new(expvar.Int),
 	}
 	m.root.Set("requests", m.requests)
 	m.root.Set("responses_by_status", m.status)
@@ -78,6 +80,23 @@ func newRouterMetrics(ringSize int, started time.Time, health func() []probeResu
 		out := make(map[string]bool, ringSize)
 		for i, pr := range health() {
 			out[ShardName(i)] = pr.Healthy
+		}
+		return out
+	}))
+	// Supervision surface: how many automatic promotions the router has
+	// driven, how many fenced nodes it is holding in quarantine, and
+	// the fencing epoch it believes is current per shard chain.
+	m.root.Set("router_failovers_total", m.failovers)
+	m.root.Set("router_quarantined", expvar.Func(func() any {
+		return det.quarantinedCount()
+	}))
+	m.root.Set("shard_epochs", expvar.Func(func() any {
+		return det.epochMap()
+	}))
+	m.root.Set("failure_detector", expvar.Func(func() any {
+		out := make(map[string]string, ringSize)
+		for name, st := range det.statusMap() {
+			out[name] = st.State
 		}
 		return out
 	}))

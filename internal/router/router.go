@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"net/http"
 	"strconv"
@@ -44,6 +45,24 @@ type Config struct {
 	FanoutWorkers int
 	// DrainTimeout bounds the graceful shutdown drain. Default 10s.
 	DrainTimeout time.Duration
+	// AutoFailover arms the supervision layer: when a shard's primary
+	// has failed SuspectAfter consecutive probes and a follower is
+	// configured, the router verifies the follower (servable, within
+	// MaxPromoteLag, chain fingerprint present), promotes it at a fresh
+	// fencing epoch, and rewrites the ring slot's target — no operator
+	// in the loop. Off by default: a fleet without followers gets
+	// nothing from it, and a fleet with them should opt in knowingly.
+	AutoFailover bool
+	// SuspectAfter is how many consecutive failed probes move a shard
+	// from healthy to suspect. Default 3: one blip is noise, three
+	// probe intervals of silence is a dead process.
+	SuspectAfter int
+	// MaxPromoteLag is the most replication lag, in WAL records, a
+	// follower may report and still be auto-promoted. Default 0: only
+	// a fully caught-up follower is promoted, so no durably-acked
+	// event is lost in the failover. Raising it trades that guarantee
+	// for availability when followers trail under load.
+	MaxPromoteLag uint64
 	// Logf receives operational log lines; nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -56,6 +75,7 @@ type Router struct {
 	client  *client
 	cache   *flightCache
 	metrics *Metrics
+	det     *detector
 	handler http.Handler
 
 	probeMu sync.Mutex
@@ -89,6 +109,9 @@ func New(cfg Config) (*Router, error) {
 	if cfg.DrainTimeout <= 0 {
 		cfg.DrainTimeout = 10 * time.Second
 	}
+	if cfg.SuspectAfter <= 0 {
+		cfg.SuspectAfter = 3
+	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
@@ -96,13 +119,20 @@ func New(cfg Config) (*Router, error) {
 		cfg:      cfg,
 		ring:     NewRing(len(cfg.Shards)),
 		cache:    newFlightCache(cfg.CacheTTL),
+		det:      newDetector(cfg.Shards, cfg.SuspectAfter, cfg.AutoFailover),
 		probeRes: make([]probeResult, len(cfg.Shards)),
 	}
-	rt.metrics = newRouterMetrics(len(cfg.Shards), time.Now(), rt.healthSnapshot)
+	rt.metrics = newRouterMetrics(len(cfg.Shards), time.Now(), rt.healthSnapshot, rt.det)
 	rt.client = newClient(cfg.Hedge, rt.metrics)
 	rt.handler = rt.routes()
 	return rt, nil
 }
+
+// shard returns ring slot i's current routing target. Request paths
+// go through here, not Config.Shards: failover rewrites the target,
+// and a request racing the rewrite must see either the old primary or
+// the promoted follower — never a half-written Shard.
+func (rt *Router) shard(i int) Shard { return rt.det.shard(i) }
 
 // routes builds the router's mux: the same data-plane surface as one
 // viralcastd, so clients swap a daemon URL for a router URL and keep
@@ -215,35 +245,62 @@ func (rt *Router) Run(ctx context.Context, addr string) error {
 	return rt.Serve(ctx)
 }
 
-// probeLoop keeps the per-shard health snapshot fresh.
+// probeLoop keeps the per-shard health snapshot fresh. Each interval
+// is independently jittered: multiple routers fronting the same fleet
+// (or one router restarted in sync with its shards) must not
+// phase-lock into synchronized probe bursts that all observe — and
+// all react to — the same instant.
 func (rt *Router) probeLoop(ctx context.Context, done chan<- struct{}) {
 	defer close(done)
 	rt.probeRound(ctx)
-	t := time.NewTicker(rt.cfg.ProbeEvery)
-	defer t.Stop()
+	timer := time.NewTimer(probeJitter(rt.cfg.ProbeEvery))
+	defer timer.Stop()
 	for {
 		select {
 		case <-ctx.Done():
 			return
-		case <-t.C:
+		case <-timer.C:
 			rt.probeRound(ctx)
+			timer.Reset(probeJitter(rt.cfg.ProbeEvery))
 		}
 	}
 }
 
-// probeRound probes every shard in parallel and publishes the result.
+// probeJitter spreads a probe interval uniformly over [0.75, 1.25)×
+// the configured cadence.
+func probeJitter(every time.Duration) time.Duration {
+	return every*3/4 + time.Duration(rand.Int63n(int64(every)/2+1))
+}
+
+// probeRound probes every shard's current routing target in parallel,
+// publishes the snapshot, feeds the failure detector, and drives any
+// failover cycles the detector opened — detect, verify, promote, and
+// fence all happen on this loop, so "the probe noticed" and "the
+// fleet healed" are the same cadence.
 func (rt *Router) probeRound(ctx context.Context) {
-	ctx, cancel := context.WithTimeout(ctx, 2*time.Second)
-	defer cancel()
-	n := len(rt.cfg.Shards)
-	results, _ := pool.GatherCtx(ctx, n, n, func(i int) (probeResult, error) {
-		return rt.client.probe(ctx, i, n, rt.cfg.Shards[i]), nil
+	targets := rt.det.targets()
+	epochs := rt.det.epochs()
+	n := len(targets)
+	pctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+	results, _ := pool.GatherCtx(pctx, n, n, func(i int) (probeResult, error) {
+		return rt.client.probe(pctx, i, n, targets[i], epochs[i]), nil
 	})
+	cancel()
+	var failing []int
+	for i, pr := range results {
+		if rt.det.observe(i, pr) {
+			failing = append(failing, i)
+		}
+	}
 	rt.probeMu.Lock()
 	rt.probeRes = results
 	rt.probeAt = time.Now()
 	rt.probeMu.Unlock()
 	rt.metrics.probes.Add(1)
+	for _, i := range failing {
+		rt.failoverShard(ctx, i)
+	}
+	rt.observeZombies(ctx)
 }
 
 // healthSnapshot returns the latest probe results, probing on demand
@@ -299,6 +356,11 @@ func (rt *Router) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		"ring_size":      rt.ring.Size(),
 		"shards_healthy": healthy,
 		"shards":         shards,
+		// Supervision surface: per-slot failure-detector state, the
+		// fencing epoch the router believes is current for each chain,
+		// and any quarantined ex-primaries under observation.
+		"auto_failover":    rt.cfg.AutoFailover,
+		"failure_detector": rt.det.statusMap(),
 	})
 }
 
@@ -320,7 +382,7 @@ func (rt *Router) proxyCascade(w http.ResponseWriter, r *http.Request, suffix st
 		return
 	}
 	owner := rt.ring.Owner(id)
-	rep, err := rt.client.read(r.Context(), rt.cfg.Shards[owner], fmt.Sprintf("/v1/cascades/%d%s", id, suffix))
+	rep, err := rt.client.read(r.Context(), rt.shard(owner), fmt.Sprintf("/v1/cascades/%d%s", id, suffix))
 	if err != nil {
 		rt.shardFailed(owner, err)
 		rt.writeShardUnreachable(w, r, owner, err)
@@ -383,9 +445,9 @@ func (rt *Router) relayReplicated(w http.ResponseWriter, r *http.Request, key, m
 		var rep *reply
 		var err error
 		if method == http.MethodGet {
-			rep, err = rt.client.read(r.Context(), rt.cfg.Shards[i], path)
+			rep, err = rt.client.read(r.Context(), rt.shard(i), path)
 		} else {
-			rep, err = rt.client.do(r.Context(), method, rt.cfg.Shards[i].Primary, path, body)
+			rep, err = rt.client.do(r.Context(), method, rt.shard(i).Primary, path, body)
 		}
 		if err != nil {
 			rt.shardFailed(i, err)
@@ -477,7 +539,7 @@ func (rt *Router) gatherInfluencers(ctx context.Context, k int) (*influencersRes
 	n := len(rt.cfg.Shards)
 	path := "/v1/influencers?k=" + strconv.Itoa(k)
 	answers, errs := pool.GatherCtx(shardCtx, rt.cfg.FanoutWorkers, n, func(i int) (shardRanking, error) {
-		rep, err := rt.client.read(shardCtx, rt.cfg.Shards[i], path)
+		rep, err := rt.client.read(shardCtx, rt.shard(i), path)
 		if err != nil {
 			return shardRanking{}, err
 		}

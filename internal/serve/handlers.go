@@ -46,7 +46,7 @@ func (s *Server) routes() http.Handler {
 	control := func(pattern, label string, h http.HandlerFunc) {
 		mux.HandleFunc(pattern, s.metrics.instrument(label, h))
 	}
-	add("POST /v1/events", "events", classIngest, s.handleEvents)
+	add("POST /v1/events", "events", classIngest, s.fenceGate(s.handleEvents))
 	add("GET /v1/cascades/{id}", "cascade", classRead, s.handleCascade)
 	add("GET /v1/cascades/{id}/predict", "predict", classCompute, s.handlePredict)
 	add("GET /v1/rate", "rate", classRead, s.handleRate)
@@ -54,7 +54,7 @@ func (s *Server) routes() http.Handler {
 	add("GET /v1/seeds", "seeds", classCompute, s.handleSeeds)
 	add("POST /v1/simulate", "simulate", classCompute, s.handleSimulate)
 	control("POST /v1/reload", "reload", s.handleReload)
-	control("POST /v1/flush", "flush", s.handleFlush)
+	control("POST /v1/flush", "flush", s.fenceGate(s.handleFlush))
 	control("GET /healthz", "healthz", s.handleHealthz)
 	control("GET /readyz", "readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.metrics.handler)
@@ -65,6 +65,9 @@ func (s *Server) routes() http.Handler {
 		// does to an overloaded or dying cluster.
 		control("GET "+repl.StreamPath, "repl_stream", s.handleReplStream)
 		control("GET "+repl.SnapshotPath, "repl_snapshot", s.handleReplSnapshot)
+		// Promote is fenced by Promote itself, not the blanket gate: a
+		// supervisor must be able to promote a fenced node back into
+		// service by explicitly presenting an epoch above the fence.
 		control("POST /v1/promote", "promote", s.handlePromote)
 	}
 	if s.cfg.EnablePprof {
@@ -80,6 +83,76 @@ func (s *Server) routes() http.Handler {
 		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	}
 	return mux
+}
+
+// EpochHeader carries the sender's view of the current fencing epoch
+// on requests and probes. Routers stamp it on everything they send so
+// every node they touch learns the fleet's epoch; a node that sees a
+// higher epoch than its own latches fenced.
+const EpochHeader = "X-Viralcast-Epoch"
+
+// headerEpoch parses the fencing-epoch header, 0 when absent/garbled.
+func headerEpoch(r *http.Request) uint64 {
+	raw := r.Header.Get(EpochHeader)
+	if raw == "" {
+		return 0
+	}
+	e, err := strconv.ParseUint(raw, 10, 64)
+	if err != nil {
+		return 0
+	}
+	return e
+}
+
+// fenceGate guards the mutating surface (ingest, flush, promote)
+// against split-brain. Two rejections, both 409 {"reason":"fenced"}:
+//
+//   - This node is fenced: it has observed a fencing epoch above its
+//     own, meaning a promotion happened elsewhere that its history does
+//     not include. A zombie ex-primary restarting after its follower
+//     was promoted is the canonical case — its writes would fork
+//     history, so none are accepted.
+//
+//   - The request presents a stale epoch: the caller's view of the
+//     fleet is older than this node's, so it may be routing writes by
+//     a pre-failover map. Refusing makes the stale caller re-learn the
+//     topology instead of mutating through it.
+//
+// The gate also latches any newer epoch a request carries, so a fenced
+// node learns its fate from the first router probe or relayed request
+// that reaches it — no side channel needed.
+func (s *Server) fenceGate(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.cfg.WALDir == "" {
+			h(w, r)
+			return
+		}
+		if remote := headerEpoch(r); remote > 0 {
+			s.observeEpoch(remote)
+		}
+		own := s.Epoch()
+		if by, fenced := s.fencingEpoch(); fenced {
+			s.metrics.fenceRejects.Add(1)
+			writeJSON(w, http.StatusConflict, map[string]any{
+				"error":         "this node is fenced: a newer promotion exists elsewhere; its writes cannot be accepted",
+				"reason":        "fenced",
+				"epoch":         own,
+				"fencing_epoch": by,
+			})
+			return
+		}
+		if remote := headerEpoch(r); remote > 0 && remote < own {
+			s.metrics.fenceRejects.Add(1)
+			writeJSON(w, http.StatusConflict, map[string]any{
+				"error":         fmt.Sprintf("request presents stale epoch %d; this node is at epoch %d", remote, own),
+				"reason":        "fenced",
+				"epoch":         own,
+				"request_epoch": remote,
+			})
+			return
+		}
+		h(w, r)
+	}
 }
 
 // replGate protects the data plane of a follower whose local state is
@@ -411,6 +484,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		Threshold:   pred.Threshold(),
 		Generation:  cur.gen,
 		ShardID:     s.ShardID(),
+		Epoch:       s.Epoch(),
 	})
 }
 
@@ -429,6 +503,10 @@ type predictResponse struct {
 	// routed client can assert ring affinity: the same cascade id must
 	// always land on the same shard.
 	ShardID int `json:"shard_id"`
+	// Epoch is the answering node's fencing epoch (0 before any
+	// promotion), so clients can detect an answer from a node the fleet
+	// has failed over away from.
+	Epoch uint64 `json:"epoch"`
 }
 
 type rateResponse struct {
@@ -639,16 +717,60 @@ func (s *Server) replPrimary() (*repl.Primary, bool) {
 	}, true
 }
 
-// handlePromote flips a follower into a primary without a restart.
+// handlePromote flips a follower into a primary without a restart. The
+// optional body {"epoch": N} (or ?epoch=N) pins the fencing epoch the
+// promotion must persist; a stale epoch — at or below the persisted
+// one, or under an observed fence — answers 409 {"reason":"fenced"} so
+// a replayed script or a superseded supervisor cannot resurrect
+// split-brain. An absent/zero epoch auto-bumps (persisted+1).
 func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
-	promoted, err := s.Promote()
+	s.observeEpoch(headerEpoch(r))
+	var epoch uint64
+	if raw := r.URL.Query().Get("epoch"); raw != "" {
+		e, err := strconv.ParseUint(raw, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "parameter epoch: %q is not an unsigned integer", raw)
+			return
+		}
+		epoch = e
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	if err != nil {
+		writeError(w, http.StatusRequestEntityTooLarge, "body too large or unreadable: %v", err)
+		return
+	}
+	if len(bytes.TrimSpace(body)) > 0 {
+		var req struct {
+			Epoch uint64 `json:"epoch"`
+		}
+		if err := strictUnmarshal(body, &req); err != nil {
+			writeError(w, http.StatusBadRequest, "promote body must be {\"epoch\": N}: %v", err)
+			return
+		}
+		if req.Epoch > 0 {
+			epoch = req.Epoch
+		}
+	}
+	promoted, err := s.Promote(epoch)
+	if err != nil {
+		if errors.Is(err, ErrFenced) {
+			s.metrics.fenceRejects.Add(1)
+			by, _ := s.fencingEpoch()
+			writeJSON(w, http.StatusConflict, map[string]any{
+				"error":         err.Error(),
+				"reason":        "fenced",
+				"epoch":         s.Epoch(),
+				"fencing_epoch": by,
+			})
+			return
+		}
 		writeError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"role":     "primary",
 		"promoted": promoted,
+		"epoch":    s.Epoch(),
 	})
 }
 
@@ -663,6 +785,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // but the body says "degraded" with a machine-readable cause, and the
 // stale flag reports a model serving past a failed refresh.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	// Probes carry the prober's fencing epoch: answering readyz is also
+	// how a zombie node learns the fleet moved on without it.
+	s.observeEpoch(headerEpoch(r))
 	cur := s.current()
 	if cur == nil || cur.sys == nil || cur.sys.Sys == nil {
 		writeError(w, http.StatusServiceUnavailable, "model not loaded")
@@ -687,16 +812,31 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		// misconfigured member is rejected instead of silently merged.
 		"shard_id":  s.ShardID(),
 		"ring_size": s.RingSize(),
+		// Fencing surface, always present: the node's persisted epoch
+		// and whether it has observed a higher one (and is therefore
+		// refusing writes). The router's failure detector keys
+		// quarantine decisions off these.
+		"epoch":  s.Epoch(),
+		"fenced": false,
+	}
+	if by, fenced := s.fencingEpoch(); fenced {
+		resp["status"] = "fenced"
+		resp["fenced"] = true
+		resp["fencing_epoch"] = by
+		resp["read_only"] = true
 	}
 	if st, ok := s.replStatus(); ok {
 		// Replication lag surface: load balancers and the smoke
 		// client's -follow mode key off "replication" being "current".
+		// The chain fingerprint is the follower's verified-prefix proof;
+		// the router checks it is present before auto-promoting.
 		resp["replication"] = st.State
 		resp["replication_servable"] = st.Servable
 		resp["replication_lag_records"] = st.LagRecords
 		resp["replication_lag_seconds"] = st.LagSeconds
 		resp["replication_reconnects"] = st.Reconnects
 		resp["replication_cursor"] = st.Cursor.String()
+		resp["replication_fingerprint"] = fmt.Sprintf("%08x", st.Fingerprint)
 		if s.isFollower() {
 			resp["primary"] = s.cfg.FollowURL
 			resp["read_only"] = true

@@ -40,6 +40,7 @@ type Metrics struct {
 	followerRejects *expvar.Int // ingest/flush requests 409ed on a follower
 	replUnservable  *expvar.Int // data-plane requests 503ed while not servable
 	promotions      *expvar.Int // follower→primary promotions
+	fenceRejects    *expvar.Int // ingest/flush/promote requests 409ed by the fencing epoch
 
 	scenarioTrials *expvar.Int  // Monte Carlo trials completed by /v1/simulate
 	scenarioRuns   *expvar.Int  // scenario batches computed (cache misses that ran)
@@ -102,6 +103,10 @@ type metricsHooks struct {
 	health       func() healthSnapshot
 	replStatus   func() (repl.Status, bool)
 	isFollower   func() bool
+	// epoch is the persisted fencing epoch; fencing reports the highest
+	// foreign epoch observed and whether it fences this node.
+	epoch   func() uint64
+	fencing func() (uint64, bool)
 	// shardID/ringSize identify this daemon's place in a routed fleet;
 	// static for the process lifetime (-1/0 unsharded).
 	shardID  int
@@ -136,6 +141,7 @@ func newMetrics(hooks metricsHooks) *Metrics {
 		followerRejects: new(expvar.Int),
 		replUnservable:  new(expvar.Int),
 		promotions:      new(expvar.Int),
+		fenceRejects:    new(expvar.Int),
 
 		scenarioTrials: new(expvar.Int),
 		scenarioRuns:   new(expvar.Int),
@@ -214,6 +220,22 @@ func newMetrics(hooks metricsHooks) *Metrics {
 	m.root.Set("repl_follower_rejects", m.followerRejects)
 	m.root.Set("repl_unservable_rejects", m.replUnservable)
 	m.root.Set("repl_promotions", m.promotions)
+
+	// Fencing surface: the persisted epoch, whether a higher foreign
+	// epoch has fenced this node, and how many writes the fence has
+	// bounced. Always published (0/false) so the key set is stable.
+	m.root.Set("epoch", expvar.Func(func() any { return hooks.epoch() }))
+	m.root.Set("fenced", expvar.Func(func() any {
+		if _, fenced := hooks.fencing(); fenced {
+			return 1
+		}
+		return 0
+	}))
+	m.root.Set("fencing_epoch", expvar.Func(func() any {
+		by, _ := hooks.fencing()
+		return by
+	}))
+	m.root.Set("fence_rejects", m.fenceRejects)
 	replGauge := func(pick func(repl.Status) any) expvar.Func {
 		return func() any {
 			st, ok := hooks.replStatus()

@@ -323,13 +323,18 @@ func TestReplKillPromote(t *testing.T) {
 
 	// Promote the orphaned follower.
 	code, body := postJSON(t, fts.URL+"/v1/promote", nil)
-	if code != http.StatusOK || body["promoted"] != true {
+	if code != http.StatusOK || body["promoted"] != true || body["epoch"].(float64) != 1 {
 		t.Fatalf("promote after primary death: code %d body %v", code, body)
 	}
 
-	// Control: a fresh WAL-less server fed exactly the acked prefix.
-	ctrl, err := New(Config{Loader: fixtureLoader(t), CacheTTL: time.Minute})
+	// Control: a fresh server fed exactly the acked prefix, with its
+	// fencing epoch advanced to match the promoted node's so the
+	// prediction bodies (which carry the epoch) stay byte-comparable.
+	ctrl, err := New(Config{Loader: fixtureLoader(t), CacheTTL: time.Minute, WALDir: t.TempDir()})
 	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctrl.Promote(1); err != nil {
 		t.Fatal(err)
 	}
 	defer ctrl.Close()

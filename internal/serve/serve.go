@@ -172,6 +172,17 @@ type Server struct {
 	replApplied    atomic.Uint64
 	replSkipped    atomic.Uint64
 
+	// epoch mirrors the fencing epoch persisted next to the WAL
+	// (wal.ReadEpoch/WriteEpoch): bumped on every promotion, before the
+	// role flips. fencedBy latches the highest foreign epoch this node
+	// has ever seen on a request or probe; the node is fenced exactly
+	// while fencedBy > epoch — a newer promotion happened somewhere that
+	// this node's history does not include, so accepting writes here
+	// would be split-brain. Both are plain atomics: the gate reads them
+	// on the hot path, promotion updates them under the generation lock.
+	epoch    atomic.Uint64
+	fencedBy atomic.Uint64
+
 	// reloadCh serializes generation swaps (reload and flush) without
 	// blocking request handlers: a buffered-channel mutex.
 	reloadCh chan struct{}
@@ -249,6 +260,17 @@ func New(cfg Config) (*Server, error) {
 		cfg.Logf("serve: WAL %s: replayed %d events into %d live cascades (%d duplicates skipped)",
 			cfg.WALDir, s.walReplayed.Load(), s.store.Len(), s.walSkipped.Load())
 	}
+	if cfg.WALDir != "" {
+		// The fencing epoch survives restarts with the log it guards. A
+		// corrupt epoch file fails startup: defaulting to 0 would let a
+		// fenced zombie forget it was fenced.
+		e, err := wal.ReadEpoch(cfg.WALDir)
+		if err != nil {
+			s.Close()
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+		s.epoch.Store(e)
+	}
 	s.metrics = newMetrics(metricsHooks{
 		liveCascades: s.store.Len,
 		generation:   s.Generation,
@@ -258,6 +280,8 @@ func New(cfg Config) (*Server, error) {
 		health:       s.healthSnapshot,
 		replStatus:   s.replStatus,
 		isFollower:   s.isFollower,
+		epoch:        s.Epoch,
+		fencing:      s.fencingEpoch,
 		shardID:      s.ShardID(),
 		ringSize:     s.RingSize(),
 	})
@@ -305,30 +329,104 @@ func (s *Server) replStatus() (repl.Status, bool) {
 	return s.follower.Status(), true
 }
 
-// Promote flips a follower into a primary without a restart: stop the
-// tailer (waiting out any in-flight apply), open the byte mirror as an
-// ordinary write-ahead log — replay is a no-op store-wise, the SI
-// duplicate guard absorbs every already-applied event — and only then
-// flip the role so ingestion starts acknowledging durably. Idempotent:
-// promoting a primary reports the role unchanged.
-func (s *Server) Promote() (promoted bool, err error) {
+// ErrFenced rejects an operation that would move the fencing fence
+// backwards: a promote carrying an epoch at or below the persisted
+// one, any write on a node that has observed a higher epoch than its
+// own. Handlers map it to 409 {"reason":"fenced"}.
+var ErrFenced = errors.New("fenced: a newer fencing epoch exists")
+
+// Epoch returns the persisted fencing epoch (0 before any promotion).
+func (s *Server) Epoch() uint64 { return s.epoch.Load() }
+
+// fencingEpoch returns the highest foreign epoch this node has
+// observed, and whether that fences it (foreign > own).
+func (s *Server) fencingEpoch() (uint64, bool) {
+	by := s.fencedBy.Load()
+	return by, by > s.epoch.Load()
+}
+
+// observeEpoch latches a foreign epoch seen on a request or probe. The
+// latch is one-way and monotonic: once this node has proof that a
+// newer promotion exists, only a promotion of its own past that epoch
+// un-fences it.
+func (s *Server) observeEpoch(remote uint64) {
+	for {
+		cur := s.fencedBy.Load()
+		if remote <= cur || s.fencedBy.CompareAndSwap(cur, remote) {
+			return
+		}
+	}
+}
+
+// Promote flips a follower into a primary without a restart: persist a
+// strictly larger fencing epoch (CRC-signed, fsynced — split-brain
+// insurance before anything else changes), stop the tailer (waiting
+// out any in-flight apply), open the byte mirror as an ordinary
+// write-ahead log — replay is a no-op store-wise, the SI duplicate
+// guard absorbs every already-applied event — and only then flip the
+// role so ingestion starts acknowledging durably.
+//
+// epoch 0 asks for an automatic bump (persisted+1) — but is refused
+// with ErrFenced on a node that has observed a higher epoch elsewhere:
+// resurrecting a fenced node must be an explicit supervisor decision
+// carrying an epoch above the fence. A non-zero epoch must be strictly
+// above both the persisted epoch and any observed fence.
+//
+// Promoting a node that is already a primary is idempotent (promoted
+// false) when no epoch advance is requested; with an epoch above the
+// persisted one it persists the advance — so a supervisor's retried
+// promote converges instead of erroring.
+func (s *Server) Promote(epoch uint64) (promoted bool, err error) {
 	defer s.lockGenerations()()
-	if !s.isFollower() {
+	if s.cfg.WALDir == "" {
+		if s.isFollower() {
+			return false, fmt.Errorf("serve: promote: follower has no WAL directory")
+		}
 		return false, nil
 	}
+	target := epoch
+	if target == 0 {
+		target = s.epoch.Load() + 1
+	}
+	if target <= s.epoch.Load() {
+		return false, fmt.Errorf("serve: promote epoch %d is not above the persisted epoch %d: %w",
+			target, s.epoch.Load(), ErrFenced)
+	}
+	if by, fenced := s.fencingEpoch(); fenced && target <= by {
+		return false, fmt.Errorf("serve: promote epoch %d does not clear the observed fencing epoch %d: %w",
+			target, by, ErrFenced)
+	}
+	if !s.isFollower() {
+		if epoch == 0 {
+			return false, nil
+		}
+		// Already primary, explicit higher epoch: a supervisor retry or
+		// fence advance. Persist it so the node reports the new epoch.
+		if err := wal.WriteEpoch(s.cfg.WALDir, target); err != nil {
+			return false, fmt.Errorf("serve: promote: %w", err)
+		}
+		s.epoch.Store(target)
+		s.cfg.Logf("serve: fencing epoch advanced to %d (already primary)", target)
+		return false, nil
+	}
+	if err := wal.WriteEpoch(s.cfg.WALDir, target); err != nil {
+		return false, fmt.Errorf("serve: promote: %w", err)
+	}
+	s.epoch.Store(target)
 	s.follower.Stop()
 	w, err := s.openWAL()
 	if err != nil {
 		// The tailer is stopped and the WAL did not open: the node is
 		// stuck read-only. Surface the error; the operator retries
-		// promotion or restarts.
+		// promotion or restarts. The epoch bump stands — it fences
+		// nobody but this node's own past.
 		return false, fmt.Errorf("serve: promote: opening mirror as WAL: %w", err)
 	}
 	s.wal.Store(w)
 	s.followerActive.Store(false)
 	s.metrics.promotions.Add(1)
-	s.cfg.Logf("serve: PROMOTED to primary (mirror %s now the write-ahead log, %d events replayed, %d duplicates absorbed)",
-		s.cfg.WALDir, s.walReplayed.Load(), s.walSkipped.Load())
+	s.cfg.Logf("serve: PROMOTED to primary at epoch %d (mirror %s now the write-ahead log, %d events replayed, %d duplicates absorbed)",
+		target, s.cfg.WALDir, s.walReplayed.Load(), s.walSkipped.Load())
 	return true, nil
 }
 

@@ -9,10 +9,15 @@
 # ingested cascade. Then a replication failover: a
 # primary/follower pair, the primary SIGKILLed, the follower promoted,
 # and the durably-acknowledged prefix verified on the promoted node.
-# The final stage is a routed fleet: three sharded daemons behind a
+# Then a routed fleet: three sharded daemons behind a
 # `viralcast route` front-end, smoke-tested through the router (ring
 # affinity, rankings byte-identical to an unsharded oracle, simulate),
 # then one shard SIGKILLed and the degraded-partial contract verified.
+# The final stage is the self-healing fleet: sharded primaries with
+# replication followers behind `viralcast route -auto-failover`, one
+# primary SIGKILLed, the router promoting its follower at a fresh
+# fencing epoch with zero manual promotes, and the restarted zombie
+# primary verified fenced.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -180,7 +185,15 @@ wait "$daemon_pid" 2>/dev/null || true
 daemon_pid=""
 "$tmp/viralcast" promote -base "$follower"
 go run ./scripts/smoke -base "$follower" -post-promote
-echo "replication failover passed (follower promoted, durable prefix served)"
+# Fencing-epoch CLI contract: the promotion above bumped the persisted
+# epoch to 1, so replaying a stale explicit epoch must be refused, and
+# an explicit epoch above it must be accepted as an idempotent advance.
+if "$tmp/viralcast" promote -base "$follower" -epoch 1 2>/dev/null; then
+  echo "stale explicit promote epoch was accepted — fencing broken" >&2
+  exit 1
+fi
+"$tmp/viralcast" promote -base "$follower" -epoch 5
+echo "replication failover passed (follower promoted, durable prefix served, stale epoch fenced)"
 
 kill -TERM "$follower_pid"
 wait "$follower_pid" || { echo "promoted follower did not drain cleanly:" >&2; cat "$tmp/follower.log" >&2; exit 1; }
@@ -269,5 +282,149 @@ kill -TERM "$daemon_pid"
 wait "$daemon_pid" || { echo "route oracle did not drain cleanly:" >&2; cat "$tmp/route-oracle.log" >&2; exit 1; }
 daemon_pid=""
 echo "sharded fleet smoke passed (routed answers byte-identical; SIGKILL degraded to partial)"
+
+# Self-healing fleet: two WAL-backed sharded primaries, each with a
+# replication follower, behind a router running -auto-failover. Shard
+# 0's primary is SIGKILLed; with zero manual promotes the router must
+# detect the death, verify the follower is caught up, promote it at a
+# fresh fencing epoch, rewrite the ring slot, and return to non-partial
+# answers byte-identical to the oracle. The killed primary is then
+# restarted on its old address with its old WAL — a zombie that still
+# believes it is the primary — and must come back fenced: 409 on both
+# ingest and flush.
+echo "== self-healing fleet (auto-failover + fencing) smoke test"
+af_primaries=()
+af_followers=()
+for i in 0 1; do
+  rm -f "$tmp/addr"
+  "$tmp/viralcast" serve -addr 127.0.0.1:0 -addr-file "$tmp/addr" \
+    -model "$tmp/model.txt" -cascades "$tmp/cascades.txt" -seed 7 \
+    -flush-every 0 -shard-id "$i" -ring-size 2 \
+    -wal-dir "$tmp/af-wal-p$i" 2>"$tmp/af-p$i.log" &
+  shard_pids[$i]=$!
+  for _ in $(seq 1 100); do
+    [[ -s "$tmp/addr" ]] && break
+    if ! kill -0 "${shard_pids[$i]}" 2>/dev/null; then
+      echo "failover primary $i died during startup:" >&2
+      cat "$tmp/af-p$i.log" >&2
+      exit 1
+    fi
+    sleep 0.1
+  done
+  [[ -s "$tmp/addr" ]] || { echo "failover primary $i never published its address" >&2; exit 1; }
+  af_primaries[$i]="http://$(cat "$tmp/addr")"
+done
+
+for i in 0 1; do
+  rm -f "$tmp/addr"
+  "$tmp/viralcast" serve -addr 127.0.0.1:0 -addr-file "$tmp/addr" \
+    -model "$tmp/model.txt" -cascades "$tmp/cascades.txt" -seed 7 \
+    -flush-every 0 -shard-id "$i" -ring-size 2 \
+    -wal-dir "$tmp/af-wal-f$i" -follow "${af_primaries[$i]}" 2>"$tmp/af-f$i.log" &
+  shard_pids[$((i + 2))]=$!
+  for _ in $(seq 1 100); do
+    [[ -s "$tmp/addr" ]] && break
+    if ! kill -0 "${shard_pids[$((i + 2))]}" 2>/dev/null; then
+      echo "failover follower $i died during startup:" >&2
+      cat "$tmp/af-f$i.log" >&2
+      exit 1
+    fi
+    sleep 0.1
+  done
+  [[ -s "$tmp/addr" ]] || { echo "failover follower $i never published its address" >&2; exit 1; }
+  af_followers[$i]="http://$(cat "$tmp/addr")"
+done
+
+rm -f "$tmp/addr"
+"$tmp/viralcast" serve -addr 127.0.0.1:0 -addr-file "$tmp/addr" \
+  -model "$tmp/model.txt" -cascades "$tmp/cascades.txt" -seed 7 \
+  -flush-every 0 2>"$tmp/af-oracle.log" &
+daemon_pid=$!
+for _ in $(seq 1 100); do
+  [[ -s "$tmp/addr" ]] && break
+  if ! kill -0 "$daemon_pid" 2>/dev/null; then
+    echo "failover oracle died during startup:" >&2
+    cat "$tmp/af-oracle.log" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+[[ -s "$tmp/addr" ]] || { echo "failover oracle never published its address" >&2; exit 1; }
+oracle="http://$(cat "$tmp/addr")"
+
+rm -f "$tmp/addr"
+"$tmp/viralcast" route -addr 127.0.0.1:0 -addr-file "$tmp/addr" \
+  -shards "${af_primaries[0]},${af_primaries[1]}" \
+  -replicas-of "0=${af_followers[0]},1=${af_followers[1]}" \
+  -auto-failover -suspect-after 2 -probe-every 200ms \
+  -request-timeout 5s 2>"$tmp/af-router.log" &
+router_pid=$!
+for _ in $(seq 1 100); do
+  [[ -s "$tmp/addr" ]] && break
+  if ! kill -0 "$router_pid" 2>/dev/null; then
+    echo "failover router died during startup:" >&2
+    cat "$tmp/af-router.log" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+[[ -s "$tmp/addr" ]] || { echo "failover router never published its address" >&2; exit 1; }
+router="http://$(cat "$tmp/addr")"
+
+# Routed ingest through the healthy fleet, then make sure both
+# followers have applied it — MaxPromoteLag=0 means the supervisor only
+# promotes a fully caught-up follower, so the stream must be current
+# before the kill for the failover to be admissible at all.
+go run ./scripts/smoke -base "$router" -route -oracle "$oracle"
+go run ./scripts/smoke -base "${af_followers[0]}" -wait-current
+go run ./scripts/smoke -base "${af_followers[1]}" -wait-current
+
+# The chaos: hard-kill shard 0's primary and record its address for the
+# zombie restart. No `viralcast promote` runs anywhere below — the
+# router's supervisor must drive the entire failover on its own.
+af_dead_addr="${af_primaries[0]#http://}"
+kill -9 "${shard_pids[0]}"
+wait "${shard_pids[0]}" 2>/dev/null || true
+shard_pids[0]=""
+go run ./scripts/smoke -base "$router" -wait-failover
+
+# Resurrect the dead primary on its old address with its old WAL only
+# after the promotion, so it cannot pre-empt the failover by answering
+# probes. The router's observation probes must fence it.
+rm -f "$tmp/addr"
+"$tmp/viralcast" serve -addr "$af_dead_addr" -addr-file "$tmp/addr" \
+  -model "$tmp/model.txt" -cascades "$tmp/cascades.txt" -seed 7 \
+  -flush-every 0 -shard-id 0 -ring-size 2 \
+  -wal-dir "$tmp/af-wal-p0" 2>"$tmp/af-zombie.log" &
+follower_pid=$!
+for _ in $(seq 1 100); do
+  [[ -s "$tmp/addr" ]] && break
+  if ! kill -0 "$follower_pid" 2>/dev/null; then
+    echo "zombie primary died during restart:" >&2
+    cat "$tmp/af-zombie.log" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+[[ -s "$tmp/addr" ]] || { echo "zombie primary never published its address" >&2; exit 1; }
+
+go run ./scripts/smoke -base "$router" -post-failover -oracle "$oracle" \
+  -zombie "http://$af_dead_addr"
+
+kill -TERM "$router_pid"
+wait "$router_pid" || { echo "failover router did not drain cleanly:" >&2; cat "$tmp/af-router.log" >&2; exit 1; }
+router_pid=""
+kill -TERM "$follower_pid"
+wait "$follower_pid" || { echo "fenced zombie did not drain cleanly:" >&2; cat "$tmp/af-zombie.log" >&2; exit 1; }
+follower_pid=""
+for i in 1 2 3; do
+  kill -TERM "${shard_pids[$i]}"
+  wait "${shard_pids[$i]}" || { echo "fleet member $i did not drain cleanly" >&2; exit 1; }
+  shard_pids[$i]=""
+done
+kill -TERM "$daemon_pid"
+wait "$daemon_pid" || { echo "failover oracle did not drain cleanly:" >&2; cat "$tmp/af-oracle.log" >&2; exit 1; }
+daemon_pid=""
+echo "self-healing fleet smoke passed (auto-promoted at a fresh epoch, zombie fenced)"
 
 echo "ci.sh: all checks passed"

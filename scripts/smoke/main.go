@@ -38,6 +38,16 @@
 // -route-partial SHARD the fleet has a freshly killed member: the
 // router must report itself degraded and answer rankings as explicit
 // partials naming that shard, uncached.
+//
+// With -post-failover the router has just auto-promoted a shard's
+// follower: the fleet must be whole again (non-partial rankings,
+// byte-identical to -oracle, a healed write path) with the supervision
+// metrics recording exactly one failover, and with -zombie the
+// restarted ex-primary must be fenced (409 on ingest and flush). The
+// -wait-current and -wait-failover modes are sequencing barriers for
+// ci.sh: the first blocks until a follower's replication stream is
+// current, the second until the router reports a completed automatic
+// failover.
 package main
 
 import (
@@ -68,6 +78,10 @@ func main() {
 	route := flag.Bool("route", false, "base is a `viralcast route` front-end: assert ring affinity and routed-vs-oracle byte identity")
 	oracle := flag.String("oracle", "", "with -route: single unsharded daemon whose rankings the routed answers must match byte for byte")
 	routePartial := flag.String("route-partial", "", "base is a router over a fleet with this shard freshly killed (e.g. shard-1): assert the degraded-partial contract")
+	postFailover := flag.Bool("post-failover", false, "base is a router that just auto-failed-over a shard: assert non-partial answers, the supervision metrics, and (with -zombie) the fenced-zombie contract")
+	zombie := flag.String("zombie", "", "with -post-failover: the restarted ex-primary's base URL; must report fenced and 409 ingest/flush")
+	waitCurrent := flag.Bool("wait-current", false, "base is a replication follower: block until /readyz reports the stream current with zero lag, then exit")
+	waitFailover := flag.Bool("wait-failover", false, "base is a router with -auto-failover: block until a shard reports a completed failover and the fleet is ready again, then exit")
 	flag.Parse()
 	if *base == "" {
 		log.Fatal("smoke: -base is required")
@@ -83,6 +97,19 @@ func main() {
 	if *routePartial != "" {
 		checkRoutePartial(client, *base, *routePartial)
 		fmt.Println("smoke: routed partial-degradation checks passed")
+		return
+	}
+	if *postFailover {
+		checkPostFailover(client, *base, *oracle, *zombie)
+		fmt.Println("smoke: post-failover checks passed")
+		return
+	}
+	if *waitCurrent {
+		checkWaitCurrent(client, *base)
+		return
+	}
+	if *waitFailover {
+		checkWaitFailover(client, *base)
 		return
 	}
 	if *postCrash {
@@ -518,17 +545,27 @@ func checkRoute(client *http.Client, base, oracle string) {
 	// every request, and the ids must not all pile onto one shard.
 	shardOf := make(map[int]int, idCount)
 	hit := make(map[int]bool)
+	epochOf := make(map[int]float64) // shard id -> fencing epoch seen on predictions
 	for pass := 0; pass < 2; pass++ {
 		for i := 0; i < idCount; i++ {
 			id := idBase + i
 			var pred struct {
-				Size    int  `json:"size"`
-				ShardID *int `json:"shard_id"`
+				Size    int      `json:"size"`
+				ShardID *int     `json:"shard_id"`
+				Epoch   *float64 `json:"epoch"`
 			}
 			expect(client, "GET", fmt.Sprintf("%s/v1/cascades/%d/predict", base, id), nil, 200, &pred)
 			if pred.ShardID == nil {
 				log.Fatalf("smoke: prediction for cascade %d carries no shard_id — daemons not sharded?", id)
 			}
+			if pred.Epoch == nil {
+				log.Fatalf("smoke: prediction for cascade %d carries no fencing epoch", id)
+			}
+			if prev, ok := epochOf[*pred.ShardID]; ok && prev != *pred.Epoch {
+				log.Fatalf("smoke: shard %d answered at epoch %v then %v — the epoch moved mid-run",
+					*pred.ShardID, prev, *pred.Epoch)
+			}
+			epochOf[*pred.ShardID] = *pred.Epoch
 			if *pred.ShardID < 0 || *pred.ShardID >= ready.RingSize {
 				log.Fatalf("smoke: cascade %d answered by shard %d outside the ring [0, %d)",
 					id, *pred.ShardID, ready.RingSize)
@@ -567,9 +604,218 @@ func checkRoute(client *http.Client, base, oracle string) {
 		fmt.Println("smoke: routed rankings byte-identical to the oracle")
 	}
 
+	// The fencing-epoch triangle: the epoch each shard stamps on its
+	// predictions must equal what the router's failure detector reports
+	// on /readyz and what the shard_epochs gauge publishes on /metrics.
+	// A disagreement means the router is routing by a different view of
+	// the fleet's history than the shards are serving under.
+	var detReady struct {
+		Detector map[string]struct {
+			Epoch float64 `json:"epoch"`
+		} `json:"failure_detector"`
+	}
+	expect(client, "GET", base+"/readyz", nil, 200, &detReady)
+	var em struct {
+		ShardEpochs map[string]float64 `json:"shard_epochs"`
+	}
+	expect(client, "GET", base+"/metrics", nil, 200, &em)
+	for sid, epoch := range epochOf {
+		name := fmt.Sprintf("shard-%d", sid)
+		det, ok := detReady.Detector[name]
+		if !ok {
+			log.Fatalf("smoke: router /readyz failure_detector has no entry for %s", name)
+		}
+		if det.Epoch != epoch {
+			log.Fatalf("smoke: %s predictions at epoch %v but the failure detector reports %v", name, epoch, det.Epoch)
+		}
+		if got, ok := em.ShardEpochs[name]; !ok || got != epoch {
+			log.Fatalf("smoke: %s predictions at epoch %v but shard_epochs reports %v (present=%v)", name, epoch, got, ok)
+		}
+	}
+
 	checkSimulate(client, base, 0)
-	fmt.Printf("smoke: route ok (%d cascades pinned across %d of %d shards)\n",
+	fmt.Printf("smoke: route ok (%d cascades pinned across %d of %d shards, epochs consistent)\n",
 		idCount, len(hit), ready.RingSize)
+}
+
+// checkPostFailover runs against a router that just auto-promoted a
+// shard's follower: the fleet must be whole again — ready status,
+// non-partial rankings (byte-identical to the oracle when given), a
+// healed write path — with the supervision metrics recording exactly
+// what happened; and the restarted zombie ex-primary (-zombie) must be
+// fenced: readyz says so, and ingest and flush both bounce 409.
+func checkPostFailover(client *http.Client, base, oracle, zombie string) {
+	// The detector converges one probe round behind the promote.
+	var ready struct {
+		Status   string `json:"status"`
+		Detector map[string]struct {
+			State     string  `json:"state"`
+			Epoch     float64 `json:"epoch"`
+			Failovers float64 `json:"failovers"`
+		} `json:"failure_detector"`
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for attempt := 0; ; attempt++ {
+		expect(client, "GET", base+"/readyz", nil, 200, &ready)
+		if ready.Status == "ready" {
+			break
+		}
+		if !time.Now().Before(deadline) {
+			log.Fatalf("smoke: fleet never healed after the failover: %+v", ready)
+		}
+		time.Sleep(jitteredBackoff(attempt, 50*time.Millisecond, time.Second))
+	}
+	promoted := ""
+	for name, det := range ready.Detector {
+		if det.Failovers >= 1 {
+			promoted = name
+			if det.State != "healthy" || det.Epoch < 1 {
+				log.Fatalf("smoke: failed-over %s not recovered: %+v", name, det)
+			}
+		}
+	}
+	if promoted == "" {
+		log.Fatalf("smoke: no shard reports a completed failover: %+v", ready.Detector)
+	}
+
+	var m struct {
+		Failovers   float64            `json:"router_failovers_total"`
+		Quarantined float64            `json:"router_quarantined"`
+		ShardEpochs map[string]float64 `json:"shard_epochs"`
+	}
+	expect(client, "GET", base+"/metrics", nil, 200, &m)
+	if m.Failovers < 1 || m.Quarantined < 1 {
+		log.Fatalf("smoke: supervision metrics did not move: failovers=%v quarantined=%v", m.Failovers, m.Quarantined)
+	}
+	if m.ShardEpochs[promoted] < 1 {
+		log.Fatalf("smoke: %s failed over but its epoch gauge reads %v", promoted, m.ShardEpochs[promoted])
+	}
+
+	// Non-partial answers: k=13 is fresh in this ci run, so the answer
+	// cannot come from a pre-failover cache entry.
+	var resp struct {
+		Influencers []json.RawMessage `json:"influencers"`
+		Partial     bool              `json:"partial"`
+	}
+	expect(client, "GET", base+"/v1/influencers?k=13", nil, 200, &resp)
+	if resp.Partial || len(resp.Influencers) == 0 {
+		log.Fatalf("smoke: post-failover ranking partial=%v with %d entries — the fleet did not heal",
+			resp.Partial, len(resp.Influencers))
+	}
+	if oracle != "" {
+		routed := rawJSONField(client, base+"/v1/influencers?k=13", "influencers")
+		direct := rawJSONField(client, oracle+"/v1/influencers?k=13", "influencers")
+		if !bytes.Equal(routed, direct) {
+			log.Fatalf("smoke: post-failover rankings diverge from the oracle\nrouted: %s\noracle: %s", routed, direct)
+		}
+	}
+
+	// The write path is healed: a fresh batch lands whole.
+	var ingested struct {
+		Accepted int  `json:"accepted"`
+		Partial  bool `json:"partial"`
+	}
+	events := map[string]any{"events": []map[string]any{
+		{"cascade": 52000, "node": 1, "time": 0.1},
+		{"cascade": 52001, "node": 1, "time": 0.1},
+		{"cascade": 52002, "node": 1, "time": 0.1},
+	}}
+	expect(client, "POST", base+"/v1/events", events, 200, &ingested)
+	if ingested.Partial || ingested.Accepted != 3 {
+		log.Fatalf("smoke: post-failover ingest accepted %d of 3 (partial=%v)", ingested.Accepted, ingested.Partial)
+	}
+
+	if zombie != "" {
+		// The router's observation probes fence the zombie; give it a
+		// few rounds to latch.
+		var zr struct {
+			Fenced bool `json:"fenced"`
+		}
+		deadline := time.Now().Add(30 * time.Second)
+		for attempt := 0; ; attempt++ {
+			expect(client, "GET", zombie+"/readyz", nil, 200, &zr)
+			if zr.Fenced {
+				break
+			}
+			if !time.Now().Before(deadline) {
+				log.Fatalf("smoke: restarted zombie %s never latched the fence", zombie)
+			}
+			time.Sleep(jitteredBackoff(attempt, 50*time.Millisecond, time.Second))
+		}
+		var rej struct {
+			Reason string `json:"reason"`
+		}
+		expect(client, "POST", zombie+"/v1/events",
+			map[string]any{"cascade": 52000, "node": 9, "time": 0.9}, 409, &rej)
+		if rej.Reason != "fenced" {
+			log.Fatalf("smoke: zombie ingest rejection reason %q, want fenced", rej.Reason)
+		}
+		expect(client, "POST", zombie+"/v1/flush", nil, 409, &rej)
+		if rej.Reason != "fenced" {
+			log.Fatalf("smoke: zombie flush rejection reason %q, want fenced", rej.Reason)
+		}
+		fmt.Printf("smoke: zombie %s is fenced (ingest and flush 409)\n", zombie)
+	}
+	fmt.Printf("smoke: failover ok (%s promoted at epoch %v, %v quarantined)\n",
+		promoted, m.ShardEpochs[promoted], m.Quarantined)
+}
+
+// checkWaitCurrent blocks until a replication follower reports its
+// stream current with zero lag — the precondition for the supervised
+// failover, whose MaxPromoteLag=0 default refuses to promote a
+// follower that has not applied every durably-acknowledged record.
+// It is a barrier for scripts, not a contract check: ci.sh calls it
+// between the routed ingest and the SIGKILL so the chaos stage never
+// races the replication stream.
+func checkWaitCurrent(client *http.Client, base string) {
+	var ready struct {
+		Replication string  `json:"replication"`
+		Lag         float64 `json:"replication_lag_records"`
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for attempt := 0; ; attempt++ {
+		expect(client, "GET", base+"/readyz", nil, 200, &ready)
+		if ready.Replication == "current" && ready.Lag == 0 {
+			fmt.Printf("smoke: follower %s is current (lag 0)\n", base)
+			return
+		}
+		if !time.Now().Before(deadline) {
+			log.Fatalf("smoke: follower %s never became current: %+v", base, ready)
+		}
+		time.Sleep(jitteredBackoff(attempt, 50*time.Millisecond, time.Second))
+	}
+}
+
+// checkWaitFailover blocks until a router with -auto-failover reports
+// a completed promotion (some shard's failovers counter moved) and the
+// fleet ready again. ci.sh uses it to sequence the chaos stage: the
+// zombie ex-primary must not be restarted on its old address until the
+// supervisor has actually failed over, or the resurrected node would
+// answer probes healthily and pre-empt the failover it is supposed to
+// be fenced by.
+func checkWaitFailover(client *http.Client, base string) {
+	var ready struct {
+		Status   string `json:"status"`
+		Detector map[string]struct {
+			State     string  `json:"state"`
+			Epoch     float64 `json:"epoch"`
+			Failovers float64 `json:"failovers"`
+		} `json:"failure_detector"`
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for attempt := 0; ; attempt++ {
+		expect(client, "GET", base+"/readyz", nil, 200, &ready)
+		for name, det := range ready.Detector {
+			if det.Failovers >= 1 && det.State == "healthy" && ready.Status == "ready" {
+				fmt.Printf("smoke: router failed over %s (epoch %v), fleet ready\n", name, det.Epoch)
+				return
+			}
+		}
+		if !time.Now().Before(deadline) {
+			log.Fatalf("smoke: router never completed an automatic failover: %+v", ready)
+		}
+		time.Sleep(jitteredBackoff(attempt, 50*time.Millisecond, time.Second))
+	}
 }
 
 // checkRoutePartial runs against a router whose fleet just lost the
