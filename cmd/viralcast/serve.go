@@ -47,6 +47,7 @@ func cmdServe(ctx context.Context, args []string) error {
 	queue := fs.Int("queue", 0, "requests beyond -max-inflight that may wait for a compute slot before 429s; 0 = default 64, -1 = no queue")
 	requestTimeout := fs.Duration("request-timeout", 0, "per-request budget on the /v1 data plane; exceeded requests answer 503 (0 disables)")
 	simulateMaxTrials := fs.Int("simulate-max-trials", 0, "cap on total Monte Carlo trials (trials x seed sets) per POST /v1/simulate request; 0 = default 4096")
+	batchMax := fs.Int("batch-max", 0, "cap on items per batched request (POST /v1/predict:batch and friends); 0 = default 1024")
 	retryAfter := fs.Duration("retry-after", time.Second, "backoff hint sent with 429 shed responses")
 	pprofFlag := fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (control plane: ungated by admission control, like /metrics)")
 	shardID := fs.Int("shard-id", -1, "this daemon's index in a routed fleet (requires -ring-size; see `viralcast route`)")
@@ -80,6 +81,7 @@ func cmdServe(ctx context.Context, args []string) error {
 		FollowURL:         *follow,
 		RequestTimeout:    *requestTimeout,
 		SimulateMaxTrials: *simulateMaxTrials,
+		BatchMax:          *batchMax,
 		ShardID:           *shardID,
 		RingSize:          *ringSize,
 		Admission: serve.AdmissionConfig{

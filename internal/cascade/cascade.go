@@ -73,6 +73,27 @@ func (c *Cascade) Prefix(cutoff float64) *Cascade {
 	return out
 }
 
+// PrefixView is the allocation-free form of Prefix for the common case:
+// when the infections with Time <= cutoff form a contiguous head of the
+// sequence (always true for time-sorted cascades), it returns a
+// sub-cascade aliasing c's storage. ok reports whether the view is
+// valid; when early infections are interleaved with later ones the
+// caller must fall back to Prefix. A valid view holds exactly the
+// infections Prefix would copy, in the same order, so downstream float
+// math is identical either way.
+func (c *Cascade) PrefixView(cutoff float64) (Cascade, bool) {
+	k := 0
+	for k < len(c.Infections) && c.Infections[k].Time <= cutoff {
+		k++
+	}
+	for _, inf := range c.Infections[k:] {
+		if inf.Time <= cutoff {
+			return Cascade{}, false
+		}
+	}
+	return Cascade{ID: c.ID, Infections: c.Infections[:k:k]}, true
+}
+
 // Validate checks the structural invariants a well-formed cascade must
 // satisfy: at least one infection, distinct non-negative node ids (< n if
 // n > 0), non-negative times, and non-decreasing time order.

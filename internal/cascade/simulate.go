@@ -1,7 +1,6 @@
 package cascade
 
 import (
-	"container/heap"
 	"context"
 	"fmt"
 
@@ -76,29 +75,125 @@ func (s *Simulator) N() int {
 	return s.A.RowsN
 }
 
+// TrialScratch holds the per-trial working state of one simulation: the
+// tentative-event heap, the infection table, and the output infection
+// slice. A zero TrialScratch is ready to use; reusing one across trials
+// (each trial implicitly resets it) removes the per-trial allocations
+// that dominate Monte Carlo batches. The scratch is not safe for
+// concurrent use, and a cascade produced through it aliases its storage
+// — valid only until the scratch's next trial.
+type TrialScratch struct {
+	h eventHeap
+	// infectedAt[v] is v's infection time, meaningful only when
+	// mark[v] == epoch. Bumping epoch resets the whole table in O(1);
+	// the arrays are sized to the simulator's universe on first use.
+	infectedAt []float64
+	mark       []uint32
+	epoch      uint32
+	infected   int // count of marked nodes this trial
+	infs       []Infection
+}
+
+// reset prepares the scratch for a fresh trial over n nodes.
+func (ws *TrialScratch) reset(n int) {
+	ws.h = ws.h[:0]
+	ws.infs = ws.infs[:0]
+	ws.infected = 0
+	if len(ws.mark) < n {
+		ws.mark = make([]uint32, n)
+		ws.infectedAt = make([]float64, n)
+		ws.epoch = 0
+	}
+	ws.epoch++
+	if ws.epoch == 0 { // uint32 wrapped: stale marks could collide
+		for i := range ws.mark {
+			ws.mark[i] = 0
+		}
+		ws.epoch = 1
+	}
+}
+
+func (ws *TrialScratch) isInfected(v int) bool { return ws.mark[v] == ws.epoch }
+
+func (ws *TrialScratch) infect(v int, t float64) {
+	ws.mark[v] = ws.epoch
+	ws.infectedAt[v] = t
+	ws.infected++
+}
+
 // event is a tentative infection in the simulation's priority queue.
 type event struct {
 	time float64
 	node int
 }
 
+// eventHeap is a binary min-heap ordered by (time, node). The sift
+// operations are implemented directly rather than through
+// container/heap: the interface's `any` parameters box every event,
+// and those boxes were the bulk of a Monte Carlo batch's allocations.
+// Events with equal (time, node) keys are interchangeable — popping
+// either first yields the same trajectory — so any heap with this
+// ordering produces identical cascades.
 type eventHeap []event
 
-func (h eventHeap) Len() int      { return len(h) }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].time != h[j].time {
 		return h[i].time < h[j].time
 	}
 	return h[i].node < h[j].node
 }
-func (h *eventHeap) Push(x any) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
+
+func (h *eventHeap) push(e event) {
+	s := append(*h, e)
+	*h = s
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	s := *h
+	n := len(s) - 1
+	s[0], s[n] = s[n], s[0]
+	e := s[n]
+	s = s[:n]
+	*h = s
+	h.down(0)
 	return e
+}
+
+// down restores the heap property below index i.
+func (h *eventHeap) down(i int) {
+	s := *h
+	n := len(s)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		j := l
+		if r := l + 1; r < n && s.less(r, l) {
+			j = r
+		}
+		if !s.less(j, i) {
+			return
+		}
+		s[i], s[j] = s[j], s[i]
+		i = j
+	}
+}
+
+// init heapifies an arbitrarily-ordered slice.
+func (h *eventHeap) init() {
+	for i := len(*h)/2 - 1; i >= 0; i-- {
+		h.down(i)
+	}
 }
 
 // Run simulates a single cascade with the given id, starting from seed at
@@ -116,40 +211,59 @@ func (s *Simulator) Run(id, seed int, rng *xrand.RNG) (*Cascade, error) {
 // queries and for bounding trial cost; 0 means no cap. The infection
 // order of the returned cascade is deterministic given the rng state.
 func (s *Simulator) RunSeeds(id int, seeds []int, maxSize int, rng *xrand.RNG) (*Cascade, error) {
+	c, err := s.RunSeedsScratch(new(TrialScratch), id, seeds, maxSize, rng)
+	if err != nil {
+		return nil, err
+	}
+	// The scratch is private to this call, so the aliasing view can be
+	// handed out as an owned cascade; clamp capacity so appends by the
+	// caller cannot write into what the scratch considered spare room.
+	c.Infections = c.Infections[:len(c.Infections):len(c.Infections)]
+	return &c, nil
+}
+
+// RunSeedsScratch is RunSeeds running on caller-owned working state:
+// the heap, the infection table, and the output slice all live in ws
+// and are reused across trials. The returned cascade aliases ws and is
+// valid only until ws's next trial — callers that retain cascades must
+// copy, callers that fold each trial into aggregates (the Monte Carlo
+// engines) pay zero per-trial allocations. The trajectory is
+// bit-identical to RunSeeds: the rng is consumed in exactly the same
+// order, only the bookkeeping's storage differs.
+func (s *Simulator) RunSeedsScratch(ws *TrialScratch, id int, seeds []int, maxSize int, rng *xrand.RNG) (Cascade, error) {
 	n := s.N()
 	if len(seeds) == 0 {
-		return nil, fmt.Errorf("cascade: empty seed set")
+		return Cascade{}, fmt.Errorf("cascade: empty seed set")
 	}
 	for _, seed := range seeds {
 		if seed < 0 || seed >= n {
-			return nil, fmt.Errorf("cascade: seed %d out of range [0,%d)", seed, n)
+			return Cascade{}, fmt.Errorf("cascade: seed %d out of range [0,%d)", seed, n)
 		}
 	}
-	infected := make(map[int]float64, 16)
-	h := &eventHeap{}
+	ws.reset(n)
+	h := &ws.h
 	for _, seed := range seeds {
 		*h = append(*h, event{time: 0, node: seed})
 	}
-	heap.Init(h)
-	c := &Cascade{ID: id}
-	for h.Len() > 0 {
-		e := heap.Pop(h).(event)
+	h.init()
+	for len(*h) > 0 {
+		e := h.pop()
 		if e.time > s.Window {
 			break // the observation window terminates the process instantly
 		}
-		if _, done := infected[e.node]; done {
+		if ws.isInfected(e.node) {
 			continue // a faster source already infected this node
 		}
-		infected[e.node] = e.time
-		c.Infections = append(c.Infections, Infection{Node: e.node, Time: e.time})
-		if maxSize > 0 && len(infected) >= maxSize {
+		ws.infect(e.node, e.time)
+		ws.infs = append(ws.infs, Infection{Node: e.node, Time: e.time})
+		if maxSize > 0 && ws.infected >= maxSize {
 			break // early stop: the question was only ever "how fast to maxSize"
 		}
 		au := s.A.Row(e.node)
 		if s.G != nil {
 			ts, _ := s.G.Neighbors(e.node)
 			for _, v := range ts {
-				s.attempt(h, infected, au, e.time, v, rng)
+				s.attempt(ws, au, e.time, v, rng)
 			}
 			continue
 		}
@@ -161,23 +275,23 @@ func (s *Simulator) RunSeeds(id int, seeds []int, maxSize int, rng *xrand.RNG) (
 			if v == e.node {
 				continue
 			}
-			s.attempt(h, infected, au, e.time, v, rng)
+			s.attempt(ws, au, e.time, v, rng)
 		}
 	}
-	return c, nil
+	return Cascade{ID: id, Infections: ws.infs}, nil
 }
 
 // attempt schedules u→v's tentative infection if v is susceptible and
 // the pair's hazard is positive.
-func (s *Simulator) attempt(h *eventHeap, infected map[int]float64, au []float64, t float64, v int, rng *xrand.RNG) {
-	if _, done := infected[v]; done {
+func (s *Simulator) attempt(ws *TrialScratch, au []float64, t float64, v int, rng *xrand.RNG) {
+	if ws.isInfected(v) {
 		return
 	}
 	rate := vecmath.Dot(au, s.B.Row(v))
 	if rate <= 0 {
 		return // zero hazard: u can never infect v
 	}
-	heap.Push(h, event{time: t + rng.Exp(rate), node: v})
+	ws.h.push(event{time: t + rng.Exp(rate), node: v})
 }
 
 // RunMany simulates count cascades with uniformly random seeds, ids

@@ -243,3 +243,78 @@ func BenchmarkSimulatorRun(b *testing.B) {
 		}
 	}
 }
+
+// TestRunSeedsScratchBitIdentical: a trial run on a reused scratch must
+// be bit-identical to the same trial on fresh allocations — same
+// infection order, same nodes, same float64 bits on every time — in
+// both dense and graph mode, across scratch reuse, early-stop caps, and
+// multi-seed campaigns. This is the contract that lets the scenario
+// engine pool trial buffers without perturbing cached results.
+func TestRunSeedsScratchBitIdentical(t *testing.T) {
+	rng := xrand.New(7)
+	n, k := 40, 3
+	a, bm := vecmath.NewMatrix(n, k), vecmath.NewMatrix(n, k)
+	for i := range a.Data {
+		a.Data[i] = rng.Float64()
+	}
+	for i := range bm.Data {
+		bm.Data[i] = rng.Float64()
+	}
+	g := lineGraph(t, n)
+	dense, err := NewDenseSimulator(a, bm, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparse, err := NewSimulator(g, a, bm, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ws := new(TrialScratch) // deliberately reused across every case below
+	for trial := 0; trial < 40; trial++ {
+		sim := dense
+		if trial%2 == 1 {
+			sim = sparse
+		}
+		seeds := []int{trial % n, (trial * 7) % n}
+		maxSize := 0
+		if trial%3 == 0 {
+			maxSize = 5
+		}
+		seed := uint64(trial + 1)
+		want, err := sim.RunSeeds(trial, seeds, maxSize, xrand.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := sim.RunSeedsScratch(ws, trial, seeds, maxSize, xrand.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.ID != want.ID || len(got.Infections) != len(want.Infections) {
+			t.Fatalf("trial %d: scratch run %d infections vs %d fresh", trial, len(got.Infections), len(want.Infections))
+		}
+		for i := range want.Infections {
+			w, g := want.Infections[i], got.Infections[i]
+			if w.Node != g.Node || math.Float64bits(w.Time) != math.Float64bits(g.Time) {
+				t.Fatalf("trial %d infection %d: scratch (%d, %x) != fresh (%d, %x)",
+					trial, i, g.Node, math.Float64bits(g.Time), w.Node, math.Float64bits(w.Time))
+			}
+		}
+	}
+
+	// Error paths must not poison the scratch for the next trial.
+	if _, err := dense.RunSeedsScratch(ws, 0, nil, 0, xrand.New(1)); err == nil {
+		t.Fatal("empty seed set accepted")
+	}
+	if _, err := dense.RunSeedsScratch(ws, 0, []int{n}, 0, xrand.New(1)); err == nil {
+		t.Fatal("out-of-range seed accepted")
+	}
+	want, _ := dense.RunSeeds(9, []int{3}, 0, xrand.New(9))
+	got, err := dense.RunSeedsScratch(ws, 9, []int{3}, 0, xrand.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Infections) != len(want.Infections) {
+		t.Fatalf("post-error trial diverged: %d vs %d infections", len(got.Infections), len(want.Infections))
+	}
+}

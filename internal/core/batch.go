@@ -1,0 +1,149 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"viralcast/internal/cascade"
+	"viralcast/internal/features"
+)
+
+// BatchResult is one cascade's slot in a batched prediction: a
+// classifier verdict, or the per-item error that excluded it. Errors
+// carry exactly the message the single-request PredictViral path
+// produces for the same cascade, so a batched caller sees the same
+// contract item by item.
+type BatchResult struct {
+	Viral  bool
+	Margin float64
+	Err    error
+}
+
+// FeatureResult is one cascade's slot in a batched feature extraction.
+type FeatureResult struct {
+	Set features.Set
+	Err error
+}
+
+// batchScratch is one batched call's reusable workspace: the early
+// prefixes, the per-item extraction errors, and the margin vector the
+// blocked kernel writes. Nothing in it escapes the call.
+type batchScratch struct {
+	earlies []*cascade.Cascade
+	views   []cascade.Cascade
+	errs    []error
+	margins []float64
+}
+
+var batchScratchPool = sync.Pool{New: func() any { return new(batchScratch) }}
+
+// cutEarlies fills the early-prefix slot of every cascade, preferring
+// the aliasing PrefixView (live-store snapshots are time-sorted, so the
+// view almost always applies) over a copying Prefix, and recording the
+// single-path error for cascades with no early adopters.
+func (ws *batchScratch) cutEarlies(cs []*cascade.Cascade, cutoff float64) {
+	for i, c := range cs {
+		var early *cascade.Cascade
+		if v, ok := c.PrefixView(cutoff); ok {
+			ws.views[i] = v
+			early = &ws.views[i]
+		} else {
+			early = c.Prefix(cutoff)
+		}
+		if early.Size() == 0 {
+			ws.errs[i] = fmt.Errorf("core: cascade %d has no infections before the early cutoff %v", c.ID, cutoff)
+			continue
+		}
+		ws.earlies[i] = early
+	}
+}
+
+// grow readies the scratch for n items, reusing prior capacity.
+func (ws *batchScratch) grow(n int) {
+	if cap(ws.earlies) < n {
+		ws.earlies = make([]*cascade.Cascade, n)
+		ws.views = make([]cascade.Cascade, n)
+		ws.errs = make([]error, n)
+		ws.margins = make([]float64, n)
+	}
+	ws.earlies = ws.earlies[:n]
+	ws.views = ws.views[:n]
+	ws.errs = ws.errs[:n]
+	ws.margins = ws.margins[:n]
+	for i := range ws.earlies {
+		ws.earlies[i] = nil
+		ws.errs[i] = nil
+	}
+}
+
+// PredictViralBatch classifies a whole batch of cascades in one pass:
+// every early prefix's features land in one contiguous pooled block
+// (features.ExtractBatch), standardization runs over the block in place
+// (svm.Standardizer.ApplyBlock), and all margins come out of one
+// blocked matrix–vector kernel (svm.Model.DecisionBlock). Each step
+// performs, per item, the identical float operations in the identical
+// order as PredictViral, so out[i] is bit-identical to a single call on
+// cs[i] — the batch form amortizes workspace churn and call overhead,
+// it does not approximate. A bad cascade fails only its own slot.
+//
+// out must have at least len(cs) slots.
+func (p *Predictor) PredictViralBatch(cs []*cascade.Cascade, out []BatchResult) {
+	if len(out) < len(cs) {
+		panic(fmt.Sprintf("core: PredictViralBatch %d cascades into %d result slots", len(cs), len(out)))
+	}
+	ws, _ := batchScratchPool.Get().(*batchScratch)
+	ws.grow(len(cs))
+	ws.cutEarlies(cs, p.early)
+	dim := len(p.names)
+	blk := features.GetBlock(len(cs), dim)
+	features.ExtractBatch(p.system.Embeddings, ws.earlies, p.names, blk, ws.errs)
+	// Error rows stayed zero; standardizing and classifying them is
+	// harmless garbage that the error slot masks on the way out, and
+	// keeping them in the block keeps the kernels branch-free.
+	p.std.ApplyBlock(blk.Data, len(cs), dim)
+	p.model.DecisionBlock(ws.margins[:len(cs)], blk.Data, dim)
+	for i := range cs {
+		if err := ws.errs[i]; err != nil {
+			out[i] = BatchResult{Err: err}
+			continue
+		}
+		m := ws.margins[i]
+		out[i] = BatchResult{Viral: m >= 0, Margin: m}
+	}
+	features.PutBlock(blk)
+	batchScratchPool.Put(ws)
+}
+
+// FeaturesBatch extracts the full feature set of every cascade's early
+// prefix (cut at the predictor's cutoff) through the same contiguous
+// block path the batched classifier uses. Per-item errors mirror the
+// single-request extraction contract.
+//
+// out must have at least len(cs) slots.
+func (p *Predictor) FeaturesBatch(cs []*cascade.Cascade, out []FeatureResult) {
+	if len(out) < len(cs) {
+		panic(fmt.Sprintf("core: FeaturesBatch %d cascades into %d result slots", len(cs), len(out)))
+	}
+	ws, _ := batchScratchPool.Get().(*batchScratch)
+	ws.grow(len(cs))
+	ws.cutEarlies(cs, p.early)
+	dim := len(features.Names)
+	blk := features.GetBlock(len(cs), dim)
+	features.ExtractBatch(p.system.Embeddings, ws.earlies, features.Names, blk, ws.errs)
+	for i := range cs {
+		if err := ws.errs[i]; err != nil {
+			out[i] = FeatureResult{Err: err}
+			continue
+		}
+		row := blk.Row(i)
+		out[i] = FeatureResult{Set: features.Set{
+			DiverA:     row[0],
+			NormA:      row[1],
+			MaxA:       row[2],
+			EarlyCount: row[3],
+			EarlyRate:  row[4],
+		}}
+	}
+	features.PutBlock(blk)
+	batchScratchPool.Put(ws)
+}

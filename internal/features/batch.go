@@ -1,0 +1,91 @@
+package features
+
+import (
+	"fmt"
+	"sync"
+
+	"viralcast/internal/cascade"
+	"viralcast/internal/embed"
+	"viralcast/internal/vecmath"
+)
+
+// Block is a row-major batch of feature vectors: row i of a
+// Rows x Stride block occupies Data[i*Stride : (i+1)*Stride]. Keeping a
+// whole batch in one contiguous allocation is what lets standardization
+// and the classifier's inner products run as long-vector kernels
+// (svm.Standardizer.ApplyBlock, vecmath.Gemv) instead of one short
+// K-length call per cascade.
+type Block struct {
+	Data   []float64
+	Rows   int
+	Stride int
+}
+
+// Row returns row i, aliasing the block storage.
+func (b *Block) Row(i int) []float64 {
+	return b.Data[i*b.Stride : (i+1)*b.Stride]
+}
+
+// blockPool recycles batch blocks across requests; a serving daemon
+// runs one block per batched request and the block never escapes the
+// request (responses copy scalars out).
+var blockPool = sync.Pool{New: func() any { return new(Block) }}
+
+// GetBlock returns a zeroed rows x stride block, reusing pooled storage
+// when a previous batch left one big enough. Return it with PutBlock.
+func GetBlock(rows, stride int) *Block {
+	b := blockPool.Get().(*Block)
+	need := rows * stride
+	if cap(b.Data) < need {
+		b.Data = make([]float64, need)
+	}
+	b.Data = b.Data[:need]
+	vecmath.Fill(b.Data, 0)
+	b.Rows, b.Stride = rows, stride
+	return b
+}
+
+// PutBlock returns a block to the pool.
+func PutBlock(b *Block) { blockPool.Put(b) }
+
+// ExtractBatch extracts the keep-selected features of every early
+// prefix into the rows of blk: row i holds early[i]'s features in keep
+// order. A nil early[i] is skipped (its row stays zero and its error
+// slot is left untouched — the caller marks why it was excluded); a
+// failed extraction zeroes its row and records the error in errs[i]
+// without failing the batch. The per-cascade math is the identical
+// operation sequence Extract runs, so a batch row equals the
+// single-call feature vector bit for bit.
+func ExtractBatch(m *embed.Model, early []*cascade.Cascade, keep []string, blk *Block, errs []error) {
+	if len(early) > blk.Rows || len(early) > len(errs) {
+		panic(fmt.Sprintf("features: ExtractBatch %d cascades into %d rows / %d error slots",
+			len(early), blk.Rows, len(errs)))
+	}
+	if len(keep) > blk.Stride {
+		panic(fmt.Sprintf("features: ExtractBatch %d features into stride %d", len(keep), blk.Stride))
+	}
+	sp := sumPool.Get().(*[]float64)
+	defer func() { sumPool.Put(sp) }()
+	sum := *sp
+	if cap(sum) < m.K() {
+		sum = make([]float64, m.K())
+		*sp = sum
+	}
+	for i, c := range early {
+		if c == nil {
+			continue
+		}
+		s, err := extractWith(m, c, sum)
+		if err != nil {
+			errs[i] = err
+			continue
+		}
+		// Append into the block row in place: the three-index slice caps
+		// the destination at this row, so a keep-order append writes the
+		// selected features exactly where Gemv will read them.
+		at := i * blk.Stride
+		if _, err := s.SelectAppend(blk.Data[at:at:at+len(keep)], keep); err != nil {
+			errs[i] = err
+		}
+	}
+}

@@ -78,19 +78,28 @@ var sumPool = sync.Pool{New: func() any { s := make([]float64, 0, 64); return &s
 // cascade under the fitted model. The prefix must be non-empty; use
 // Cascade.Prefix to cut at the early-observation horizon.
 func Extract(m *embed.Model, early *cascade.Cascade) (Set, error) {
+	sp := sumPool.Get().(*[]float64)
+	defer func() { sumPool.Put(sp) }()
+	sum := *sp
+	if cap(sum) < m.K() {
+		sum = make([]float64, m.K())
+		*sp = sum
+	}
+	return extractWith(m, early, sum)
+}
+
+// extractWith is Extract against a caller-provided K-capacity scratch;
+// the batch path shares one scratch across a whole block instead of a
+// pool round-trip per cascade. Both paths run the identical sequence of
+// float operations, which is what makes batched and single-request
+// features bit-identical.
+func extractWith(m *embed.Model, early *cascade.Cascade, scratch []float64) (Set, error) {
 	if early == nil || early.Size() == 0 {
 		return Set{}, fmt.Errorf("features: empty early-adopter prefix")
 	}
 	n := m.N()
 	k := m.K()
-	sp := sumPool.Get().(*[]float64)
-	defer func() { sumPool.Put(sp) }()
-	sum := *sp
-	if cap(sum) < k {
-		sum = make([]float64, k)
-		*sp = sum
-	}
-	sum = sum[:k]
+	sum := scratch[:k]
 	vecmath.Fill(sum, 0)
 	var diver float64
 	infs := early.Infections

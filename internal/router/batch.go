@@ -1,0 +1,184 @@
+package router
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+
+	"viralcast/internal/pool"
+)
+
+// The routed batched data plane. predict:batch and features:batch are
+// cascade-scoped like ingest, so they split by ring ownership: each
+// shard gets one sub-batch of the cascades it owns, the sub-answers
+// come back in sub-batch coordinates, and the router re-indexes every
+// slot into the caller's coordinates — the same machinery handleEvents
+// uses. A failed shard degrades its items to per-item error slots
+// naming the shard (partial, never a request error) while every other
+// shard's answers stand. rate:batch is replicated work — any shard
+// holds the full model — so it relays whole to one body-affine shard.
+
+// routerBatchItem is the error slot the router itself fills for items
+// whose owning shard did not answer; successful slots relay the
+// shard's bytes untouched.
+type routerBatchItem struct {
+	Status int    `json:"status"`
+	Error  string `json:"error"`
+}
+
+// shardBatchEnvelope decodes just enough of a shard's batch answer to
+// re-index it: the raw per-item slots plus the tallies.
+type shardBatchEnvelope struct {
+	Results    []json.RawMessage `json:"results"`
+	Errors     int               `json:"errors"`
+	CacheHits  int               `json:"cache_hits"`
+	Generation uint64            `json:"generation"`
+}
+
+// mergedBatchResponse is the router's merged envelope: per-item slots
+// in caller coordinates, fleet-wide tallies, and the degraded-mode
+// fields omitted when the answer is complete. shard_id and epoch are
+// per-shard facts and live inside each slot's result, not here.
+type mergedBatchResponse struct {
+	Results       []any    `json:"results"`
+	Count         int      `json:"count"`
+	Errors        int      `json:"errors"`
+	CacheHits     int      `json:"cache_hits"`
+	Generation    uint64   `json:"generation"`
+	Partial       bool     `json:"partial,omitempty"`
+	MissingShards []string `json:"missing_shards,omitempty"`
+}
+
+func (rt *Router) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
+	rt.fanoutBatch(w, r, "/v1/predict:batch")
+}
+
+func (rt *Router) handleFeaturesBatch(w http.ResponseWriter, r *http.Request) {
+	rt.fanoutBatch(w, r, "/v1/features:batch")
+}
+
+// handleRateBatch relays the batched pairwise-rate lookup whole: every
+// shard can answer it, and splitting a replicated computation would
+// only multiply request overhead. The routing key hashes the body so
+// identical batches keep shard affinity.
+func (rt *Router) handleRateBatch(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRelayBytes))
+	if err != nil {
+		writeError(w, http.StatusRequestEntityTooLarge, "body too large or unreadable: %v", err)
+		return
+	}
+	rt.relayReplicated(w, r, "rate_batch:"+strconv.FormatUint(hashKey(string(body)), 16),
+		http.MethodPost, "/v1/rate:batch", body)
+}
+
+// fanoutBatch is the shared owner-split scatter-gather for the
+// cascade-scoped batch endpoints.
+func (rt *Router) fanoutBatch(w http.ResponseWriter, r *http.Request, path string) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRelayBytes))
+	if err != nil {
+		writeError(w, http.StatusRequestEntityTooLarge, "body too large or unreadable: %v", err)
+		return
+	}
+	ids, err := decodeCascadeBatch(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if len(ids) == 0 {
+		writeError(w, http.StatusBadRequest, "empty cascade batch")
+		return
+	}
+
+	// Group by owner, remembering each id's original slot so the
+	// sub-answers line back up in caller coordinates.
+	n := len(rt.cfg.Shards)
+	subBatch := make([][]int, n)
+	subIndex := make([][]int, n)
+	owners := make([]int, 0, n)
+	for i, id := range ids {
+		o := rt.ring.Owner(id)
+		if subBatch[o] == nil {
+			owners = append(owners, o)
+		}
+		subBatch[o] = append(subBatch[o], id)
+		subIndex[o] = append(subIndex[o], i)
+	}
+
+	shardCtx, cancel := rt.shardBudget(r.Context())
+	defer cancel()
+	replies, errs := pool.GatherCtx(shardCtx, rt.cfg.FanoutWorkers, len(owners), func(j int) (shardBatchEnvelope, error) {
+		o := owners[j]
+		payload, err := json.Marshal(map[string]any{"cascades": subBatch[o]})
+		if err != nil {
+			return shardBatchEnvelope{}, err
+		}
+		rep, err := rt.client.do(shardCtx, http.MethodPost, rt.shard(o).Primary, path, payload)
+		if err != nil {
+			return shardBatchEnvelope{}, err
+		}
+		if rep.status != http.StatusOK {
+			return shardBatchEnvelope{}, fmt.Errorf("shard answered %d: %s", rep.status, truncateBody(rep.body))
+		}
+		var env shardBatchEnvelope
+		if err := json.Unmarshal(rep.body, &env); err != nil {
+			return shardBatchEnvelope{}, fmt.Errorf("decoding shard batch: %w", err)
+		}
+		if len(env.Results) != len(subBatch[o]) {
+			return shardBatchEnvelope{}, fmt.Errorf("shard answered %d slots for %d cascades", len(env.Results), len(subBatch[o]))
+		}
+		return env, nil
+	})
+	rt.metrics.fanouts.Add(1)
+
+	merged := mergedBatchResponse{
+		Results: make([]any, len(ids)),
+		Count:   len(ids),
+	}
+	for j, o := range owners {
+		if errs[j] != nil {
+			rt.shardFailed(o, errs[j])
+			merged.MissingShards = append(merged.MissingShards, ShardName(o))
+			for _, orig := range subIndex[o] {
+				merged.Results[orig] = routerBatchItem{
+					Status: http.StatusBadGateway,
+					Error:  fmt.Sprintf("%s did not answer: %v", ShardName(o), errs[j]),
+				}
+				merged.Errors++
+			}
+			continue
+		}
+		env := replies[j]
+		for k, slot := range env.Results {
+			merged.Results[subIndex[o][k]] = slot
+		}
+		merged.Errors += env.Errors
+		merged.CacheHits += env.CacheHits
+		if env.Generation > merged.Generation {
+			merged.Generation = env.Generation
+		}
+	}
+	sort.Strings(merged.MissingShards)
+	if len(merged.MissingShards) > 0 {
+		rt.metrics.partials.Add(1)
+		merged.Partial = true
+	}
+	writeJSON(w, http.StatusOK, &merged)
+}
+
+// decodeCascadeBatch mirrors the daemon's strict body contract for the
+// cascade-scoped batch endpoints.
+func decodeCascadeBatch(body []byte) ([]int, error) {
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	var req struct {
+		Cascades []int `json:"cascades"`
+	}
+	if err := dec.Decode(&req); err != nil || req.Cascades == nil {
+		return nil, fmt.Errorf("body must be {\"cascades\": [id, ...]}")
+	}
+	return req.Cascades, nil
+}

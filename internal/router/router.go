@@ -150,6 +150,9 @@ func (rt *Router) routes() http.Handler {
 	add("GET /v1/influencers", "influencers", rt.handleInfluencers)
 	add("GET /v1/seeds", "seeds", rt.handleSeeds)
 	add("POST /v1/simulate", "simulate", rt.handleSimulate)
+	add("POST /v1/predict:batch", "predict_batch", rt.handlePredictBatch)
+	add("POST /v1/rate:batch", "rate_batch", rt.handleRateBatch)
+	add("POST /v1/features:batch", "features_batch", rt.handleFeaturesBatch)
 	mux.HandleFunc("GET /healthz", rt.metrics.instrument("healthz", rt.handleHealthz))
 	mux.HandleFunc("GET /readyz", rt.metrics.instrument("readyz", rt.handleReadyz))
 	mux.HandleFunc("GET /metrics", rt.metrics.handler)

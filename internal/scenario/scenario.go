@@ -23,6 +23,7 @@ import (
 	"math"
 	"runtime"
 	"sort"
+	"sync"
 
 	"viralcast/internal/cascade"
 	"viralcast/internal/embed"
@@ -235,6 +236,13 @@ type Result struct {
 	TotalTrials int         `json:"total_trials"`
 }
 
+// trialScratchPool shares simulation scratch across runs and engines:
+// a scenario daemon answers many campaign questions over the same-sized
+// universe, so the tables and heaps one run grew fit the next run
+// exactly. Determinism is unaffected — scratch state never reaches the
+// rng or the trajectory, only the storage the bookkeeping lives in.
+var trialScratchPool = sync.Pool{New: func() any { return new(cascade.TrialScratch) }}
+
 // Engine runs scenarios against one embedding model. It is stateless
 // between runs and safe for concurrent use.
 type Engine struct {
@@ -295,10 +303,15 @@ func (e *Engine) Run(ctx context.Context, spec Spec) (*Result, error) {
 	mTimes := make([]float64, total*len(spec.Milestones))
 	topicHits := make([]int, total*k)
 
-	runTrial := func(idx int) error {
+	// Each trial's cascade is folded into its slots immediately, so the
+	// simulation can run on pooled scratch: the returned cascade aliases
+	// the scratch and nothing here outlives the fold. This is where the
+	// engine's per-trial allocations go to zero — only the slot arrays
+	// above are per-run.
+	runTrial := func(ws *cascade.TrialScratch, idx int) error {
 		set, trial := idx/spec.Trials, idx%spec.Trials
 		rng := xrand.New(xrand.Derive(spec.BaseSeed, uint64(set), uint64(trial)))
-		c, err := sim.RunSeeds(idx, spec.SeedSets[set].Nodes, spec.MaxSize, rng)
+		c, err := sim.RunSeedsScratch(ws, idx, spec.SeedSets[set].Nodes, spec.MaxSize, rng)
 		if err != nil {
 			return err
 		}
@@ -316,11 +329,13 @@ func (e *Engine) Run(ctx context.Context, spec Spec) (*Result, error) {
 		return nil
 	}
 	err = pool.ChunkedCtx(ctx, e.workers, total, trialChunk, func(lo, hi int) error {
+		ws := trialScratchPool.Get().(*cascade.TrialScratch)
+		defer trialScratchPool.Put(ws)
 		for idx := lo; idx < hi; idx++ {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			if err := runTrial(idx); err != nil {
+			if err := runTrial(ws, idx); err != nil {
 				return err
 			}
 		}

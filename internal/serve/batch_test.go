@@ -1,0 +1,438 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strconv"
+	"testing"
+	"time"
+)
+
+// rawBatchItem decodes one slot of a batch response, keeping the result
+// raw so tests can compare it against the single-request wire bytes.
+type rawBatchItem struct {
+	Result json.RawMessage `json:"result"`
+	Status int             `json:"status"`
+	Error  string          `json:"error"`
+}
+
+type rawBatchEnvelope struct {
+	Results    []rawBatchItem `json:"results"`
+	Count      int            `json:"count"`
+	Errors     int            `json:"errors"`
+	CacheHits  int            `json:"cache_hits"`
+	Generation uint64         `json:"generation"`
+}
+
+// postRaw posts a JSON body and returns the status plus the raw bytes.
+func postRaw(t *testing.T, url string, body any) (int, []byte) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, raw
+}
+
+// canonical re-encodes a decoded value with the daemon's writeJSON
+// encoder settings. encoding/json renders a float64 as the shortest
+// string that round-trips its exact bits, so two payloads canonicalize
+// to the same bytes iff every field — margins included — is
+// bit-identical.
+func canonical(t *testing.T, v any) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// ingestLateEvents posts infections that all land after the early
+// cutoff, producing a live cascade the predictor must reject per item.
+func ingestLateEvents(t *testing.T, baseURL string, id int) {
+	t.Helper()
+	evs := []Event{{Cascade: id, Node: 1, Time: 50}, {Cascade: id, Node: 2, Time: 51}}
+	status, body := postJSON(t, baseURL+"/v1/events", map[string]any{"events": evs})
+	if status != http.StatusOK {
+		t.Fatalf("POST /v1/events = %d, body %v", status, body)
+	}
+}
+
+// TestPredictBatchByteIdenticalToSingle is the tentpole's contract: one
+// POST /v1/predict:batch over N cascades answers, slot by slot, the
+// exact bytes N sequential single-request calls produce — verdicts,
+// margins down to the float bits, and the error message + status for
+// the invalid items mixed in. Runs the whole comparison at GOMAXPROCS 1
+// and 8 so the blocked kernels can't hide a scheduling-dependent path.
+func TestPredictBatchByteIdenticalToSingle(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	// Live cascades of varying size (different feature rows, different
+	// kernel remainders), one cascade with no early adopters (per-item
+	// 422), one id that was never ingested (per-item 404).
+	valid := []int{9100, 9101, 9102, 9103, 9104, 9105}
+	for i, id := range valid {
+		ingestEvents(t, ts.URL, id, 3+2*i)
+	}
+	const lateID, missingID = 9200, 424242
+	ingestLateEvents(t, ts.URL, lateID)
+	ids := []int{valid[0], missingID, valid[1], lateID, valid[2], valid[3], valid[4], valid[5]}
+
+	for _, procs := range []int{1, 8} {
+		t.Run(fmt.Sprintf("procs=%d", procs), func(t *testing.T) {
+			defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(procs))
+			status, raw := postRaw(t, ts.URL+"/v1/predict:batch", map[string]any{"cascades": ids})
+			if status != http.StatusOK {
+				t.Fatalf("predict:batch = %d: %s", status, raw)
+			}
+			var env rawBatchEnvelope
+			if err := json.Unmarshal(raw, &env); err != nil {
+				t.Fatal(err)
+			}
+			if env.Count != len(ids) || len(env.Results) != len(ids) {
+				t.Fatalf("count %d, %d slots, want %d", env.Count, len(env.Results), len(ids))
+			}
+			if env.Errors != 2 {
+				t.Fatalf("errors = %d, want 2 (one 404, one 422): %s", env.Errors, raw)
+			}
+			for i, id := range ids {
+				singleStatus, singleRaw := getRaw(t, ts.URL+"/v1/cascades/"+strconv.Itoa(id)+"/predict")
+				item := env.Results[i]
+				if singleStatus != http.StatusOK {
+					if item.Result != nil {
+						t.Fatalf("item %d (cascade %d): batch succeeded where single = %d", i, id, singleStatus)
+					}
+					if item.Status != singleStatus {
+						t.Fatalf("item %d (cascade %d): status %d != single %d", i, id, item.Status, singleStatus)
+					}
+					var errBody struct {
+						Error string `json:"error"`
+					}
+					if err := json.Unmarshal(singleRaw, &errBody); err != nil {
+						t.Fatal(err)
+					}
+					if item.Error != errBody.Error {
+						t.Fatalf("item %d (cascade %d): error %q != single %q", i, id, item.Error, errBody.Error)
+					}
+					continue
+				}
+				if item.Result == nil {
+					t.Fatalf("item %d (cascade %d): batch error %d %q where single succeeded", i, id, item.Status, item.Error)
+				}
+				var got predictResponse
+				if err := json.Unmarshal(item.Result, &got); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(canonical(t, &got), singleRaw) {
+					t.Fatalf("item %d (cascade %d): batch slot\n%s\n!= single response\n%s",
+						i, id, canonical(t, &got), singleRaw)
+				}
+			}
+
+			// A second identical batch must serve the valid slots from
+			// cache — and still answer the same bytes.
+			status2, raw2 := postRaw(t, ts.URL+"/v1/predict:batch", map[string]any{"cascades": ids})
+			if status2 != http.StatusOK {
+				t.Fatalf("second predict:batch = %d", status2)
+			}
+			var env2 rawBatchEnvelope
+			if err := json.Unmarshal(raw2, &env2); err != nil {
+				t.Fatal(err)
+			}
+			if env2.CacheHits != len(ids)-2 {
+				t.Fatalf("second batch cache_hits = %d, want %d", env2.CacheHits, len(ids)-2)
+			}
+			for i := range env.Results {
+				if !bytes.Equal(env.Results[i].Result, env2.Results[i].Result) ||
+					env.Results[i].Status != env2.Results[i].Status ||
+					env.Results[i].Error != env2.Results[i].Error {
+					t.Fatalf("cached slot %d differs from computed one:\n%s\nvs\n%s",
+						i, env.Results[i].Result, env2.Results[i].Result)
+				}
+			}
+		})
+	}
+}
+
+// TestPredictBatchValidation covers the request-level failure modes:
+// malformed body, empty batch, and the -batch-max cap.
+func TestPredictBatchValidation(t *testing.T) {
+	srv, err := New(Config{Loader: fixtureLoader(t), CacheTTL: time.Minute, BatchMax: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	if status, body := postJSON(t, ts.URL+"/v1/predict:batch", map[string]any{"wrong": true}); status != http.StatusBadRequest {
+		t.Fatalf("bad body = %d %v", status, body)
+	}
+	if status, body := postJSON(t, ts.URL+"/v1/predict:batch", map[string]any{"cascades": []int{}}); status != http.StatusBadRequest {
+		t.Fatalf("empty batch = %d %v", status, body)
+	}
+	status, body := postJSON(t, ts.URL+"/v1/predict:batch", map[string]any{"cascades": []int{1, 2, 3, 4, 5}})
+	if status != http.StatusBadRequest {
+		t.Fatalf("over-cap batch = %d %v", status, body)
+	}
+	if msg := body["error"].(string); !bytes.Contains([]byte(msg), []byte("-batch-max")) {
+		t.Fatalf("over-cap error does not name the knob: %q", msg)
+	}
+	// At the cap is fine (items 404 individually; the request succeeds).
+	if status, body := postJSON(t, ts.URL+"/v1/predict:batch", map[string]any{"cascades": []int{1, 2, 3, 4}}); status != http.StatusOK {
+		t.Fatalf("at-cap batch = %d %v", status, body)
+	}
+}
+
+// TestRateBatchMatchesSingle compares every slot of a rate:batch answer
+// against the single GET /v1/rate oracle, mixed valid and invalid.
+func TestRateBatchMatchesSingle(t *testing.T) {
+	_, ts := newTestServer(t)
+	pairs := []map[string]int{
+		{"u": 0, "v": 1},
+		{"u": -1, "v": 3},
+		{"u": 5, "v": 7},
+		{"u": 2, "v": fixtureNodes},
+		{"u": 149, "v": 148},
+	}
+	status, raw := postRaw(t, ts.URL+"/v1/rate:batch", map[string]any{"pairs": pairs})
+	if status != http.StatusOK {
+		t.Fatalf("rate:batch = %d: %s", status, raw)
+	}
+	var env rawBatchEnvelope
+	if err := json.Unmarshal(raw, &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Errors != 2 {
+		t.Fatalf("errors = %d, want 2: %s", env.Errors, raw)
+	}
+	for i, p := range pairs {
+		singleStatus, singleRaw := getRaw(t, fmt.Sprintf("%s/v1/rate?u=%d&v=%d", ts.URL, p["u"], p["v"]))
+		item := env.Results[i]
+		if singleStatus != http.StatusOK {
+			if item.Status != singleStatus {
+				t.Fatalf("pair %d: status %d != single %d", i, item.Status, singleStatus)
+			}
+			var errBody struct {
+				Error string `json:"error"`
+			}
+			if err := json.Unmarshal(singleRaw, &errBody); err != nil {
+				t.Fatal(err)
+			}
+			if item.Error != errBody.Error {
+				t.Fatalf("pair %d: error %q != single %q", i, item.Error, errBody.Error)
+			}
+			continue
+		}
+		var got rateResponse
+		if err := json.Unmarshal(item.Result, &got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(canonical(t, &got), singleRaw) {
+			t.Fatalf("pair %d: batch slot %s != single %s", i, item.Result, singleRaw)
+		}
+	}
+}
+
+// TestFeaturesBatch checks the batched diagnostic surface: per-item
+// payloads carry the five paper features bit-identical to a direct
+// extraction from the same snapshot, and bad items fail their own slot.
+func TestFeaturesBatch(t *testing.T) {
+	srv, ts := newTestServer(t)
+	ingestEvents(t, ts.URL, 9300, 6)
+	ingestLateEvents(t, ts.URL, 9301)
+	ids := []int{9300, 777777, 9301}
+
+	status, raw := postRaw(t, ts.URL+"/v1/features:batch", map[string]any{"cascades": ids})
+	if status != http.StatusOK {
+		t.Fatalf("features:batch = %d: %s", status, raw)
+	}
+	var env rawBatchEnvelope
+	if err := json.Unmarshal(raw, &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Errors != 2 {
+		t.Fatalf("errors = %d, want 2: %s", env.Errors, raw)
+	}
+	if env.Results[1].Status != http.StatusNotFound {
+		t.Fatalf("missing cascade slot = %d, want 404", env.Results[1].Status)
+	}
+	if env.Results[2].Status != http.StatusUnprocessableEntity {
+		t.Fatalf("late cascade slot = %d, want 422", env.Results[2].Status)
+	}
+
+	var got featuresPayload
+	if err := json.Unmarshal(env.Results[0].Result, &got); err != nil {
+		t.Fatal(err)
+	}
+	cur := srv.current()
+	c, ok := srv.store.Snapshot(9300)
+	if !ok {
+		t.Fatal("cascade 9300 vanished")
+	}
+	early := c.Prefix(cur.sys.Pred.EarlyCutoff())
+	want, err := cur.sys.Sys.Features(early)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.DiverA != want.DiverA || got.NormA != want.NormA || got.MaxA != want.MaxA ||
+		got.EarlyCount != want.EarlyCount || got.EarlyRate != want.EarlyRate {
+		t.Fatalf("batch features %+v != direct extraction %+v", got, want)
+	}
+	if got.Cascade != 9300 || got.Size != c.Size() || got.Generation != cur.gen {
+		t.Fatalf("payload metadata wrong: %+v", got)
+	}
+}
+
+// TestCacheBatchOps covers the one-lock batch cache primitives: hits
+// fill only their slots, empty keys are skipped, expired entries miss,
+// and PutAll skips error slots (empty key or nil value).
+func TestCacheBatchOps(t *testing.T) {
+	now := time.Unix(0, 0)
+	c := newTTLCache(time.Minute)
+	c.now = func() time.Time { return now }
+
+	keys := []string{"a", "", "b", "c"}
+	vals := []any{1, 2, nil, 4}
+	c.PutAll(keys, vals)
+
+	out := make([]any, 4)
+	if hits := c.PeekAll([]string{"a", "", "b", "c"}, out); hits != 2 {
+		t.Fatalf("hits = %d, want 2 (empty key and nil value never stored)", hits)
+	}
+	if out[0] != 1 || out[1] != nil || out[2] != nil || out[3] != 4 {
+		t.Fatalf("slots = %v", out)
+	}
+
+	now = now.Add(2 * time.Minute)
+	out2 := make([]any, 4)
+	if hits := c.PeekAll(keys, out2); hits != 0 {
+		t.Fatalf("hits after expiry = %d", hits)
+	}
+}
+
+// TestWriteJSONDropsOversizedBuffers is the retention-cap regression
+// test: after encoding a response larger than maxPooledResponseBuf —
+// exactly what a big predict:batch answer produces — the pool must not
+// hand back a buffer above the cap. If the cap check regressed, the
+// very next Get on this goroutine would return the ballooned buffer.
+func TestWriteJSONDropsOversizedBuffers(t *testing.T) {
+	big := make([]string, 1<<15)
+	for i := range big {
+		big[i] = "0123456789abcdef0123456789abcdef0123456789abcdef" // ~48 B × 32768 rows ≫ 1 MiB
+	}
+	w := &nullResponseWriter{h: make(http.Header)}
+	for i := 0; i < 4; i++ {
+		writeJSON(w, http.StatusOK, big)
+		for j := 0; j < 8; j++ {
+			buf := jsonBufPool.Get().(*bytes.Buffer)
+			if buf.Cap() > maxPooledResponseBuf {
+				t.Fatalf("pool retained a %d-byte buffer (cap %d)", buf.Cap(), maxPooledResponseBuf)
+			}
+			jsonBufPool.Put(buf)
+		}
+	}
+}
+
+// TestAppendPredictBatchJSONMatchesEncodingJSON pins the open-coded
+// envelope encoder to encoding/json, byte for byte, across the float
+// formatting regimes ('f' vs 'e', exponent zero-trimming, -0) and the
+// default string escaping (quotes, backslashes, control characters, and
+// the HTML-unsafe <, >, &).
+func TestAppendPredictBatchJSONMatchesEncodingJSON(t *testing.T) {
+	margins := []float64{
+		0, math.Copysign(0, -1), 0.1, -2.235795019273291, 1e-6, 9.9e-7, -9.9e-7,
+		1e21, -1.2345678e22, 1e20, 4.9e-324, math.MaxFloat64, 5063, -1.5e-9,
+	}
+	env := &predictBatchResponse{
+		Count: len(margins) + 2, Errors: 2, CacheHits: 3,
+		Generation: 7, ShardID: -1, Epoch: 12,
+	}
+	for i, m := range margins {
+		env.Results = append(env.Results, batchPredictItem{Result: &predictResponse{
+			Cascade: 9000 + i, Viral: m >= 0, Margin: m, Size: i,
+			EarlyCutoff: 2.2857142857142856, Threshold: 33,
+			Generation: 7, ShardID: -1, Epoch: 12,
+		}})
+	}
+	env.Results = append(env.Results,
+		batchPredictItem{Status: 404, Error: "no live cascade 42"},
+		batchPredictItem{Status: 422, Error: "tricky <escape> & \"quote\" \\ tab\there\nnewline \x01 ünïcode"},
+	)
+	want, err := json.Marshal(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = append(want, '\n') // json.Encoder appends one; the hand encoder matches it
+	got := appendPredictBatchJSON(nil, env)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("hand encoder diverged from encoding/json:\n%s\nvs\n%s", got, want)
+	}
+}
+
+// TestParseCascadesFast checks the open-coded request scanner agrees
+// with the strict reflective decoder on everything it accepts, and
+// falls back (ok=false) on everything non-canonical.
+func TestParseCascadesFast(t *testing.T) {
+	accepts := []string{
+		`{"cascades":[1,2,3]}`,
+		`{"cascades":[]}`,
+		`{"cascades":[0]}`,
+		`{"cascades":[-5, 7 ,   9]}`,
+		"\n\t {\"cascades\" : [ 10 , -20 ] } \r\n",
+		`{"cascades":[9007199254740991]}`,
+	}
+	for _, body := range accepts {
+		got, ok := parseCascadesFast([]byte(body), nil)
+		if !ok {
+			t.Fatalf("scanner rejected canonical body %q", body)
+		}
+		var req predictBatchRequest
+		if err := strictUnmarshal([]byte(body), &req); err != nil {
+			t.Fatalf("strict decoder rejected %q: %v", body, err)
+		}
+		if len(got) != len(req.Cascades) {
+			t.Fatalf("%q: scanner %v != strict %v", body, got, req.Cascades)
+		}
+		for i := range got {
+			if got[i] != req.Cascades[i] {
+				t.Fatalf("%q: scanner %v != strict %v", body, got, req.Cascades)
+			}
+		}
+	}
+	rejects := []string{
+		`{"cascades":[1.5]}`,
+		`{"cascades":[1e3]}`,
+		`{"cascades":[01]}`,
+		`{"cascades":[1],"extra":2}`,
+		`{"cascades":[1]} trailing`,
+		`{"cascades":[1,]}`,
+		`{"cascades":[--1]}`,
+		`{"cascades":[]}{}`,
+		`["cascades"]`,
+		`{"cascades":[99999999999999999999]}`,
+		``,
+	}
+	for _, body := range rejects {
+		if got, ok := parseCascadesFast([]byte(body), nil); ok {
+			t.Fatalf("scanner accepted non-canonical body %q as %v", body, got)
+		}
+	}
+}

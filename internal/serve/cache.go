@@ -97,6 +97,46 @@ func (c *ttlCache) DoCtx(ctx context.Context, key string, fn func() (any, error)
 	return call.val, false, call.err
 }
 
+// PeekAll probes a whole batch of keys under one lock acquisition:
+// out[i] receives the live cached value for keys[i], untouched slots
+// stay as the caller left them. Empty keys mark slots excluded from
+// caching (per-item errors) and are skipped. Unlike DoCtx there is no
+// singleflight join — a batched caller computes its misses itself in
+// one blocked pass, which is cheaper than parking per-key.
+func (c *ttlCache) PeekAll(keys []string, out []any) (hits int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.now()
+	for i, k := range keys {
+		if k == "" {
+			continue
+		}
+		if e, ok := c.entries[k]; ok && now.Before(e.expires) {
+			out[i] = e.value
+			hits++
+		}
+	}
+	return hits
+}
+
+// PutAll fills a whole batch of computed values under one lock
+// acquisition; empty keys and nil values (error slots, cache hits the
+// caller blanked) are skipped. Respects the same entry cap as DoCtx.
+func (c *ttlCache) PutAll(keys []string, vals []any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	expires := c.now().Add(c.ttl)
+	for i, k := range keys {
+		if k == "" || vals[i] == nil {
+			continue
+		}
+		if len(c.entries) >= maxCacheEntries {
+			c.sweepLocked()
+		}
+		c.entries[k] = cacheEntry{value: vals[i], expires: expires}
+	}
+}
+
 // sweepLocked drops expired entries; if everything is still live the
 // whole map is reset (the cache is a performance aid, not a store).
 func (c *ttlCache) sweepLocked() {

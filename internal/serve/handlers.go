@@ -53,6 +53,12 @@ func (s *Server) routes() http.Handler {
 	add("GET /v1/influencers", "influencers", classCompute, s.handleInfluencers)
 	add("GET /v1/seeds", "seeds", classCompute, s.handleSeeds)
 	add("POST /v1/simulate", "simulate", classCompute, s.handleSimulate)
+	// Batched data plane: one admission ticket, one deadline, one
+	// workspace, and one cache probe pass serve up to -batch-max items;
+	// a bad item fails its own slot, never the request.
+	add("POST /v1/predict:batch", "predict_batch", classCompute, s.handlePredictBatch)
+	add("POST /v1/rate:batch", "rate_batch", classRead, s.handleRateBatch)
+	add("POST /v1/features:batch", "features_batch", classCompute, s.handleFeaturesBatch)
 	control("POST /v1/reload", "reload", s.handleReload)
 	control("POST /v1/flush", "flush", s.fenceGate(s.handleFlush))
 	control("GET /healthz", "healthz", s.handleHealthz)
@@ -261,6 +267,29 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	if err := enc.Encode(v); err != nil {
 		// Nothing is committed yet, so the client gets a real error
 		// instead of a truncated 200.
+		http.Error(w, fmt.Sprintf(`{"error":"response encoding: %v"}`, err), http.StatusInternalServerError)
+		jsonBufPool.Put(buf)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	w.WriteHeader(status)
+	w.Write(buf.Bytes()) //nolint:errcheck // the response is already committed
+	if buf.Cap() <= maxPooledResponseBuf {
+		jsonBufPool.Put(buf)
+	}
+}
+
+// writeJSONCompact is writeJSON without the indentation pass. The
+// batched data plane uses it: re-indenting a 256-item envelope costs
+// more than every prediction in it combined (encoding/json's indent is
+// a second full walk of the output), and batch callers are programs,
+// not terminals. Single-request responses stay indented — they are the
+// human-facing oracle surface.
+func writeJSONCompact(w http.ResponseWriter, status int, v any) {
+	buf := jsonBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
 		http.Error(w, fmt.Sprintf(`{"error":"response encoding: %v"}`, err), http.StatusInternalServerError)
 		jsonBufPool.Put(buf)
 		return

@@ -4,6 +4,8 @@
 package serve
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -165,6 +167,60 @@ func BenchmarkSimulate(b *testing.B) {
 		if w.Code != http.StatusOK {
 			b.Fatal(w.Code)
 		}
+	}
+}
+
+// BenchmarkPredictBatch is the batched data plane end to end at batch
+// sizes 1/16/64/256, reporting amortized ns/cascade next to ns/op. The
+// cache TTL is one nanosecond so every item recomputes — the numbers
+// measure the column-wise extraction and blocked kernel, not cache
+// hits. Compare ns/cascade at B256 against BenchmarkPredictRequest's
+// ns/op: that ratio is the amortization the batch plane buys.
+func BenchmarkPredictBatch(b *testing.B) {
+	srv, err := New(Config{Loader: benchLoader(b), CacheTTL: time.Nanosecond})
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := srv.Handler()
+	const maxBatch = 256
+	ids := make([]int, maxBatch)
+	for i := range ids {
+		ids[i] = 7000 + i
+		for j := 0; j < 8; j++ {
+			ev := Event{Cascade: ids[i], Node: (i + j) % 32, Time: 0.05 * float64(j+1)}
+			if _, err := srv.store.Append(ev, fixtureNodes); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	for _, size := range []int{1, 16, 64, 256} {
+		b.Run("B"+strconv.Itoa(size), func(b *testing.B) {
+			body, err := json.Marshal(map[string]any{"cascades": ids[:size]})
+			if err != nil {
+				b.Fatal(err)
+			}
+			warm := httptest.NewRequest("POST", "/v1/predict:batch", bytes.NewReader(body))
+			w := httptest.NewRecorder()
+			h.ServeHTTP(w, warm)
+			if w.Code != http.StatusOK {
+				b.Fatalf("predict:batch = %d: %s", w.Code, w.Body.String())
+			}
+			if strings.Contains(w.Body.String(), `"status"`) {
+				b.Fatalf("batch contains error slots: %s", w.Body.String())
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				req := httptest.NewRequest("POST", "/v1/predict:batch", bytes.NewReader(body))
+				w := httptest.NewRecorder()
+				h.ServeHTTP(w, req)
+				if w.Code != http.StatusOK {
+					b.Fatal(w.Code)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*size), "ns/cascade")
+		})
 	}
 }
 

@@ -114,6 +114,13 @@ type Config struct {
 	// requests answer 400 with the cap so clients can split or shrink
 	// the question. Default 4096.
 	SimulateMaxTrials int
+	// BatchMax caps how many items one batched data-plane request
+	// (POST /v1/predict:batch, /v1/rate:batch, /v1/features:batch) may
+	// carry; bigger batches answer 400 with the cap so clients split
+	// instead of monopolizing an admission slot. One batch request holds
+	// one compute ticket however many items it carries — the cap is what
+	// keeps that amortization from turning into starvation. Default 1024.
+	BatchMax int
 	// EnablePprof exposes net/http/pprof under /debug/pprof/ on the
 	// control plane — ungated by admission control and request budgets
 	// (like /metrics), so a live daemon can be profiled even while it is
@@ -205,6 +212,9 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.SimulateMaxTrials <= 0 {
 		cfg.SimulateMaxTrials = 4096
+	}
+	if cfg.BatchMax <= 0 {
+		cfg.BatchMax = 1024
 	}
 	if cfg.RingSize < 0 {
 		return nil, fmt.Errorf("serve: Config.RingSize must be >= 0, got %d", cfg.RingSize)

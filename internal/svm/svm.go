@@ -135,6 +135,18 @@ func (m *Model) Decision(x []float64) float64 {
 	return vecmath.Dot(m.W, x) + m.Bias
 }
 
+// DecisionBlock computes Decision for every row of a row-major batch
+// block into dst: dst[i] = W · x[i*stride : i*stride+len(W)] + Bias.
+// The inner products run through the blocked vecmath.Gemv kernel, whose
+// per-row accumulation order matches Dot exactly, so each margin is
+// bit-identical to calling Decision on that row.
+func (m *Model) DecisionBlock(dst, x []float64, stride int) {
+	vecmath.Gemv(dst, x, stride, m.W)
+	for i := range dst {
+		dst[i] += m.Bias
+	}
+}
+
 // Predict returns +1 or -1.
 func (m *Model) Predict(x []float64) int {
 	if m.Decision(x) >= 0 {
@@ -283,6 +295,29 @@ func (s *Standardizer) ApplyRow(dst, row []float64) []float64 {
 		dst = append(dst, (v-s.Mean[j])/s.Std[j])
 	}
 	return dst
+}
+
+// ApplyBlock standardizes a row-major batch block in place: every row
+// x[i*stride : i*stride+dim] becomes its standardized form, where dim =
+// len(s.Mean) and stride >= dim (padding columns are untouched). Each
+// element gets exactly the (v-Mean[j])/Std[j] ApplyRow computes — a real
+// division, not a cached reciprocal, because reciprocal-multiply rounds
+// differently and the batched predict path promises bit-identical
+// margins to the single-request path.
+func (s *Standardizer) ApplyBlock(x []float64, rows, stride int) {
+	dim := len(s.Mean)
+	if dim > stride {
+		panic(fmt.Sprintf("svm: ApplyBlock %d features into stride %d", dim, stride))
+	}
+	if len(x) < rows*stride {
+		panic(fmt.Sprintf("svm: ApplyBlock block %d shorter than %d rows x stride %d", len(x), rows, stride))
+	}
+	for i := 0; i < rows; i++ {
+		row := x[i*stride : i*stride+dim]
+		for j, v := range row {
+			row[j] = (v - s.Mean[j]) / s.Std[j]
+		}
+	}
 }
 
 // Apply returns the standardized copy of x.

@@ -57,3 +57,36 @@ func BenchmarkAxpy(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkGemv measures the blocked batch kernel over the shapes the
+// batched predict plane uses: a rows x stride feature block against a
+// stride-length weight vector. Compare ns/row here against Dot/K16 to
+// see what the shared weight loads buy.
+func BenchmarkGemv(b *testing.B) {
+	for _, sz := range []struct {
+		name         string
+		rows, stride int
+	}{
+		{"B16xK3", 16, 3},
+		{"B256xK3", 256, 3},
+		{"B256xK16", 256, 16},
+	} {
+		b.Run(sz.name, func(b *testing.B) {
+			x := make([]float64, sz.rows*sz.stride)
+			for i := range x {
+				x[i] = float64(i%7) * 0.25
+			}
+			w := make([]float64, sz.stride)
+			for j := range w {
+				w[j] = float64(j%5) * 0.5
+			}
+			dst := make([]float64, sz.rows)
+			b.SetBytes(int64(8 * sz.rows * sz.stride))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				Gemv(dst, x, sz.stride, w)
+			}
+		})
+	}
+}

@@ -134,6 +134,50 @@ func Max(x []float64) (float64, int) {
 	return best, at
 }
 
+// Gemv computes the matrix–vector product of a row-major block against
+// a weight vector: dst[i] = w · x[i*stride : i*stride+len(w)] for every
+// row i in [0, len(dst)). It is the wide-batch form of calling Dot once
+// per row, and is guaranteed bit-identical to that: each row's
+// accumulator adds the products w[j]*row[j] in the same j order a Dot
+// over that row would, so batched classifier margins equal
+// single-request margins down to the last ULP. The blocking is over
+// rows, not the accumulation: four rows share each load of w, which is
+// what makes the batch form faster, while every row keeps its own
+// strictly sequential accumulator.
+//
+// stride may exceed len(w) (padded rows); x must hold len(dst) full
+// strides.
+func Gemv(dst, x []float64, stride int, w []float64) {
+	if len(w) > stride {
+		panic("vecmath: Gemv weight vector longer than the row stride")
+	}
+	if len(x) < len(dst)*stride {
+		panic("vecmath: Gemv block shorter than rows*stride")
+	}
+	rows := len(dst)
+	i := 0
+	for ; i+4 <= rows; i += 4 {
+		r0 := x[(i+0)*stride : (i+0)*stride+len(w)]
+		r1 := x[(i+1)*stride : (i+1)*stride+len(w)]
+		r2 := x[(i+2)*stride : (i+2)*stride+len(w)]
+		r3 := x[(i+3)*stride : (i+3)*stride+len(w)]
+		var s0, s1, s2, s3 float64
+		for j, wv := range w {
+			s0 += wv * r0[j]
+			s1 += wv * r1[j]
+			s2 += wv * r2[j]
+			s3 += wv * r3[j]
+		}
+		dst[i+0] = s0
+		dst[i+1] = s1
+		dst[i+2] = s2
+		dst[i+3] = s3
+	}
+	for ; i < rows; i++ {
+		dst[i] = Dot(w, x[i*stride:i*stride+len(w)])
+	}
+}
+
 // ProjectNonneg clamps negative elements of x to zero in place; this is
 // the projection step of projected gradient ascent onto the feasible set
 // A,B >= 0 (paper Eqs. 10-11).

@@ -276,3 +276,46 @@ func TestClamp(t *testing.T) {
 		t.Error("Clamp wrong")
 	}
 }
+
+// TestGemvBitIdenticalToDot is the contract the batched predict path
+// stands on: a Gemv over a row-major block must produce, for every row,
+// exactly the float64 Dot would produce over that row — not merely close.
+func TestGemvBitIdenticalToDot(t *testing.T) {
+	for _, tc := range []struct{ rows, stride, dim int }{
+		{1, 3, 3}, {3, 3, 3}, {4, 3, 3}, {7, 5, 5}, {256, 3, 3}, {9, 8, 5},
+	} {
+		x := make([]float64, tc.rows*tc.stride)
+		for i := range x {
+			// Awkward magnitudes so any reassociation shows up in the bits.
+			x[i] = float64(i%13)*1e-3 + float64(i%7)*1e8
+		}
+		w := make([]float64, tc.dim)
+		for j := range w {
+			w[j] = float64(j+1) * 0.3
+		}
+		dst := make([]float64, tc.rows)
+		Gemv(dst, x, tc.stride, w)
+		for i := 0; i < tc.rows; i++ {
+			want := Dot(w, x[i*tc.stride:i*tc.stride+tc.dim])
+			if dst[i] != want {
+				t.Fatalf("rows=%d stride=%d: row %d Gemv=%x Dot=%x", tc.rows, tc.stride, i, dst[i], want)
+			}
+		}
+	}
+}
+
+func TestGemvPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"weight longer than stride": func() { Gemv(make([]float64, 1), make([]float64, 4), 2, make([]float64, 3)) },
+		"block too short":           func() { Gemv(make([]float64, 3), make([]float64, 4), 2, make([]float64, 2)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Gemv did not panic: %s", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

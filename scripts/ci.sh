@@ -38,7 +38,7 @@ go test -run=NONE -bench=. -benchtime=1x ./...
 
 echo "== bench harness (BENCH_serve.json must parse and validate)"
 bench_tmp="$(mktemp -d)"
-BENCHTIME=1x BENCH_OUT="$bench_tmp/BENCH_serve.json" scripts/bench.sh
+BENCHTIME=1x LOADTIME=1s BENCH_OUT="$bench_tmp/BENCH_serve.json" scripts/bench.sh
 rm -rf "$bench_tmp"
 
 echo "== viralcastd smoke test"
